@@ -1,0 +1,350 @@
+// Package astra is the public API of the Astra reproduction: autonomous
+// configuration and orchestration of serverless analytics jobs with
+// cost-efficiency and QoS-awareness (Jarachanthan et al., IPDPS 2021).
+//
+// A job is a workload profile plus its input layout in the object store.
+// The user states one of two objectives — minimize completion time under
+// a monetary budget, or minimize monetary cost under a completion-time
+// threshold — and Astra searches the coupled configuration space (three
+// memory allocations, objects per mapper, objects per reducer) for the
+// optimal execution plan, which can then be executed on the bundled
+// simulated serverless platform.
+//
+// Quick start:
+//
+//	job := astra.WordCount1GB()
+//	plan, err := astra.Plan(job, astra.MinTime(0.01))   // <= $0.01
+//	report, err := astra.Run(job, plan.Config)          // simulate it
+//
+// The simulated platform reproduces the semantics the paper's models
+// assume of AWS Lambda and S3 (memory-proportional compute speed,
+// per-request and per-dispatch latencies, request/duration/storage
+// billing) on a deterministic virtual clock, so multi-hour 100 GB jobs
+// execute in milliseconds of wall time with exactly reproducible results.
+package astra
+
+import (
+	"time"
+
+	"astra/internal/dag"
+	"astra/internal/lambda"
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+	"astra/internal/objectstore"
+	"astra/internal/optimizer"
+	"astra/internal/pipeline"
+	"astra/internal/pricing"
+	"astra/internal/profiler"
+	"astra/internal/simtime"
+	"astra/internal/workload"
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// Job is a workload profile plus its input layout.
+	Job = workload.Job
+	// Profile is a workload calibration record.
+	Profile = workload.Profile
+	// Config is one point of the configuration space: memory tiers and
+	// degrees of parallelism.
+	Config = mapreduce.Config
+	// Orchestration is the derived job shape: mapper loads and the
+	// reducing cascade.
+	Orchestration = mapreduce.Orchestration
+	// Objective is a user requirement (goal + constraint).
+	Objective = optimizer.Objective
+	// ExecutionPlan is the optimizer's output: a configuration with its
+	// model predictions.
+	ExecutionPlan = optimizer.Plan
+	// Report is a measured execution outcome.
+	Report = mapreduce.Report
+	// Params is the model parameterization (prices, bandwidth,
+	// latencies, speed scaling).
+	Params = model.Params
+	// USD is a monetary amount.
+	USD = pricing.USD
+	// Solver selects the plan-search strategy.
+	Solver = optimizer.Solver
+)
+
+// Workload profiles.
+var (
+	WordCount = workload.WordCount
+	Sort      = workload.Sort
+	Query     = workload.Query
+)
+
+// Solvers.
+const (
+	// SolverAuto runs the paper's Algorithm 1 with an exact
+	// constrained-shortest-path fallback; the recommended default.
+	SolverAuto = optimizer.Auto
+	// SolverAlgorithm1 is the paper's heuristic, as written.
+	SolverAlgorithm1 = optimizer.Algorithm1
+	// SolverCSP is exact label-setting on the configuration DAG.
+	SolverCSP = optimizer.CSP
+	// SolverBrute exhaustively enumerates small instances.
+	SolverBrute = optimizer.Brute
+)
+
+// The paper's evaluation inputs.
+var (
+	WordCount1GB  = workload.WordCount1GB
+	WordCount10GB = workload.WordCount10GB
+	WordCount20GB = workload.WordCount20GB
+	Sort100GB     = workload.Sort100GB
+	Query25GB     = workload.Query25GB
+)
+
+// NewJob describes a custom input: a profile, the object count, and the
+// total dataset size in bytes (split evenly across objects).
+func NewJob(pf Profile, numObjects int, totalBytes int64) Job {
+	if numObjects <= 0 {
+		numObjects = 1
+	}
+	return Job{Profile: pf, NumObjects: numObjects, ObjectSize: totalBytes / int64(numObjects)}
+}
+
+// MinTime is the Eq. 16 objective: the fastest plan costing at most
+// budget dollars.
+func MinTime(budgetUSD float64) Objective {
+	return Objective{Goal: optimizer.MinTimeUnderBudget, Budget: USD(budgetUSD)}
+}
+
+// MinCost is the Eq. 20 objective: the cheapest plan finishing within the
+// deadline.
+func MinCost(deadline time.Duration) Objective {
+	return Objective{Goal: optimizer.MinCostUnderDeadline, Deadline: deadline}
+}
+
+// Plan searches for the optimal configuration of a job under an
+// objective, using the default model parameters and the Auto solver.
+func Plan(job Job, obj Objective) (*ExecutionPlan, error) {
+	return PlanWith(model.DefaultParams(job), obj, SolverAuto)
+}
+
+// PlanWith is Plan with explicit model parameters and solver choice.
+func PlanWith(params Params, obj Objective, solver Solver) (*ExecutionPlan, error) {
+	pl := optimizer.New(params)
+	pl.Solver = solver
+	return pl.Plan(obj)
+}
+
+// Baselines returns the paper's three baseline configurations for a job.
+func Baselines(job Job) []Config { return optimizer.Baselines(job.NumObjects) }
+
+// RunOption customizes a job's execution.
+type RunOption func(*mapreduce.JobSpec)
+
+// WithStepFunctions orchestrates the reduce phase with a managed workflow
+// instead of the coordinator lambda (the paper's footnote 1 alternative:
+// faster coordination, but billed per state transition).
+func WithStepFunctions() RunOption {
+	return func(s *mapreduce.JobSpec) { s.Orchestrator = mapreduce.StepFunctions }
+}
+
+// WithCacheIntermediates places the job's ephemeral data on a Redis-like
+// in-memory tier (10x bandwidth, sub-ms latency, provisioned GB-hour
+// pricing) instead of the object store — the Pocket/Locus design point
+// from the paper's discussion section.
+func WithCacheIntermediates() RunOption {
+	cache := objectstore.CacheClass()
+	return func(s *mapreduce.JobSpec) { s.IntermediateClass = &cache }
+}
+
+// Run executes a configuration on a fresh simulated platform in profiled
+// mode (any input scale; data is metadata-only) and reports measured
+// timing and cost.
+func Run(job Job, cfg Config, opts ...RunOption) (*Report, error) {
+	return RunWith(model.DefaultParams(job), cfg, opts...)
+}
+
+// RunWith is Run with explicit model parameters.
+func RunWith(params Params, cfg Config, opts ...RunOption) (*Report, error) {
+	world, keys, err := newWorld(params, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	return world.run(params.Job, keys, cfg, mapreduce.Profiled, opts)
+}
+
+// RunConcrete executes a configuration over real generated data: the
+// mappers and reducers run genuine word-count/sort/query code, and the
+// final output object's contents are returned alongside the report.
+// Intended for correctness checks and small inputs (the host must hold
+// the dataset).
+func RunConcrete(job Job, cfg Config, seed int64, opts ...RunOption) (*Report, [][]byte, error) {
+	params := model.DefaultParams(job)
+	world, keys, err := newWorld(params, true, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	var outputs [][]byte
+	rep, err := world.runThen(job, keys, cfg, mapreduce.Concrete, opts,
+		func(p *simtime.Proc, rep *Report) error {
+			for _, key := range rep.OutputKeys {
+				obj, err := world.store.Get(p, rep.InterBucket, key)
+				if err != nil {
+					return err
+				}
+				outputs = append(outputs, obj.Data)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, outputs, nil
+}
+
+// world bundles one simulated platform instance.
+type world struct {
+	sched  *simtime.Scheduler
+	store  *objectstore.Store
+	plt    *lambda.Platform
+	driver *mapreduce.Driver
+}
+
+func newWorld(params Params, concrete bool, seed int64) (*world, []string, error) {
+	if err := params.Validate(); err != nil {
+		return nil, nil, err
+	}
+	sched := simtime.NewScheduler()
+	store := objectstore.New(sched, objectstore.Config{
+		Bandwidth:      params.BandwidthBps,
+		RequestLatency: params.RequestLatency,
+		Pricing:        params.Sheet.Store,
+	})
+	plt := lambda.New(sched, store, lambda.Config{
+		Sheet:           params.Sheet,
+		Speed:           params.Speed,
+		DispatchLatency: params.DispatchLatency,
+		DisableTimeout:  !concrete,
+	})
+	var keys []string
+	var err error
+	if concrete {
+		keys, err = workload.SeedConcrete(store, "input", params.Job, seed)
+	} else {
+		keys, err = workload.SeedProfiled(store, "input", params.Job)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return &world{sched: sched, store: store, plt: plt, driver: mapreduce.NewDriver(plt)}, keys, nil
+}
+
+// run executes one job on the world; the world's scheduler is consumed.
+func (w *world) run(job Job, keys []string, cfg Config, mode mapreduce.Mode, opts []RunOption) (*Report, error) {
+	return w.runThen(job, keys, cfg, mode, opts, nil)
+}
+
+// runThen executes one job and then, still inside the simulation, hands
+// the root process to after (e.g. to retrieve output objects).
+func (w *world) runThen(job Job, keys []string, cfg Config, mode mapreduce.Mode,
+	opts []RunOption, after func(*simtime.Proc, *Report) error) (*Report, error) {
+	spec := mapreduce.JobSpec{
+		Workload:  job,
+		Bucket:    "input",
+		InputKeys: keys,
+		Mode:      mode,
+	}
+	for _, opt := range opts {
+		opt(&spec)
+	}
+	var rep *Report
+	var runErr error
+	err := w.sched.Run(func(p *simtime.Proc) {
+		rep, runErr = w.driver.Run(p, spec, cfg)
+		if runErr == nil && after != nil {
+			runErr = after(p, rep)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, runErr
+}
+
+// Pipeline types, re-exported for multi-stage analytics (chains of
+// MapReduce stages whose outputs feed the next stage).
+type (
+	// Pipeline is an ordered chain of stages with an external input.
+	Pipeline = pipeline.Pipeline
+	// PipelineStage is one MapReduce phase of a pipeline.
+	PipelineStage = pipeline.Stage
+	// PipelinePlan is a composite plan with one configuration per stage.
+	PipelinePlan = pipeline.Plan
+	// PipelineResult is a measured pipeline execution.
+	PipelineResult = pipeline.Result
+)
+
+// Grep is the log-filtering workload profile (pipeline filter stages).
+var Grep = workload.Grep
+
+// PlanPipeline allocates a global budget or deadline across a pipeline's
+// stages and returns per-stage configurations.
+func PlanPipeline(p Pipeline, obj Objective) (*PipelinePlan, error) {
+	params := model.DefaultParams(workload.Job{
+		Profile:    p.Stages[0].Profile,
+		NumObjects: p.InputObjects,
+		ObjectSize: p.InputBytes / int64(maxInt(p.InputObjects, 1)),
+	})
+	return pipeline.NewPlanner(params).Plan(p, obj)
+}
+
+// RunPipeline executes a planned pipeline on a fresh simulated platform.
+func RunPipeline(p Pipeline, plan *PipelinePlan) (*PipelineResult, error) {
+	params := model.DefaultParams(workload.Job{
+		Profile:    p.Stages[0].Profile,
+		NumObjects: p.InputObjects,
+		ObjectSize: p.InputBytes / int64(maxInt(p.InputObjects, 1)),
+	})
+	return pipeline.Execute(params, p, plan)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FrontierPoint is one Pareto-optimal configuration on a job's time/cost
+// tradeoff curve.
+type FrontierPoint = optimizer.FrontierPoint
+
+// Frontier computes a job's time/cost Pareto frontier (fastest first):
+// every point is a configuration no other candidate beats on both
+// completion time and cost. Pass k <= 0 for the default resolution.
+func Frontier(job Job, k int) ([]FrontierPoint, error) {
+	return optimizer.Frontier(model.DefaultParams(job), k, dag.Options{})
+}
+
+// CalibrateProfile measures a workload's real data ratios (mapper output
+// per input byte, reducer output per consumed byte) by running the
+// application concretely over a small generated sample, and returns the
+// profile with the measured ratios substituted. This is the paper's
+// model-refinement loop: plan against the workload's observed shape
+// rather than nominal constants.
+func CalibrateProfile(pf Profile, sampleObjects, bytesPerObject int, seed int64) (Profile, error) {
+	cal, err := profiler.Calibrate(pf, profiler.Sample{
+		Objects:        sampleObjects,
+		BytesPerObject: bytesPerObject,
+		Seed:           seed,
+	})
+	if err != nil {
+		return Profile{}, err
+	}
+	return cal.Profile, nil
+}
+
+// Predict estimates a configuration's completion time and cost with the
+// engine-faithful model, without executing anything.
+func Predict(job Job, cfg Config) (jct time.Duration, cost USD, err error) {
+	pred, err := model.NewExact(model.DefaultParams(job)).Predict(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return pred.JCT(), pred.TotalCost(), nil
+}

@@ -1,0 +1,67 @@
+package astra
+
+import (
+	"testing"
+)
+
+func TestRunWithStepFunctions(t *testing.T) {
+	job := NewJob(WordCount, 10, 64<<20)
+	cfg := Config{
+		MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 2, ObjsPerReducer: 2,
+	}
+	coord, err := Run(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Run(job, cfg, WithStepFunctions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Cost.Workflow <= 0 {
+		t.Fatal("step functions mode must bill transitions")
+	}
+	if coord.Cost.Workflow != 0 {
+		t.Fatal("coordinator mode must not bill transitions")
+	}
+	// The footnote's claim: the coordinator lambda is cheaper overall.
+	if coord.Cost.Total() >= sf.Cost.Total() {
+		t.Fatalf("coordinator total %v should undercut step functions %v",
+			coord.Cost.Total(), sf.Cost.Total())
+	}
+}
+
+func TestRunWithCacheIntermediates(t *testing.T) {
+	job := NewJob(Sort, 10, 2<<30) // data-heavy: the cache tier pays off
+	cfg := Config{
+		MapperMemMB: 1792, CoordMemMB: 256, ReducerMemMB: 1792,
+		ObjsPerMapper: 2, ObjsPerReducer: 2,
+	}
+	s3, err := Run(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := Run(job, cfg, WithCacheIntermediates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.JCT >= s3.JCT {
+		t.Fatalf("cache intermediates (%v) should beat the object store (%v)",
+			cache.JCT, s3.JCT)
+	}
+}
+
+func TestRunConcreteWithOptions(t *testing.T) {
+	job := NewJob(WordCount, 6, 12<<10)
+	cfg := Config{
+		MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 2, ObjsPerReducer: 3,
+	}
+	rep, outputs, err := RunConcrete(job, cfg, 1, WithStepFunctions(), WithCacheIntermediates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != 1 || rep.Cost.Workflow <= 0 {
+		t.Fatalf("outputs=%d workflow=%v", len(outputs), rep.Cost.Workflow)
+	}
+}

@@ -1,0 +1,187 @@
+package astra
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlanAndRunRoundTrip(t *testing.T) {
+	job := NewJob(WordCount, 10, 64<<20)
+	plan, err := Plan(job, MinTime(1.0)) // generous budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(job, plan.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan's exact-model prediction must match the measured run.
+	if d := rep.JCT - plan.Exact.JCT(); d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("measured %v vs predicted %v", rep.JCT, plan.Exact.JCT())
+	}
+}
+
+func TestPlanHonorsBudget(t *testing.T) {
+	job := NewJob(WordCount, 10, 64<<20)
+	free, err := Plan(job, MinTime(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := float64(free.Exact.TotalCost()) * 0.8
+	plan, err := Plan(job, MinTime(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(plan.Exact.TotalCost()) > budget {
+		t.Fatalf("plan cost %v exceeds budget %v", plan.Exact.TotalCost(), budget)
+	}
+}
+
+func TestMinCostHonorsDeadline(t *testing.T) {
+	job := NewJob(Query, 12, 128<<20)
+	fast, err := Plan(job, MinTime(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := fast.Exact.JCT() * 2
+	plan, err := Plan(job, MinCost(deadline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(job, plan.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JCT > deadline {
+		t.Fatalf("measured JCT %v violates deadline %v", rep.JCT, deadline)
+	}
+	if plan.Exact.TotalCost() > fast.Exact.TotalCost() {
+		t.Fatal("cheapest plan costs more than the fastest plan")
+	}
+}
+
+func TestRunConcreteWordCount(t *testing.T) {
+	job := NewJob(WordCount, 6, 24<<10)
+	cfg := Config{
+		MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 2, ObjsPerReducer: 3,
+	}
+	rep, outputs, err := RunConcrete(job, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != 1 {
+		t.Fatalf("%d outputs, want 1", len(outputs))
+	}
+	out := string(outputs[0])
+	if !strings.Contains(out, "\t") || len(out) == 0 {
+		t.Fatalf("output does not look like word counts: %.80q", out)
+	}
+	if rep.JCT <= 0 {
+		t.Fatal("JCT must be positive")
+	}
+}
+
+func TestRunConcreteSortProducesPartitions(t *testing.T) {
+	job := NewJob(Sort, 8, 16<<10)
+	cfg := Config{
+		MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 2, ObjsPerReducer: 2,
+	}
+	_, outputs, err := RunConcrete(job, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sort is single-step: ceil(4 mappers / 2) = 2 partitioned outputs.
+	if len(outputs) != 2 {
+		t.Fatalf("%d outputs, want 2 partitions", len(outputs))
+	}
+	for i, out := range outputs {
+		lines := strings.Split(strings.TrimSuffix(string(out), "\n"), "\n")
+		for j := 1; j < len(lines); j++ {
+			if lines[j] < lines[j-1] {
+				t.Fatalf("partition %d is not sorted", i)
+			}
+		}
+	}
+}
+
+func TestPredictMatchesRun(t *testing.T) {
+	job := Query25GB()
+	cfg := Baselines(job)[0]
+	jct, cost, err := Predict(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rep.JCT - jct; d < -5*time.Millisecond || d > 5*time.Millisecond {
+		t.Fatalf("predicted %v vs measured %v", jct, rep.JCT)
+	}
+	rel := float64(rep.Cost.Total()-cost) / float64(cost)
+	if rel < -0.001 || rel > 0.001 {
+		t.Fatalf("predicted cost %v vs measured %v", cost, rep.Cost.Total())
+	}
+}
+
+func TestNewJobSplitsEvenly(t *testing.T) {
+	job := NewJob(Sort, 4, 400)
+	if job.ObjectSize != 100 || job.NumObjects != 4 {
+		t.Fatalf("job = %+v", job)
+	}
+	if NewJob(Sort, 0, 100).NumObjects != 1 {
+		t.Fatal("zero objects should clamp to 1")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	job := WordCount1GB()
+	cfg := Baselines(job)[2]
+	a, err := Run(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.JCT != b.JCT || a.Cost.Total() != b.Cost.Total() {
+		t.Fatalf("two identical runs diverged: %v/%v vs %v/%v",
+			a.JCT, a.Cost.Total(), b.JCT, b.Cost.Total())
+	}
+}
+
+func TestFrontierProperties(t *testing.T) {
+	job := NewJob(WordCount, 12, 256<<20)
+	front, err := Frontier(job, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 3 {
+		t.Fatalf("frontier too small: %d points", len(front))
+	}
+	for i := 1; i < len(front); i++ {
+		// Sorted fastest first; no point may be dominated by another
+		// (ties in both dimensions are permitted — distinct configs can
+		// coincide).
+		if front[i].Pred.TotalSec() < front[i-1].Pred.TotalSec() {
+			t.Fatal("frontier not sorted by time")
+		}
+		slower := front[i].Pred.TotalSec() > front[i-1].Pred.TotalSec()
+		costlier := front[i].Pred.TotalCost() > front[i-1].Pred.TotalCost()
+		if slower && costlier {
+			t.Fatalf("point %d is dominated by point %d", i, i-1)
+		}
+	}
+	// Endpoints bracket the constrained planners' answers.
+	fastest, err := Plan(job, MinTime(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastest.Exact.TotalSec() < front[0].Pred.TotalSec()-1e-9 {
+		t.Fatal("planner found a faster plan than the frontier's fast end")
+	}
+}

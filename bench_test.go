@@ -1,0 +1,212 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (DESIGN.md's per-experiment index maps each to its source),
+// plus micro-benchmarks of the planning machinery itself. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The evaluation benches are whole-experiment regenerations, so each
+// iteration covers baselines, Astra plans and simulated executions; the
+// benchmark framework typically settles on one iteration apiece.
+package astra
+
+import (
+	"testing"
+	"time"
+
+	"astra/internal/emr"
+	"astra/internal/experiments"
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+	"astra/internal/optimizer"
+	"astra/internal/workload"
+)
+
+// benchExperiment runs one named experiment generator per iteration.
+func benchExperiment(b *testing.B, fn func() (string, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E1: Table I ---
+
+func BenchmarkTableI_Orchestration(b *testing.B) {
+	benchExperiment(b, experiments.TableI)
+}
+
+// --- E2/E3: Fig. 1 and Fig. 2 (one sweep produces both) ---
+
+func BenchmarkFig1_CompletionTime(b *testing.B) {
+	benchExperiment(b, experiments.Fig1)
+}
+
+func BenchmarkFig2_MonetaryCost(b *testing.B) {
+	benchExperiment(b, experiments.Fig2)
+}
+
+// --- E4: Fig. 3 ---
+
+func BenchmarkFig3_Timeline(b *testing.B) {
+	benchExperiment(b, experiments.Fig3)
+}
+
+// --- E5: Fig. 6 ---
+
+func BenchmarkFig6_MemorySweep(b *testing.B) {
+	benchExperiment(b, experiments.Fig6)
+}
+
+// --- E6/E7: Fig. 7 and Table III (uncached regeneration) ---
+
+func BenchmarkFig7_PerfUnderBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunPerfComparison(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIII_Allocations(b *testing.B) {
+	benchExperiment(b, experiments.TableIII)
+}
+
+// --- E8: Fig. 8 (uncached regeneration) ---
+
+func BenchmarkFig8_CostUnderDeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCostComparison(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: Fig. 9 ---
+
+func BenchmarkFig9_EMRComparison(b *testing.B) {
+	benchExperiment(b, experiments.Fig9)
+}
+
+// --- E10: Spark discussion ---
+
+func BenchmarkSpark_Discussion(b *testing.B) {
+	benchExperiment(b, experiments.SparkDiscussion)
+}
+
+// --- A1-A3: ablations ---
+
+func BenchmarkAblation_Solvers(b *testing.B) {
+	benchExperiment(b, experiments.AblationSolvers)
+}
+
+func BenchmarkAblation_DAG(b *testing.B) {
+	benchExperiment(b, experiments.AblationDAG)
+}
+
+func BenchmarkAblation_ReduceModel(b *testing.B) {
+	benchExperiment(b, experiments.AblationReduceModel)
+}
+
+// --- Micro-benchmarks: the machinery the experiments are built from ---
+
+// BenchmarkPlanQuery202 measures one full planning pass (DAG build +
+// Algorithm 1 + calibration) at the paper's largest instance: 202 input
+// objects with the full pruned tier set. The paper reports its solver
+// runs "within a few seconds on a laptop".
+func BenchmarkPlanQuery202(b *testing.B) {
+	params := model.DefaultParams(workload.Query25GB())
+	for i := 0; i < b.N; i++ {
+		pl := optimizer.New(params)
+		pl.Solver = optimizer.Auto
+		if _, err := pl.Plan(optimizer.Objective{
+			Goal:   optimizer.MinTimeUnderBudget,
+			Budget: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCostModeSort200 measures the cost-objective planning pass
+// at the Sort scale.
+func BenchmarkPlanCostModeSort200(b *testing.B) {
+	params := model.DefaultParams(workload.Sort100GB())
+	for i := 0; i < b.N; i++ {
+		pl := optimizer.New(params)
+		pl.Solver = optimizer.Auto
+		if _, err := pl.Plan(optimizer.Objective{
+			Goal:     optimizer.MinCostUnderDeadline,
+			Deadline: time.Hour,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactPredict measures one engine-faithful model evaluation.
+func BenchmarkExactPredict(b *testing.B) {
+	m := model.NewExact(model.DefaultParams(workload.WordCount20GB()))
+	cfg := mapreduce.Config{
+		MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 2, ObjsPerReducer: 4,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateWordCount20GB measures one full simulated execution of
+// a 40-object job (hundreds of lambdas on the virtual clock).
+func BenchmarkSimulateWordCount20GB(b *testing.B) {
+	job := workload.WordCount20GB()
+	params := model.DefaultParams(job)
+	cfg := optimizer.Baseline1(job.NumObjects)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Execute(params, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateSort100GB measures the biggest engine run: 200 objects,
+// 100 GB, 301 lambdas.
+func BenchmarkSimulateSort100GB(b *testing.B) {
+	job := workload.Sort100GB()
+	params := model.DefaultParams(job)
+	cfg := mapreduce.Config{
+		MapperMemMB: 1792, CoordMemMB: 1792, ReducerMemMB: 1792,
+		ObjsPerMapper: 2, ObjsPerReducer: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Execute(params, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEMRModel measures the VM-cluster estimate.
+func BenchmarkEMRModel(b *testing.B) {
+	job := workload.Sort100GB()
+	cluster := emr.PaperCluster()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := emr.Run(job, cluster); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOrchestrate measures the Table I recurrence itself.
+func BenchmarkOrchestrate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapreduce.Orchestrate(202, 3, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command astra-bench regenerates every table and figure of the paper's
+// evaluation on the simulated platform, plus this reproduction's solver
+// and model ablations. With no arguments it runs everything in paper
+// order; -only restricts to a comma-separated list of experiment ids and
+// -list enumerates them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"astra/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "astra-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("astra-bench", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	outDir := fs.String("out", "", "also write each experiment's output to <dir>/<id>.txt plus a combined REPORT.md")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Fprintf(out, "%-18s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+		for id := range selected {
+			found := false
+			for _, e := range all {
+				if e.ID == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	var report strings.Builder
+	report.WriteString("# Astra — regenerated evaluation\n")
+
+	failures := 0
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		start := time.Now()
+		body, err := e.Run()
+		elapsed := time.Since(start).Round(time.Millisecond)
+		fmt.Fprintf(out, "== %s — %s (%v) ==\n", e.ID, e.Title, elapsed)
+		if err != nil {
+			fmt.Fprintf(out, "ERROR: %v\n\n", err)
+			failures++
+			continue
+		}
+		fmt.Fprintln(out, body)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(&report, "\n## %s — %s\n\n```\n%s```\n", e.ID, e.Title, body)
+		}
+	}
+	if *outDir != "" {
+		path := filepath.Join(*outDir, "REPORT.md")
+		if err := os.WriteFile(path, []byte(report.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}

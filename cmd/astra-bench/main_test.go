@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListEnumeratesExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "fig7", "fig9", "ablation-solvers"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestOnlyRunsSelected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table I") || !strings.Contains(s, "objects/lambda") {
+		t.Fatalf("table1 output:\n%s", s)
+	}
+	if strings.Contains(s, "Fig. 7") {
+		t.Fatal("-only table1 must not run other experiments")
+	}
+}
+
+func TestOnlyRejectsUnknownID(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "fig99"}, &out); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+func TestOutDirWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-only", "table1", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(filepath.Join(dir, "table1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "objects/lambda") {
+		t.Fatalf("table1.txt = %q", body)
+	}
+	report, err := os.ReadFile(filepath.Join(dir, "REPORT.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(report), "## table1") {
+		t.Fatalf("REPORT.md = %q", report)
+	}
+}

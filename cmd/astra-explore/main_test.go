@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMemorySweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "wordcount", "-size-gb", "0.1", "-objects", "10",
+		"-knob", "memory",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"memory sweep", "128", "1792", "3008", "fastest at memory"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// With the 1792 MB speed floor, the fastest memory is 1792 (ties
+	// above it cost more but run equally fast; the sweep keeps the first).
+	if !strings.Contains(s, "fastest at memory = 1792") {
+		t.Fatalf("expected the floor to win:\n%s", s)
+	}
+}
+
+func TestMapperSweepMeasured(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "sort", "-size-gb", "0.2", "-objects", "12",
+		"-knob", "objs-per-mapper", "-measure",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "measured: objs-per-mapper sweep") {
+		t.Fatalf("output:\n%s", s)
+	}
+	// All 12 feasible kM values appear.
+	if !strings.Contains(s, "\n12 ") {
+		t.Fatalf("missing kM=12 row:\n%s", s)
+	}
+}
+
+func TestReducerSweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "query", "-size-gb", "0.1", "-objects", "8",
+		"-knob", "objs-per-reducer",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "objs-per-reducer sweep") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestExploreRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-workload", "zzz"},
+		{"-knob", "color"},
+		{"-size-gb", "0"},
+		{"-objects", "0"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

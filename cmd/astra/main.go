@@ -1,0 +1,290 @@
+// Command astra plans — and optionally executes on the simulated
+// platform — a serverless analytics job under a user objective, the way
+// the paper's Astra front end does: submit a job, state a budget or a QoS
+// deadline, and receive the optimal configuration and orchestration.
+//
+// Examples:
+//
+//	astra -workload wordcount -size-gb 1 -objects 20 \
+//	      -objective time -budget 0.005 -run
+//
+//	astra -workload query -size-gb 25.4 -objects 202 \
+//	      -objective cost -deadline 3m -run -baselines
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"astra"
+
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+	"astra/internal/optimizer"
+	"astra/internal/pricing"
+	"astra/internal/spec"
+	"astra/internal/trace"
+	"astra/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "astra:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	workload  string
+	sizeGB    float64
+	objects   int
+	objective string
+	budget    float64
+	deadline  time.Duration
+	solver    string
+	specPath  string
+	traceOut  string
+	doRun     bool
+	baselines bool
+	timeline  bool
+	jsonOut   bool
+}
+
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("astra", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.workload, "workload", "wordcount",
+		"workload profile: wordcount, sort, query, grep, spark-wordcount, spark-sql")
+	fs.Float64Var(&o.sizeGB, "size-gb", 1.0, "total input size in GB")
+	fs.IntVar(&o.objects, "objects", 20, "number of input objects")
+	fs.StringVar(&o.objective, "objective", "time",
+		"optimization goal: time (minimize JCT under -budget) or cost (minimize cost under -deadline)")
+	fs.Float64Var(&o.budget, "budget", 0, "budget in USD for -objective time (0 = unconstrained)")
+	fs.DurationVar(&o.deadline, "deadline", 0, "QoS completion-time threshold for -objective cost (0 = unconstrained)")
+	fs.StringVar(&o.solver, "solver", "auto",
+		"solver: auto, algorithm1, yen, csp, rerank, brute")
+	fs.StringVar(&o.specPath, "spec", "",
+		"path to a JSON job spec (overrides workload/size/objective flags)")
+	fs.BoolVar(&o.doRun, "run", false, "execute the plan on the simulated platform")
+	fs.BoolVar(&o.baselines, "baselines", false, "also execute the paper's three baselines")
+	fs.BoolVar(&o.timeline, "timeline", false, "print the execution timeline (implies -run)")
+	fs.StringVar(&o.traceOut, "trace-out", "",
+		"write the execution timeline to this file (.csv or .json; implies -run)")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.timeline || o.traceOut != "" {
+		o.doRun = true
+	}
+	return o, nil
+}
+
+func solverByName(name string) (optimizer.Solver, error) {
+	switch name {
+	case "auto":
+		return optimizer.Auto, nil
+	case "algorithm1":
+		return optimizer.Algorithm1, nil
+	case "yen":
+		return optimizer.Yen, nil
+	case "csp":
+		return optimizer.CSP, nil
+	case "rerank":
+		return optimizer.Rerank, nil
+	case "brute":
+		return optimizer.Brute, nil
+	default:
+		return 0, fmt.Errorf("unknown solver %q", name)
+	}
+}
+
+// result is the JSON output schema.
+type result struct {
+	Workload  string            `json:"workload"`
+	Objective string            `json:"objective"`
+	Config    mapreduce.Config  `json:"config"`
+	Predicted predictionJSON    `json:"predicted"`
+	Measured  *measurementJSON  `json:"measured,omitempty"`
+	Baselines []measurementJSON `json:"baselines,omitempty"`
+}
+
+type predictionJSON struct {
+	JCTSeconds float64 `json:"jct_seconds"`
+	CostUSD    float64 `json:"cost_usd"`
+}
+
+type measurementJSON struct {
+	Name       string  `json:"name"`
+	JCTSeconds float64 `json:"jct_seconds"`
+	CostUSD    float64 `json:"cost_usd"`
+}
+
+func run(args []string, out io.Writer) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	var job workload.Job
+	var obj optimizer.Objective
+	var solver optimizer.Solver
+	var runOpts []astra.RunOption
+
+	if o.specPath != "" {
+		// Declarative mode: the spec document supplies everything.
+		sf, err := spec.Load(o.specPath)
+		if err != nil {
+			return err
+		}
+		o.workload, o.sizeGB, o.objects = sf.Workload, sf.SizeGB, sf.Objects
+		if job, err = sf.Job(); err != nil {
+			return err
+		}
+		if obj, err = sf.ObjectiveValue(); err != nil {
+			return err
+		}
+		if solver, err = sf.SolverValue(); err != nil {
+			return err
+		}
+		runOpts = append(runOpts, sf.ApplyExecution)
+	} else {
+		pf, err := workload.ByName(o.workload)
+		if err != nil {
+			return err
+		}
+		if o.sizeGB <= 0 || o.objects <= 0 {
+			return fmt.Errorf("size and object count must be positive")
+		}
+		totalBytes := int64(o.sizeGB * float64(int64(1)<<30))
+		job = workload.Job{
+			Profile:    pf,
+			NumObjects: o.objects,
+			ObjectSize: totalBytes / int64(o.objects),
+		}
+		switch o.objective {
+		case "time":
+			obj = optimizer.Objective{Goal: optimizer.MinTimeUnderBudget, Budget: pricing.USD(o.budget)}
+			if o.budget <= 0 {
+				obj.Budget = 1e9 // unconstrained
+			}
+		case "cost":
+			obj = optimizer.Objective{Goal: optimizer.MinCostUnderDeadline, Deadline: o.deadline}
+			if o.deadline <= 0 {
+				obj.Deadline = 1e6 * time.Hour // unconstrained
+			}
+		default:
+			return fmt.Errorf("unknown objective %q (want time or cost)", o.objective)
+		}
+		if solver, err = solverByName(o.solver); err != nil {
+			return err
+		}
+	}
+
+	params := model.DefaultParams(job)
+	plan, err := astra.PlanWith(params, obj, solver)
+	if err != nil {
+		return err
+	}
+
+	res := result{
+		Workload:  o.workload,
+		Objective: obj.Goal.String(),
+		Config:    plan.Config,
+		Predicted: predictionJSON{
+			JCTSeconds: plan.Exact.TotalSec(),
+			CostUSD:    float64(plan.Exact.TotalCost()),
+		},
+	}
+
+	if !o.jsonOut {
+		fmt.Fprintf(out, "workload:  %s, %d objects, %.2f GB\n", o.workload, o.objects, o.sizeGB)
+		fmt.Fprintf(out, "objective: %s\n", describeObjective(obj))
+		fmt.Fprintf(out, "solver:    %s\n", solver)
+		fmt.Fprintf(out, "plan:      %s\n", plan.Config)
+		orch := plan.Exact.Orch
+		fmt.Fprintf(out, "shape:     %d mappers, %d reducers in %d step(s)\n",
+			orch.Mappers(), orch.Reducers(), orch.NumSteps())
+		fmt.Fprintf(out, "predicted: JCT %.2fs, cost %s\n",
+			plan.Exact.TotalSec(), plan.Exact.TotalCost())
+	}
+
+	var runReport *mapreduce.Report
+	if o.doRun {
+		runReport, err = astra.RunWith(params, plan.Config, runOpts...)
+		if err != nil {
+			return err
+		}
+		res.Measured = &measurementJSON{
+			Name:       "astra",
+			JCTSeconds: runReport.JCT.Seconds(),
+			CostUSD:    float64(runReport.Cost.Total()),
+		}
+		if !o.jsonOut {
+			fmt.Fprintf(out, "measured:  JCT %.2fs, cost %s\n",
+				runReport.JCT.Seconds(), runReport.Cost.Total())
+		}
+	}
+
+	if o.baselines {
+		for i, cfg := range optimizer.Baselines(job.NumObjects) {
+			rep, err := astra.RunWith(params, cfg, runOpts...)
+			if err != nil {
+				return fmt.Errorf("baseline %d: %w", i+1, err)
+			}
+			res.Baselines = append(res.Baselines, measurementJSON{
+				Name:       optimizer.BaselineNames[i],
+				JCTSeconds: rep.JCT.Seconds(),
+				CostUSD:    float64(rep.Cost.Total()),
+			})
+			if !o.jsonOut {
+				fmt.Fprintf(out, "%s: JCT %.2fs, cost %s  (%s)\n",
+					optimizer.BaselineNames[i], rep.JCT.Seconds(), rep.Cost.Total(), cfg)
+			}
+		}
+	}
+
+	if o.timeline && runReport != nil {
+		tl := trace.FromRecords(runReport.Records)
+		fmt.Fprintln(out)
+		fmt.Fprint(out, tl.PhaseSummary())
+	}
+	if o.traceOut != "" && runReport != nil {
+		if err := writeTrace(o.traceOut, trace.FromRecords(runReport.Records)); err != nil {
+			return err
+		}
+	}
+
+	if o.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	return nil
+}
+
+// writeTrace exports a timeline to disk, picking the format from the
+// file extension (.json or .csv).
+func writeTrace(path string, tl trace.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return tl.WriteJSON(f)
+	}
+	return tl.WriteCSV(f)
+}
+
+func describeObjective(obj optimizer.Objective) string {
+	if obj.Goal == optimizer.MinCostUnderDeadline {
+		return fmt.Sprintf("minimize cost, JCT <= %v", obj.Deadline)
+	}
+	return fmt.Sprintf("minimize JCT, cost <= %s", obj.Budget)
+}

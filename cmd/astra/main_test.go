@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"astra/internal/optimizer"
+)
+
+func TestSolverByName(t *testing.T) {
+	cases := map[string]optimizer.Solver{
+		"auto": optimizer.Auto, "algorithm1": optimizer.Algorithm1,
+		"yen": optimizer.Yen, "csp": optimizer.CSP,
+		"rerank": optimizer.Rerank, "brute": optimizer.Brute,
+	}
+	for name, want := range cases {
+		got, err := solverByName(name)
+		if err != nil || got != want {
+			t.Errorf("solverByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := solverByName("nope"); err == nil {
+		t.Fatal("unknown solver should fail")
+	}
+}
+
+func TestRunPlanOnly(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
+		"-objective", "time", "-budget", "0.01",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"plan:", "predicted:", "mappers"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "measured") {
+		t.Fatal("plan-only run should not execute")
+	}
+}
+
+func TestRunWithExecutionAndBaselines(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "query", "-size-gb", "0.05", "-objects", "6",
+		"-objective", "cost", "-deadline", "1h",
+		"-run", "-baselines", "-timeline",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"measured:", "Baseline 1", "Baseline 3", "coordinator"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "sort", "-size-gb", "0.02", "-objects", "4",
+		"-run", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if res.Workload != "sort" || res.Measured == nil {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Predicted.JCTSeconds <= 0 || res.Measured.CostUSD <= 0 {
+		t.Fatalf("degenerate numbers: %+v", res)
+	}
+}
+
+func TestRunFromSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.json")
+	doc := `{
+	  "workload": "grep", "size_gb": 0.05, "objects": 6,
+	  "objective": "time", "budget_usd": 0.01,
+	  "orchestrator": "step-functions", "intermediates": "cache",
+	  "task_retries": 1
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-spec", path, "-run", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if res.Workload != "grep" || res.Measured == nil {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRunFromBadSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"workload":"zzz"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-spec", path}, &out); err == nil {
+		t.Fatal("bad spec should fail")
+	}
+	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}, &out); err == nil {
+		t.Fatal("missing spec should fail")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-workload", "nope"},
+		{"-objective", "speed"},
+		{"-size-gb", "0"},
+		{"-objects", "-1"},
+		{"-solver", "magic"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

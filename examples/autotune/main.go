@@ -1,0 +1,76 @@
+// The full autonomous loop: calibrate the workload's real data ratios
+// from a sample of its own data, plan against the calibrated profile,
+// execute, and verify the prediction — versus planning blind on nominal
+// constants.
+//
+// The "true" workload here is WordCount over this corpus, whose measured
+// ratios differ substantially from the nominal profile (the corpus's
+// small vocabulary makes count tables tiny). Planning on nominal
+// constants mispredicts; planning on the calibrated profile nails it.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"astra"
+)
+
+func main() {
+	nominal := astra.WordCount
+	fmt.Printf("nominal profile:    alpha=%.3f beta=%.3f\n",
+		nominal.MapOutputRatio, nominal.ReduceOutputRatio)
+
+	// Step 1: calibrate on a small concrete sample of the user's data.
+	calibrated, err := astra.CalibrateProfile(nominal, 8, 32<<10, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated profile: alpha=%.3f beta=%.3f (measured on a 256 KiB sample)\n\n",
+		calibrated.MapOutputRatio, calibrated.ReduceOutputRatio)
+
+	// The production job: 5 GB of the same kind of data. Its TRUE
+	// behavior follows the calibrated ratios.
+	trueJob := astra.NewJob(calibrated, 40, 5<<30)
+
+	// Step 2a: plan BLIND on the nominal profile.
+	nominalJob := astra.NewJob(nominal, 40, 5<<30)
+	blindPlan, err := astra.Plan(nominalJob, astra.MinTime(0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Execute the blind plan against the true workload.
+	blindRun, err := astra.Run(trueJob, blindPlan.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== planning on nominal constants ==")
+	fmt.Printf("config:    %s\n", blindPlan.Config)
+	fmt.Printf("predicted: %.2fs   measured: %.2fs   (error %+.1f%%)\n\n",
+		blindPlan.Exact.TotalSec(), blindRun.JCT.Seconds(),
+		100*(blindRun.JCT.Seconds()-blindPlan.Exact.TotalSec())/blindPlan.Exact.TotalSec())
+
+	// Step 2b: plan on the CALIBRATED profile.
+	tunedPlan, err := astra.Plan(trueJob, astra.MinTime(0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tunedRun, err := astra.Run(trueJob, tunedPlan.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== planning on the calibrated profile ==")
+	fmt.Printf("config:    %s\n", tunedPlan.Config)
+	fmt.Printf("predicted: %.2fs   measured: %.2fs   (error %+.1f%%)\n\n",
+		tunedPlan.Exact.TotalSec(), tunedRun.JCT.Seconds(),
+		100*(tunedRun.JCT.Seconds()-tunedPlan.Exact.TotalSec())/tunedPlan.Exact.TotalSec())
+
+	if tunedRun.JCT < blindRun.JCT {
+		fmt.Printf("calibration bought a %.1f%% faster execution on the true workload\n",
+			100*(1-tunedRun.JCT.Seconds()/blindRun.JCT.Seconds()))
+	} else {
+		fmt.Println("both plans execute equally fast here; calibration fixed the prediction")
+	}
+}

@@ -1,0 +1,68 @@
+// Multi-stage log analytics: a pipeline of MapReduce stages (grep-filter
+// the logs, then word-count the matches) planned under ONE global budget.
+// Astra allocates the budget across stages — the cheap scan stage gets
+// frugal lambdas, the compute-heavy aggregation gets the fast ones —
+// instead of splitting it evenly.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"astra"
+)
+
+func main() {
+	p := astra.Pipeline{
+		Stages: []astra.PipelineStage{
+			{Name: "filter", Profile: astra.Grep},
+			{Name: "aggregate", Profile: astra.WordCount},
+		},
+		InputObjects: 20,
+		InputBytes:   20 * (128 << 20), // 2.5 GB of logs
+	}
+	fmt.Printf("pipeline: %d stages over %.1f GB in %d objects\n\n",
+		len(p.Stages), float64(p.InputBytes)/(1<<30), p.InputObjects)
+
+	// The endpoints of the tradeoff.
+	fastest, err := astra.PlanPipeline(p, astra.MinTime(1e9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cheapest, err := astra.PlanPipeline(p, astra.MinCost(1e15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fastest composite:  %.2fs at %s\n", fastest.TotalSec, fastest.TotalCost)
+	fmt.Printf("cheapest composite: %.2fs at %s\n\n", cheapest.TotalSec, cheapest.TotalCost)
+
+	// A budget between the extremes: watch the allocation.
+	budget := float64(fastest.TotalCost+cheapest.TotalCost) / 2
+	plan, err := astra.PlanPipeline(p, astra.MinTime(budget))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget $%.5f -> composite %.2fs at %s\n", budget, plan.TotalSec, plan.TotalCost)
+	for _, st := range plan.Stages {
+		fmt.Printf("  %-10s %s  (%.2fs, %s)\n",
+			st.Stage+":", st.Config, st.Pred.TotalSec(), st.Pred.TotalCost())
+	}
+
+	// Execute the composite plan end-to-end on the simulated platform.
+	res, err := astra.RunPipeline(p, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmeasured: %.2fs at %s", res.JCT.Seconds(), res.Cost.Total())
+	if float64(res.Cost.Total()) <= budget {
+		fmt.Println("  [within budget]")
+	} else {
+		fmt.Println("  [over budget]")
+	}
+	for i, rep := range res.Stages {
+		fmt.Printf("  stage %d: JCT %.2fs, %d mappers -> %d reducers\n",
+			i+1, rep.JCT.Seconds(), rep.Orchestration.Mappers(), rep.Orchestration.Reducers())
+	}
+}

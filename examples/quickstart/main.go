@@ -1,0 +1,61 @@
+// Quickstart: plan a serverless WordCount job under both of Astra's
+// objectives and execute the plans on the simulated platform.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"astra"
+)
+
+func main() {
+	// A 1 GB WordCount job stored as 20 objects — the smallest input of
+	// the paper's evaluation.
+	job := astra.WordCount1GB()
+	fmt.Printf("job: %s, %d objects, %.1f MB each\n\n",
+		job.Profile.Name, job.NumObjects, float64(job.ObjectSize)/(1<<20))
+
+	// Objective 1: the fastest execution that costs at most $0.004.
+	plan, err := astra.Plan(job, astra.MinTime(0.004))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== minimize completion time, budget $0.004 ==")
+	fmt.Println("config:   ", plan.Config)
+	report, err := astra.Run(job, plan.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured:  JCT %.2fs, cost %s\n", report.JCT.Seconds(), report.Cost.Total())
+	fmt.Printf("phases:    map %.2fs | coordinator %.2fs | reduce %.2fs (%d steps)\n\n",
+		report.Phases.Map.Seconds(), report.Phases.CoordExclusive.Seconds(),
+		report.Phases.Reduce.Seconds(), len(report.Phases.Steps))
+
+	// Objective 2: the cheapest execution that finishes within 2 minutes.
+	plan2, err := astra.Plan(job, astra.MinCost(2*time.Minute))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== minimize cost, deadline 2m ==")
+	fmt.Println("config:   ", plan2.Config)
+	report2, err := astra.Run(job, plan2.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured:  JCT %.2fs, cost %s\n\n", report2.JCT.Seconds(), report2.Cost.Total())
+
+	// How do the paper's baselines compare?
+	fmt.Println("== the paper's baselines on the same job ==")
+	for i, cfg := range astra.Baselines(job) {
+		rep, err := astra.Run(job, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline %d: JCT %8.2fs, cost %s   (%s)\n",
+			i+1, rep.JCT.Seconds(), rep.Cost.Total(), cfg)
+	}
+}

@@ -1,0 +1,58 @@
+// Sort at paper scale: the 100 GB Sort benchmark in profiled mode (no
+// real bytes — the virtual-time platform executes the full control flow
+// with size metadata), comparing Astra's budget-constrained plan against
+// the paper's three baselines and the VM-based EMR cluster of Fig. 9.
+//
+//	go run ./examples/sortpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"astra"
+	"astra/internal/emr"
+)
+
+func main() {
+	job := astra.Sort100GB()
+	fmt.Printf("job: %s, %d objects x %d MB (%.1f GB total)\n\n",
+		job.Profile.Name, job.NumObjects, job.ObjectSize>>20,
+		float64(job.TotalBytes())/(1<<30))
+
+	// The VM-based comparison point: 3 x m3.xlarge, 100 map slots.
+	cluster, err := emr.Run(job, emr.PaperCluster())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s JCT %9.2fs   cost %s   (3 x m3.xlarge)\n",
+		"EMR:", cluster.JCT.Seconds(), cluster.Cost)
+
+	// Astra, told to spend at most what the cluster costs.
+	plan, err := astra.Plan(job, astra.MinTime(float64(cluster.Cost)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := astra.Run(job, plan.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s JCT %9.2fs   cost %s   (%s)\n",
+		"Astra:", rep.JCT.Seconds(), rep.Cost.Total(), plan.Config)
+
+	for i, cfg := range astra.Baselines(job) {
+		b, err := astra.Run(job, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s JCT %9.2fs   cost %s\n",
+			fmt.Sprintf("Baseline %d:", i+1), b.JCT.Seconds(), b.Cost.Total())
+	}
+
+	fmt.Printf("\nAstra vs EMR: %.1f%% faster, %.1f%% cheaper\n",
+		100*(1-rep.JCT.Seconds()/cluster.JCT.Seconds()),
+		100*(1-float64(rep.Cost.Total())/float64(cluster.Cost)))
+	fmt.Printf("shape: %d mappers -> %d range-partitioned reducers in %d step(s)\n",
+		rep.Orchestration.Mappers(), rep.Orchestration.Reducers(),
+		rep.Orchestration.NumSteps())
+}

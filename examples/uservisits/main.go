@@ -1,0 +1,84 @@
+// Uservisits query with a QoS deadline: the paper's Query benchmark in
+// miniature. Real AMPLab-style uservisits rows are synthesized, the
+// aggregation query (total adRevenue by countryCode) runs end-to-end
+// through the serverless engine, and Astra is asked for the cheapest
+// plan meeting an interactive deadline.
+//
+//	go run ./examples/uservisits
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"astra"
+)
+
+func main() {
+	// ~6 MB of uservisits rows in 16 objects.
+	job := astra.NewJob(astra.Query, 16, 6<<20)
+
+	// First: what is the fastest possible execution? Use it to pick a
+	// realistic QoS threshold with some slack.
+	fastest, err := astra.Plan(job, astra.MinTime(1e6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	deadline := time.Duration(float64(fastest.Exact.JCT()) * 1.5)
+	fmt.Printf("fastest possible: %.2fs at %s\n", fastest.Exact.TotalSec(), fastest.Exact.TotalCost())
+	fmt.Printf("QoS threshold:    %.2fs (1.5x)\n\n", deadline.Seconds())
+
+	// The cheapest plan meeting the deadline.
+	plan, err := astra.Plan(job, astra.MinCost(deadline))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("astra's plan:", plan.Config)
+	fmt.Printf("predicted:    JCT %.2fs, cost %s (%.0f%% of the fastest plan's cost)\n\n",
+		plan.Exact.TotalSec(), plan.Exact.TotalCost(),
+		100*float64(plan.Exact.TotalCost())/float64(fastest.Exact.TotalCost()))
+
+	// Execute it for real: mappers parse rows, reducers merge revenue
+	// tables, the final object is the aggregation result.
+	report, outputs, err := astra.RunConcrete(job, plan.Config, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured:     JCT %.2fs, cost %s", report.JCT.Seconds(), report.Cost.Total())
+	if report.JCT <= deadline {
+		fmt.Println("  [within QoS]")
+	} else {
+		fmt.Println("  [QoS MISSED]")
+	}
+
+	fmt.Println("\ntotal adRevenue by country:")
+	fmt.Print(indent(string(outputs[0])))
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			if cur != "" {
+				lines = append(lines, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}

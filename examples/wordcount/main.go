@@ -1,0 +1,114 @@
+// WordCount end-to-end: run REAL word-count code through the serverless
+// MapReduce engine (concrete mode), verify the result against a direct
+// count, and then sweep the configuration space to print the
+// time/cost tradeoff frontier that motivates Astra (the paper's Fig. 1
+// and Fig. 2, on a user-sized corpus).
+//
+//	go run ./examples/wordcount
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+
+	"astra"
+)
+
+func main() {
+	// A small corpus: 12 objects of 64 KiB of generated text.
+	job := astra.NewJob(astra.WordCount, 12, 12*64<<10)
+	cfg := astra.Config{
+		MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 3, ObjsPerReducer: 2,
+	}
+
+	report, outputs, err := astra.RunConcrete(job, cfg, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("concrete run: JCT %.2fs, cost %s, %d mappers, %d reducers in %d steps\n\n",
+		report.JCT.Seconds(), report.Cost.Total(),
+		report.Orchestration.Mappers(), report.Orchestration.Reducers(),
+		report.Orchestration.NumSteps())
+
+	fmt.Println("top 10 words:")
+	for _, wc := range topWords(string(outputs[0]), 10) {
+		fmt.Printf("  %-12s %d\n", wc.word, wc.count)
+	}
+
+	// Sweep objects-per-lambda across two memory tiers (profiled mode,
+	// instant) and print the tradeoff frontier.
+	fmt.Println("\ntradeoff frontier (objects/lambda x memory):")
+	fmt.Printf("%-4s  %-12s %-12s  %-12s %-12s\n", "k", "JCT@128MB", "cost@128MB", "JCT@1792MB", "cost@1792MB")
+	for k := 1; k <= 6; k++ {
+		row := fmt.Sprintf("%-4d", k)
+		for _, mem := range []int{128, 1792} {
+			c := astra.Config{
+				MapperMemMB: mem, CoordMemMB: mem, ReducerMemMB: mem,
+				ObjsPerMapper: k, ObjsPerReducer: k,
+			}
+			rep, err := astra.Run(job, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("  %-12s %-12s",
+				fmt.Sprintf("%.2fs", rep.JCT.Seconds()), rep.Cost.Total())
+		}
+		fmt.Println(row)
+	}
+
+	// And what Astra itself would pick, unconstrained.
+	plan, err := astra.Plan(job, astra.MinTime(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nastra's pick: %s -> JCT %.2fs, cost %s\n",
+		plan.Config, plan.Exact.TotalSec(), plan.Exact.TotalCost())
+
+	// The whole Pareto frontier in one call: every point is undominated.
+	front, err := astra.Frontier(job, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntime/cost Pareto frontier:")
+	for _, pt := range front {
+		fmt.Printf("  %6.2fs  %s  (%s)\n",
+			pt.Pred.TotalSec(), pt.Pred.TotalCost(), pt.Config)
+	}
+}
+
+type wordCount struct {
+	word  string
+	count int64
+}
+
+func topWords(table string, n int) []wordCount {
+	var all []wordCount
+	for _, line := range strings.Split(table, "\n") {
+		if line == "" {
+			continue
+		}
+		w, v, ok := strings.Cut(line, "\t")
+		if !ok {
+			continue
+		}
+		c, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			continue
+		}
+		all = append(all, wordCount{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].word < all[j].word
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

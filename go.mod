@@ -1,0 +1,3 @@
+module astra
+
+go 1.22

@@ -1,0 +1,262 @@
+// Package dag constructs the configuration DAG of the paper's Fig. 5: a
+// layered graph whose source-to-destination paths enumerate complete
+// resource configurations, with edge weights carrying the phase times (or
+// phase costs) of the model so the optimal configuration is a shortest
+// path.
+//
+// Column layout (left to right): source, mapper memory tier (x_i), mapper
+// parallelism (expressed as objects-per-mapper, which fixes j), objects
+// per reducer (k_R), coordinator memory tier, reducer memory tier,
+// destination. Coordinator-memory nodes are keyed (k_R, a) so the final
+// edge set can compute the reduce-phase terms that need k_R — the minimal
+// state augmentation that makes the paper's drawing well-defined.
+//
+// Every edge carries both the objective weight and the other metric as a
+// side weight, so the constrained searches (Algorithm 1, Yen, exact
+// label-setting) can enforce the budget or deadline along the path.
+package dag
+
+import (
+	"fmt"
+	"math"
+
+	"astra/internal/graph"
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+)
+
+// Mode selects which metric is the shortest-path objective.
+type Mode int
+
+const (
+	// MinimizeTime puts phase times on the objective and monetary cost on
+	// the side weight (the Eq. 16 problem).
+	MinimizeTime Mode = iota
+	// MinimizeCost puts monetary cost on the objective and time on the
+	// side weight (the Eq. 20 problem).
+	MinimizeCost
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == MinimizeCost {
+		return "minimize-cost"
+	}
+	return "minimize-time"
+}
+
+// Options tunes DAG construction.
+type Options struct {
+	// Tiers overrides the memory tier candidates (default: every tier on
+	// the price sheet, the paper's L = 46).
+	Tiers []int
+	// MaxKM caps objects-per-mapper candidates (default: N).
+	MaxKM int
+	// MaxKR caps objects-per-reducer candidates (default: N).
+	MaxKR int
+	// KeepDominatedTiers disables the pruning of memory tiers above the
+	// speed floor (used by ablations that want the paper's full L = 46).
+	KeepDominatedTiers bool
+}
+
+// DAG is a built configuration graph.
+type DAG struct {
+	G        *graph.Graph
+	Src, Dst int
+	Mode     Mode
+
+	tiers  []int
+	maxKM  int
+	maxKR  int
+	nTiers int
+
+	// node id bases for decoding
+	iBase, kmBase, krBase, kraBase, sBase int
+}
+
+// Build constructs the DAG for the model under the given mode.
+func Build(m *model.Paper, mode Mode, opts Options) (*DAG, error) {
+	if err := m.P.Validate(); err != nil {
+		return nil, err
+	}
+	tiers := opts.Tiers
+	if len(tiers) == 0 {
+		tiers = m.P.Sheet.Lambda.MemoryTiers()
+	}
+	// Tiers strictly above the speed floor are dominated: the speed model
+	// gives them no extra compute speed while the GB-second price keeps
+	// rising, so no optimum — for either objective — ever uses one.
+	if floor := m.P.Speed.FloorMemMB; floor > 0 && !opts.KeepDominatedTiers {
+		kept := tiers[:0:0]
+		for _, t := range tiers {
+			if t <= floor {
+				kept = append(kept, t)
+			}
+		}
+		if len(kept) > 0 && kept[len(kept)-1] < floor && m.P.Sheet.Lambda.ValidMemory(floor) {
+			kept = append(kept, floor)
+		}
+		if len(kept) > 0 {
+			tiers = kept
+		}
+	}
+	n := m.P.Job.NumObjects
+	maxKM := opts.MaxKM
+	if maxKM <= 0 || maxKM > n {
+		maxKM = n
+	}
+	maxKR := opts.MaxKR
+	if maxKR <= 0 || maxKR > n {
+		maxKR = n
+	}
+	L := len(tiers)
+
+	d := &DAG{
+		Mode:   mode,
+		tiers:  tiers,
+		maxKM:  maxKM,
+		maxKR:  maxKR,
+		nTiers: L,
+	}
+	// Node ids: [src, dst, i x L, kM x maxKM, kR x maxKR, (kR,a) x maxKR*L, s x L]
+	d.Src = 0
+	d.Dst = 1
+	d.iBase = 2
+	d.kmBase = d.iBase + L
+	d.krBase = d.kmBase + maxKM
+	d.kraBase = d.krBase + maxKR
+	d.sBase = d.kraBase + maxKR*L
+	total := d.sBase + L
+	g := graph.New(total)
+	d.G = g
+
+	// tieEps breaks objective ties toward the cheaper side metric:
+	// with the speed floor, many configurations have identical times and
+	// Dijkstra would otherwise pick an arbitrary (pricier) one.
+	const tieEps = 1e-7
+	addEdge := func(u, v int, timeW, costW float64) {
+		if math.IsInf(timeW, 1) || math.IsInf(costW, 1) {
+			return // infeasible combination: no edge
+		}
+		if mode == MinimizeTime {
+			g.AddEdge(u, v, timeW+tieEps*costW, costW)
+		} else {
+			g.AddEdge(u, v, costW+tieEps*timeW, timeW)
+		}
+	}
+
+	// source -> mapper memory tiers.
+	for ti := range tiers {
+		addEdge(d.Src, d.iBase+ti, 0, 0)
+	}
+
+	// mapper-mem -> objects-per-mapper: Eq. 4 time, U1+V1+W1 cost.
+	// Skip kM values whose mapper count exceeds the lambda limit R.
+	feasKM := make([]bool, maxKM+1)
+	for kM := 1; kM <= maxKM; kM++ {
+		orch, err := mapreduce.OrchestrateFor(m.P.Job.Profile, n, kM, 2)
+		if err != nil {
+			continue
+		}
+		if err := model.Feasible(m.P, orch); err != nil {
+			continue
+		}
+		feasKM[kM] = true
+		for ti, mem := range tiers {
+			addEdge(d.iBase+ti, d.kmBase+(kM-1),
+				m.MapperTime(mem, kM), m.MapperCost(mem, kM))
+		}
+	}
+
+	// objects-per-mapper -> objects-per-reducer: transfer times, glue
+	// costs (requests + invocations).
+	for kM := 1; kM <= maxKM; kM++ {
+		if !feasKM[kM] {
+			continue
+		}
+		for kR := 1; kR <= maxKR; kR++ {
+			tt, err := m.TransferTime(kM, kR)
+			if err != nil {
+				continue
+			}
+			gc, err := m.GlueCost(kM, kR)
+			if err != nil {
+				continue
+			}
+			addEdge(d.kmBase+(kM-1), d.krBase+(kR-1), tt, gc)
+		}
+	}
+
+	// objects-per-reducer -> (kR, coordinator memory): c2 time, V2+W2 cost.
+	for kR := 1; kR <= maxKR; kR++ {
+		for ta, mem := range tiers {
+			cc, err := m.CoordCost(mem, kR)
+			if err != nil {
+				continue
+			}
+			addEdge(d.krBase+(kR-1), d.kraBase+(kR-1)*L+ta,
+				m.CoordCompute(mem), cc)
+		}
+	}
+
+	// (kR, coord-mem) -> reducer memory: Eq. 9 compute, VP+WP cost.
+	// Weight depends only on (kR, s); memoize per pair.
+	type rw struct{ t, c float64 }
+	memo := make(map[[2]int]rw, maxKR*L)
+	for kR := 1; kR <= maxKR; kR++ {
+		for ts, mem := range tiers {
+			rc, err1 := m.ReduceCompute(mem, kR)
+			cc, err2 := m.ReduceCost(mem, kR)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			memo[[2]int{kR, ts}] = rw{t: rc, c: cc}
+		}
+	}
+	for kR := 1; kR <= maxKR; kR++ {
+		for ta := 0; ta < L; ta++ {
+			from := d.kraBase + (kR-1)*L + ta
+			for ts := range tiers {
+				w, ok := memo[[2]int{kR, ts}]
+				if !ok {
+					continue
+				}
+				addEdge(from, d.sBase+ts, w.t, w.c)
+			}
+		}
+	}
+
+	// reducer memory -> destination.
+	for ts := range tiers {
+		addEdge(d.sBase+ts, d.Dst, 0, 0)
+	}
+	return d, nil
+}
+
+// Decode maps a source-to-destination path back to a configuration.
+func (d *DAG) Decode(p graph.Path) (mapreduce.Config, error) {
+	if len(p.Nodes) != 7 || p.Nodes[0] != d.Src || p.Nodes[6] != d.Dst {
+		return mapreduce.Config{}, fmt.Errorf("dag: path %v is not a full configuration", p.Nodes)
+	}
+	L := d.nTiers
+	iIdx := p.Nodes[1] - d.iBase
+	kM := p.Nodes[2] - d.kmBase + 1
+	kR := p.Nodes[3] - d.krBase + 1
+	kra := p.Nodes[4] - d.kraBase
+	aIdx := kra % L
+	if kra/L+1 != kR {
+		return mapreduce.Config{}, fmt.Errorf("dag: path switches k_R mid-way: %v", p.Nodes)
+	}
+	sIdx := p.Nodes[5] - d.sBase
+	if iIdx < 0 || iIdx >= L || sIdx < 0 || sIdx >= L || aIdx < 0 ||
+		kM < 1 || kM > d.maxKM || kR < 1 || kR > d.maxKR {
+		return mapreduce.Config{}, fmt.Errorf("dag: path %v decodes out of range", p.Nodes)
+	}
+	return mapreduce.Config{
+		MapperMemMB:    d.tiers[iIdx],
+		CoordMemMB:     d.tiers[aIdx],
+		ReducerMemMB:   d.tiers[sIdx],
+		ObjsPerMapper:  kM,
+		ObjsPerReducer: kR,
+	}, nil
+}

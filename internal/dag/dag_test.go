@@ -1,0 +1,214 @@
+package dag
+
+import (
+	"math"
+	"testing"
+
+	"astra/internal/graph"
+	"astra/internal/model"
+	"astra/internal/workload"
+)
+
+func testModel() *model.Paper {
+	return model.NewPaper(model.DefaultParams(workload.Job{
+		Profile:    workload.WordCount,
+		NumObjects: 10,
+		ObjectSize: 8 << 20,
+	}))
+}
+
+var testTiers = []int{128, 512, 1024, 3008}
+
+func TestBuildShape(t *testing.T) {
+	d, err := Build(testModel(), MinimizeTime, Options{Tiers: testTiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	L, n := 4, 10
+	wantNodes := 2 + L + n + n + n*L + L
+	if d.G.NumNodes() != wantNodes {
+		t.Fatalf("nodes = %d, want %d", d.G.NumNodes(), wantNodes)
+	}
+	if d.G.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+}
+
+func TestShortestPathDecodesToValidConfig(t *testing.T) {
+	m := testModel()
+	d, err := Build(m, MinimizeTime, Options{Tiers: testTiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.G.ShortestPath(d.Src, d.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := d.Decode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.P.Sheet.Lambda.ValidMemory(cfg.MapperMemMB) ||
+		!m.P.Sheet.Lambda.ValidMemory(cfg.CoordMemMB) ||
+		!m.P.Sheet.Lambda.ValidMemory(cfg.ReducerMemMB) {
+		t.Fatalf("invalid memories in %v", cfg)
+	}
+	if cfg.ObjsPerMapper < 1 || cfg.ObjsPerMapper > 10 ||
+		cfg.ObjsPerReducer < 1 || cfg.ObjsPerReducer > 10 {
+		t.Fatalf("invalid parallelism in %v", cfg)
+	}
+}
+
+// TestPathWeightMatchesModelComponents: any full path's weight must equal
+// the sum of the model's four edge components for the decoded config.
+func TestPathWeightMatchesModelComponents(t *testing.T) {
+	m := testModel()
+	d, err := Build(m, MinimizeTime, Options{Tiers: testTiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := d.G.YenKSP(d.Src, d.Dst, 10)
+	if len(paths) < 5 {
+		t.Fatalf("only %d paths", len(paths))
+	}
+	for _, p := range paths {
+		cfg, err := d.Decode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1 := m.MapperTime(cfg.MapperMemMB, cfg.ObjsPerMapper)
+		e2, err := m.TransferTime(cfg.ObjsPerMapper, cfg.ObjsPerReducer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e3 := m.CoordCompute(cfg.CoordMemMB)
+		e4, err := m.ReduceCompute(cfg.ReducerMemMB, cfg.ObjsPerReducer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(p.W - (e1 + e2 + e3 + e4)); diff > 1e-9 {
+			t.Fatalf("%v: path weight %v != component sum %v", cfg, p.W, e1+e2+e3+e4)
+		}
+	}
+}
+
+// TestShortestPathIsGlobalOptimum: enumerate the whole (small) space and
+// verify the DAG's shortest path attains the minimum of the same
+// edge-decomposed objective.
+func TestShortestPathIsGlobalOptimum(t *testing.T) {
+	m := testModel()
+	d, err := Build(m, MinimizeTime, Options{Tiers: testTiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.G.ShortestPath(d.Src, d.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for _, i := range testTiers {
+		for kM := 1; kM <= 10; kM++ {
+			for kR := 1; kR <= 10; kR++ {
+				for _, a := range testTiers {
+					for _, s := range testTiers {
+						e1 := m.MapperTime(i, kM)
+						e2, err := m.TransferTime(kM, kR)
+						if err != nil {
+							continue
+						}
+						e3 := m.CoordCompute(a)
+						e4, err := m.ReduceCompute(s, kR)
+						if err != nil {
+							continue
+						}
+						if v := e1 + e2 + e3 + e4; v < best {
+							best = v
+						}
+					}
+				}
+			}
+		}
+	}
+	if math.Abs(p.W-best) > 1e-9 {
+		t.Fatalf("shortest path %v != brute-force optimum %v", p.W, best)
+	}
+}
+
+func TestCostModeSwapsWeights(t *testing.T) {
+	m := testModel()
+	dt, err := Build(m, MinimizeTime, Options{Tiers: testTiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := Build(m, MinimizeCost, Options{Tiers: testTiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := dt.G.ShortestPath(dt.Src, dt.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := dc.G.ShortestPath(dc.Src, dc.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cheapest path's cost cannot exceed the fastest path's cost, and
+	// vice versa for time.
+	if pc.W > pt.Side+1e-12 {
+		t.Fatalf("cost-mode optimum %v worse than time-mode side cost %v", pc.W, pt.Side)
+	}
+	if pt.W > pc.Side+1e-12 {
+		t.Fatalf("time-mode optimum %v worse than cost-mode side time %v", pt.W, pc.Side)
+	}
+	// Cost mode should choose small memory; time mode large mapper memory.
+	ct, _ := dt.Decode(pt)
+	cc, _ := dc.Decode(pc)
+	if cc.MapperMemMB > ct.MapperMemMB {
+		t.Fatalf("cost mode picked bigger mapper memory (%d) than time mode (%d)",
+			cc.MapperMemMB, ct.MapperMemMB)
+	}
+}
+
+func TestLambdaLimitPrunesParallelism(t *testing.T) {
+	p := model.DefaultParams(workload.Job{
+		Profile:    workload.WordCount,
+		NumObjects: 10,
+		ObjectSize: 8 << 20,
+	})
+	p.MaxLambdas = 4 // at most 4 mappers -> kM >= 3
+	d, err := Build(model.NewPaper(p), MinimizeTime, Options{Tiers: testTiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := d.G.YenKSP(d.Src, d.Dst, 20)
+	for _, path := range paths {
+		cfg, err := d.Decode(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.ObjsPerMapper < 3 {
+			t.Fatalf("config %v violates the 4-lambda limit", cfg)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformedPaths(t *testing.T) {
+	d, err := Build(testModel(), MinimizeTime, Options{Tiers: testTiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := graph.Path{Nodes: []int{d.Src, d.Dst}}
+	if _, err := d.Decode(short); err == nil {
+		t.Fatal("short path should fail to decode")
+	}
+	wrongEnds := graph.Path{Nodes: []int{d.Dst, 2, 3, 4, 5, 6, d.Src}}
+	if _, err := d.Decode(wrongEnds); err == nil {
+		t.Fatal("reversed path should fail to decode")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if MinimizeTime.String() != "minimize-time" || MinimizeCost.String() != "minimize-cost" {
+		t.Fatal("mode names changed")
+	}
+}

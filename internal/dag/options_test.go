@@ -1,0 +1,102 @@
+package dag
+
+import (
+	"testing"
+
+	"astra/internal/model"
+	"astra/internal/workload"
+)
+
+func TestDominatedTierPruning(t *testing.T) {
+	m := testModel() // speed floor at 1792
+	full := m.P.Sheet.Lambda.MemoryTiers()
+	d, err := Build(m, MinimizeTime, Options{Tiers: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pruned tier set: 128..1792 = 27 tiers.
+	wantL := 27
+	n := m.P.Job.NumObjects
+	wantNodes := 2 + wantL + n + n + n*wantL + wantL
+	if d.G.NumNodes() != wantNodes {
+		t.Fatalf("nodes = %d, want %d (pruned to %d tiers)", d.G.NumNodes(), wantNodes, wantL)
+	}
+}
+
+func TestKeepDominatedTiers(t *testing.T) {
+	m := testModel()
+	full := m.P.Sheet.Lambda.MemoryTiers()
+	d, err := Build(m, MinimizeTime, Options{Tiers: full, KeepDominatedTiers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantL := len(full) // all 46
+	n := m.P.Job.NumObjects
+	wantNodes := 2 + wantL + n + n + n*wantL + wantL
+	if d.G.NumNodes() != wantNodes {
+		t.Fatalf("nodes = %d, want %d (L = 46 kept)", d.G.NumNodes(), wantNodes)
+	}
+}
+
+func TestFloorAppendedWhenMissing(t *testing.T) {
+	// A tier list ending below the floor gets the floor appended so the
+	// fastest speed remains reachable.
+	m := testModel()
+	d, err := Build(m, MinimizeTime, Options{Tiers: []int{128, 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.G.ShortestPath(d.Src, d.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := d.Decode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MapperMemMB != 1792 {
+		t.Fatalf("fastest plan uses %d MB, want the appended 1792 floor", cfg.MapperMemMB)
+	}
+}
+
+func TestMaxKMAndKRCaps(t *testing.T) {
+	m := testModel()
+	d, err := Build(m, MinimizeTime, Options{Tiers: testTiers, MaxKM: 3, MaxKR: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.G.YenKSP(d.Src, d.Dst, 10) {
+		cfg, err := d.Decode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.ObjsPerMapper > 3 || cfg.ObjsPerReducer > 2 {
+			t.Fatalf("caps violated: %v", cfg)
+		}
+	}
+}
+
+func TestBuildRejectsInvalidParams(t *testing.T) {
+	bad := model.NewPaper(model.Params{})
+	if _, err := Build(bad, MinimizeTime, Options{}); err == nil {
+		t.Fatal("invalid params should fail")
+	}
+}
+
+func TestSingleStepProfileDAG(t *testing.T) {
+	// Sort's single-step orchestration flows through the DAG builder too.
+	p := model.DefaultParams(workload.Job{
+		Profile: workload.Sort, NumObjects: 12, ObjectSize: 8 << 20,
+	})
+	d, err := Build(model.NewPaper(p), MinimizeTime, Options{Tiers: testTiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := d.G.ShortestPath(d.Src, d.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decode(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package emr
+
+import (
+	"testing"
+	"time"
+
+	"astra/internal/workload"
+)
+
+func TestRunBasicShape(t *testing.T) {
+	res, err := Run(workload.WordCount20GB(), PaperCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JCT <= 0 || res.Cost <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	got := res.MapTime + res.ShuffleTime + res.ReduceTime
+	if diff := got - res.JCT; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("phases %v do not tile JCT %v", got, res.JCT)
+	}
+	// 40 objects over 100 slots: one map wave.
+	if res.MapWaves != 1 {
+		t.Fatalf("map waves = %d, want 1", res.MapWaves)
+	}
+}
+
+func TestMoreObjectsMoreWaves(t *testing.T) {
+	job := workload.Job{Profile: workload.Sort, NumObjects: 250, ObjectSize: 100 << 20}
+	res, err := Run(job, PaperCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapWaves != 3 {
+		t.Fatalf("250 tasks over 100 slots: waves = %d, want 3", res.MapWaves)
+	}
+}
+
+func TestBiggerClusterFasterAndCostTradeoff(t *testing.T) {
+	job := workload.Sort100GB()
+	small := PaperCluster()
+	big := PaperCluster()
+	big.VMs = 12
+	big.MapSlots = 400
+	big.ReduceSlots = 32
+	rs, err := Run(job, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(job, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.JCT >= rs.JCT {
+		t.Fatalf("4x cluster not faster: %v vs %v", rb.JCT, rs.JCT)
+	}
+}
+
+func TestProvisioningBilledNotCounted(t *testing.T) {
+	job := workload.WordCount1GB()
+	c := PaperCluster()
+	c.Provision = 0
+	r0, err := Run(job, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Provision = time.Hour
+	r1, err := Run(job, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.JCT != r0.JCT {
+		t.Fatal("provisioning must not change JCT")
+	}
+	if r1.Cost <= r0.Cost {
+		t.Fatal("provisioning must be billed")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(workload.WordCount1GB(), ClusterConfig{}); err == nil {
+		t.Fatal("zero cluster should fail")
+	}
+	c := PaperCluster()
+	c.NetBps = 0
+	if _, err := Run(workload.WordCount1GB(), c); err == nil {
+		t.Fatal("zero bandwidth should fail")
+	}
+	bad := workload.Job{Profile: workload.WordCount}
+	if _, err := Run(bad, PaperCluster()); err == nil {
+		t.Fatal("invalid job should fail")
+	}
+}
+
+func TestShuffleScalesWithIntermediateData(t *testing.T) {
+	// Sort moves all bytes; WordCount moves 10%: at equal input size the
+	// sort shuffle must dominate.
+	wc := workload.Job{Profile: workload.WordCount, NumObjects: 40, ObjectSize: 512 << 20}
+	srt := workload.Job{Profile: workload.Sort, NumObjects: 40, ObjectSize: 512 << 20}
+	rw, err := Run(wc, PaperCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(srt, PaperCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ShuffleTime <= rw.ShuffleTime*5 {
+		t.Fatalf("sort shuffle %v should dwarf wordcount shuffle %v", rs.ShuffleTime, rw.ShuffleTime)
+	}
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"astra/internal/emr"
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+	"astra/internal/optimizer"
+	"astra/internal/pricing"
+	"astra/internal/workload"
+)
+
+// jobLabel names an evaluation input the way the figures do.
+func jobLabel(job workload.Job) string {
+	gb := float64(job.TotalBytes()) / (1 << 30)
+	return fmt.Sprintf("%s(%.0fGB)", job.Profile.Name, gb)
+}
+
+// PerfRow is one workload's Fig. 7 / Table III data.
+type PerfRow struct {
+	Job       workload.Job
+	Budget    pricing.USD
+	Plan      *optimizer.Plan
+	Astra     *mapreduce.Report
+	Baselines []*mapreduce.Report
+}
+
+// ImprovementOverBestBaseline reports Astra's JCT reduction against the
+// fastest baseline, as a fraction.
+func (r PerfRow) ImprovementOverBestBaseline() float64 {
+	best := r.Baselines[0].JCT
+	for _, b := range r.Baselines[1:] {
+		if b.JCT < best {
+			best = b.JCT
+		}
+	}
+	return 1 - r.Astra.JCT.Seconds()/best.Seconds()
+}
+
+var (
+	perfOnce sync.Once
+	perfRows []PerfRow
+	perfErr  error
+)
+
+// perfComparison runs the Fig. 7 experiment once and caches it (Table III
+// reads the same plans).
+func perfComparison() ([]PerfRow, error) {
+	perfOnce.Do(func() {
+		perfRows, perfErr = RunPerfComparison()
+	})
+	return perfRows, perfErr
+}
+
+// RunPerfComparison regenerates the Fig. 7 data uncached: baselines,
+// budget, Astra plan and measured executions for every evaluation input.
+func RunPerfComparison() ([]PerfRow, error) {
+	var rows []PerfRow
+	for _, job := range workload.PaperJobs() {
+		params := model.DefaultParams(job)
+		var row PerfRow
+		row.Job = job
+
+		// Run the three baselines. The user-style budget carries 50%
+		// headroom over the most expensive baseline — the paper's
+		// budgets are exogenous user inputs with room to trade money
+		// for speed (its Astra runs land strictly below budget).
+		for _, cfg := range optimizer.Baselines(job.NumObjects) {
+			rep, err := Execute(params, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s baseline: %w", jobLabel(job), err)
+			}
+			row.Baselines = append(row.Baselines, rep)
+			if c := rep.Cost.Total(); c > row.Budget {
+				row.Budget = c
+			}
+		}
+		row.Budget = row.Budget * 3 / 2
+
+		pl := optimizer.New(params)
+		pl.Solver = optimizer.Auto
+		plan, err := pl.Plan(optimizer.Objective{
+			Goal:   optimizer.MinTimeUnderBudget,
+			Budget: row.Budget,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s plan: %w", jobLabel(job), err)
+		}
+		row.Plan = plan
+		rep, err := Execute(params, plan.Config)
+		if err != nil {
+			return nil, fmt.Errorf("%s astra run: %w", jobLabel(job), err)
+		}
+		row.Astra = rep
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig7 renders job completion time under a budget: Astra vs the three
+// baselines for the five evaluation inputs.
+func Fig7() (string, error) {
+	rows, err := perfComparison()
+	if err != nil {
+		return "", err
+	}
+	t := &table{header: []string{
+		"workload", "budget", "astra cost", "astra JCT",
+		"baseline1", "baseline2", "baseline3", "improvement",
+	}}
+	for _, r := range rows {
+		t.add(jobLabel(r.Job), fmtUSD(r.Budget), fmtUSD(r.Astra.Cost.Total()),
+			fmtDur(r.Astra.JCT),
+			fmtDur(r.Baselines[0].JCT), fmtDur(r.Baselines[1].JCT), fmtDur(r.Baselines[2].JCT),
+			fmt.Sprintf("%.1f%%", 100*r.ImprovementOverBestBaseline()))
+	}
+	return t.String(), nil
+}
+
+// TableIII renders the resource allocations Astra chose in the Fig. 7
+// runs, in the layout of the paper's Table III.
+func TableIII() (string, error) {
+	rows, err := perfComparison()
+	if err != nil {
+		return "", err
+	}
+	t := &table{header: []string{"field"}}
+	for _, r := range rows {
+		t.header = append(t.header, jobLabel(r.Job))
+	}
+	field := func(name string, get func(PerfRow) string) {
+		cells := []string{name}
+		for _, r := range rows {
+			cells = append(cells, get(r))
+		}
+		t.add(cells...)
+	}
+	field("map/co/red memory MB", func(r PerfRow) string {
+		c := r.Plan.Config
+		return fmt.Sprintf("%d/%d/%d", c.MapperMemMB, c.CoordMemMB, c.ReducerMemMB)
+	})
+	field("objects per mapper", func(r PerfRow) string { return fmt.Sprint(r.Plan.Config.ObjsPerMapper) })
+	field("objects per reducer", func(r PerfRow) string { return fmt.Sprint(r.Plan.Config.ObjsPerReducer) })
+	field("mappers", func(r PerfRow) string { return fmt.Sprint(r.Astra.Orchestration.Mappers()) })
+	field("reducers", func(r PerfRow) string { return fmt.Sprint(r.Astra.Orchestration.Reducers()) })
+	field("reduce steps", func(r PerfRow) string { return fmt.Sprint(r.Astra.Orchestration.NumSteps()) })
+	return t.String(), nil
+}
+
+// CostRow is one workload's Fig. 8 data.
+type CostRow struct {
+	Job       workload.Job
+	Deadline  time.Duration
+	Plan      *optimizer.Plan
+	Astra     *mapreduce.Report
+	Baselines []*mapreduce.Report
+}
+
+// ReductionOverCheapestBaseline reports Astra's cost reduction against
+// the cheapest baseline, as a fraction.
+func (r CostRow) ReductionOverCheapestBaseline() float64 {
+	best := r.Baselines[0].Cost.Total()
+	for _, b := range r.Baselines[1:] {
+		if c := b.Cost.Total(); c < best {
+			best = c
+		}
+	}
+	return 1 - float64(r.Astra.Cost.Total())/float64(best)
+}
+
+var (
+	costOnce sync.Once
+	costRows []CostRow
+	costErr  error
+)
+
+// costComparison runs the Fig. 8 experiment once and caches it: minimize
+// cost under a QoS deadline.
+func costComparison() ([]CostRow, error) {
+	costOnce.Do(func() {
+		costRows, costErr = RunCostComparison()
+	})
+	return costRows, costErr
+}
+
+// RunCostComparison regenerates the Fig. 8 data uncached.
+func RunCostComparison() ([]CostRow, error) {
+	var rows []CostRow
+	for _, job := range workload.PaperJobs() {
+		params := model.DefaultParams(job)
+		var row CostRow
+		row.Job = job
+		// The QoS threshold is the slowest baseline's completion time:
+		// the paper compares Astra's cost against Baseline 2's, which is
+		// only meaningful if Baseline 2 itself meets the threshold.
+		for _, cfg := range optimizer.Baselines(job.NumObjects) {
+			rep, err := Execute(params, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s baseline: %w", jobLabel(job), err)
+			}
+			row.Baselines = append(row.Baselines, rep)
+			if rep.JCT > row.Deadline {
+				row.Deadline = rep.JCT
+			}
+		}
+		pl := optimizer.New(params)
+		pl.Solver = optimizer.Auto
+		plan, err := pl.Plan(optimizer.Objective{
+			Goal:     optimizer.MinCostUnderDeadline,
+			Deadline: row.Deadline,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s plan: %w", jobLabel(job), err)
+		}
+		row.Plan = plan
+		rep, err := Execute(params, plan.Config)
+		if err != nil {
+			return nil, fmt.Errorf("%s astra run: %w", jobLabel(job), err)
+		}
+		row.Astra = rep
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig8 renders monetary cost under a completion-time threshold: Astra vs
+// the three baselines.
+func Fig8() (string, error) {
+	rows, err := costComparison()
+	if err != nil {
+		return "", err
+	}
+	t := &table{header: []string{
+		"workload", "deadline", "astra JCT", "astra cost",
+		"baseline1", "baseline2", "baseline3", "reduction",
+	}}
+	for _, r := range rows {
+		t.add(jobLabel(r.Job), fmtDur(r.Deadline), fmtDur(r.Astra.JCT),
+			fmtUSD(r.Astra.Cost.Total()),
+			fmtUSD(r.Baselines[0].Cost.Total()), fmtUSD(r.Baselines[1].Cost.Total()),
+			fmtUSD(r.Baselines[2].Cost.Total()),
+			fmt.Sprintf("%.1f%%", 100*r.ReductionOverCheapestBaseline()))
+	}
+	return t.String(), nil
+}
+
+// Fig9 compares Astra against the VM-based EMR cluster (3 x m3.xlarge,
+// 100 concurrent map tasks) on WordCount 20 GB and Sort 100 GB: Astra is
+// given EMR's spend as its budget and asked to be as fast as possible.
+func Fig9() (string, error) {
+	t := &table{header: []string{
+		"workload", "EMR JCT", "astra JCT", "time win",
+		"EMR cost", "astra cost", "cost win",
+	}}
+	for _, job := range []workload.Job{workload.WordCount20GB(), workload.Sort100GB()} {
+		emrRes, err := emr.Run(job, emr.PaperCluster())
+		if err != nil {
+			return "", err
+		}
+		params := model.DefaultParams(job)
+		pl := optimizer.New(params)
+		pl.Solver = optimizer.Auto
+		plan, err := pl.Plan(optimizer.Objective{
+			Goal:   optimizer.MinTimeUnderBudget,
+			Budget: emrRes.Cost,
+		})
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", jobLabel(job), err)
+		}
+		rep, err := Execute(params, plan.Config)
+		if err != nil {
+			return "", err
+		}
+		t.add(jobLabel(job),
+			fmtDur(emrRes.JCT), fmtDur(rep.JCT),
+			fmt.Sprintf("%.1f%%", 100*(1-rep.JCT.Seconds()/emrRes.JCT.Seconds())),
+			fmtUSD(emrRes.Cost), fmtUSD(rep.Cost.Total()),
+			fmt.Sprintf("%.1f%%", 100*(1-float64(rep.Cost.Total())/float64(emrRes.Cost))))
+	}
+	return t.String(), nil
+}
+
+// SparkDiscussion reproduces the discussion-section claim: for Spark
+// WordCount and Spark SQL workloads, Astra achieves >= 92 % cost
+// reduction over a VM cluster without performance degradation — modeled
+// as a min-cost plan whose deadline is the cluster's completion time.
+func SparkDiscussion() (string, error) {
+	jobs := []workload.Job{
+		{Profile: workload.SparkWordCount, NumObjects: 40, ObjectSize: 512 << 20},
+		{Profile: workload.SparkSQL, NumObjects: 202, ObjectSize: workload.Query25GB().ObjectSize},
+	}
+	t := &table{header: []string{
+		"workload", "VM JCT", "astra JCT", "VM cost", "astra cost", "cost reduction",
+	}}
+	for _, job := range jobs {
+		// A user-managed vanilla Spark cluster in the classic setup the
+		// discussion compares against: on-demand instances billed by the
+		// hour, so a minutes-long job pays for three full instance-hours.
+		cluster := emr.PaperCluster()
+		cluster.VMType.BillMinim = time.Hour
+		vm, err := emr.Run(job, cluster)
+		if err != nil {
+			return "", err
+		}
+		params := model.DefaultParams(job)
+		pl := optimizer.New(params)
+		pl.Solver = optimizer.Auto
+		plan, err := pl.Plan(optimizer.Objective{
+			Goal:     optimizer.MinCostUnderDeadline,
+			Deadline: vm.JCT,
+		})
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", job.Profile.Name, err)
+		}
+		rep, err := Execute(params, plan.Config)
+		if err != nil {
+			return "", err
+		}
+		t.add(job.Profile.Name, fmtDur(vm.JCT), fmtDur(rep.JCT),
+			fmtUSD(vm.Cost), fmtUSD(rep.Cost.Total()),
+			fmt.Sprintf("%.1f%%", 100*(1-float64(rep.Cost.Total())/float64(vm.Cost))))
+	}
+	return t.String(), nil
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+	"astra/internal/workload"
+)
+
+func TestExecuteRunsAJob(t *testing.T) {
+	params := model.DefaultParams(workload.Job{
+		Profile: workload.WordCount, NumObjects: 8, ObjectSize: 4 << 20,
+	})
+	rep, err := Execute(params, mapreduce.Config{
+		MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 2, ObjsPerReducer: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JCT <= 0 || rep.Cost.Total() <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+}
+
+func TestTableIRendersPaperLayout(t *testing.T) {
+	out, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"objects/lambda", "mappers", "step 1 reducers", "step 3 reducers"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("TableI missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFig1Shape asserts the paper's Fig. 1 qualitative claims: the
+// completion time falls from k=1 toward a minimum in the middle of the
+// range and rises again as skew sets in, and bigger memory is faster.
+func TestFig1Shape(t *testing.T) {
+	points, err := motivationSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jct := map[[2]int]float64{}
+	for _, p := range points {
+		jct[[2]int{p.MemoryMB, p.ObjectsPerLambda}] = p.Report.JCT.Seconds()
+	}
+	for _, mem := range motivationMemories {
+		minK, minV := 0, 0.0
+		for k := 1; k <= 9; k++ {
+			if v := jct[[2]int{mem, k}]; minK == 0 || v < minV {
+				minK, minV = k, v
+			}
+		}
+		if minK <= 2 || minK >= 9 {
+			t.Errorf("mem %d: JCT minimum at k=%d, want an interior minimum", mem, minK)
+		}
+		if jct[[2]int{mem, 1}] <= minV || jct[[2]int{mem, 9}] <= minV {
+			t.Errorf("mem %d: no U-shape: k1=%v min=%v k9=%v",
+				mem, jct[[2]int{mem, 1}], minV, jct[[2]int{mem, 9}])
+		}
+	}
+	// Bigger memory is never slower at any k.
+	for k := 1; k <= 9; k++ {
+		if jct[[2]int{1536, k}] > jct[[2]int{128, k}] {
+			t.Errorf("k=%d: 1536 MB slower than 128 MB", k)
+		}
+	}
+}
+
+// TestFig2Shape asserts Fig. 2: cost falls as objects per lambda grow
+// from 1 toward the middle of the range (fewer lambdas, fewer requests).
+func TestFig2Shape(t *testing.T) {
+	points, err := motivationSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := map[[2]int]float64{}
+	for _, p := range points {
+		cost[[2]int{p.MemoryMB, p.ObjectsPerLambda}] = float64(p.Report.Cost.Total())
+	}
+	for _, mem := range motivationMemories {
+		if cost[[2]int{mem, 5}] >= cost[[2]int{mem, 1}] {
+			t.Errorf("mem %d: cost at k=5 (%v) should undercut k=1 (%v)",
+				mem, cost[[2]int{mem, 5}], cost[[2]int{mem, 1}])
+		}
+	}
+	// Bigger memory costs more at equal k.
+	for k := 1; k <= 9; k++ {
+		if cost[[2]int{3008, k}] <= cost[[2]int{128, k}] {
+			t.Errorf("k=%d: 3008 MB not costlier than 128 MB", k)
+		}
+	}
+}
+
+func TestFig3RendersTimelines(t *testing.T) {
+	out, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(a)", "(b)", "coordinator", "map", "red", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFig6Shape asserts Fig. 6: JCT decreases with memory then flattens,
+// and the flat region costs strictly more.
+func TestFig6Shape(t *testing.T) {
+	params := model.DefaultParams(workload.WordCount1GB())
+	run := func(mem int) *mapreduce.Report {
+		rep, err := Execute(params, mapreduce.Config{
+			MapperMemMB: mem, CoordMemMB: mem, ReducerMemMB: mem,
+			ObjsPerMapper: 1, ObjsPerReducer: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	small, mid, floor, top := run(128), run(1024), run(1792), run(3008)
+	if !(small.JCT > mid.JCT && mid.JCT > floor.JCT) {
+		t.Fatalf("JCT should fall with memory: %v, %v, %v", small.JCT, mid.JCT, floor.JCT)
+	}
+	if floor.JCT != top.JCT {
+		t.Fatalf("JCT should flatten above the floor: %v vs %v", floor.JCT, top.JCT)
+	}
+	if top.Cost.Total() <= floor.Cost.Total() {
+		t.Fatal("memory above the floor must cost more for the same time")
+	}
+	if !(small.Phases.Map > floor.Phases.Map) {
+		t.Fatal("mapper phase should shrink with memory")
+	}
+}
+
+// TestFig7AstraDominatesBaselines asserts the headline Fig. 7 property:
+// under its budget, Astra's measured completion time beats every
+// baseline's on every workload, and the budget is honored.
+func TestFig7AstraDominatesBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation sweep")
+	}
+	rows, err := perfComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d workloads, want 5", len(rows))
+	}
+	for _, r := range rows {
+		for i, b := range r.Baselines {
+			if r.Astra.JCT > b.JCT {
+				t.Errorf("%s: Astra JCT %v slower than baseline %d (%v)",
+					jobLabel(r.Job), r.Astra.JCT, i+1, b.JCT)
+			}
+		}
+		if r.Astra.Cost.Total() > r.Budget {
+			t.Errorf("%s: Astra cost %v exceeds budget %v",
+				jobLabel(r.Job), r.Astra.Cost.Total(), r.Budget)
+		}
+		if r.ImprovementOverBestBaseline() <= 0 {
+			t.Errorf("%s: no improvement over baselines", jobLabel(r.Job))
+		}
+	}
+}
+
+// TestFig8AstraCheapestUnderDeadline asserts Fig. 8: Astra meets the QoS
+// threshold in measurement and is at least as cheap as every baseline.
+func TestFig8AstraCheapestUnderDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation sweep")
+	}
+	rows, err := costComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Astra.JCT > r.Deadline {
+			t.Errorf("%s: Astra JCT %v violates the %v deadline",
+				jobLabel(r.Job), r.Astra.JCT, r.Deadline)
+		}
+		for i, b := range r.Baselines {
+			if float64(r.Astra.Cost.Total()) > float64(b.Cost.Total())*1.001 {
+				t.Errorf("%s: Astra cost %v above baseline %d (%v)",
+					jobLabel(r.Job), r.Astra.Cost.Total(), i+1, b.Cost.Total())
+			}
+		}
+	}
+}
+
+func TestFig9AstraCheaperThanEMR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation sweep")
+	}
+	out, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wordcount") || !strings.Contains(out, "sort") {
+		t.Fatalf("Fig9 output:\n%s", out)
+	}
+	// The cost-win column must be positive for both rows.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "-") && strings.Contains(line, "%") &&
+			strings.Contains(line, "cost win -") {
+			t.Fatalf("negative cost win:\n%s", out)
+		}
+	}
+}
+
+func TestSparkDiscussionMeetsPaperClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation sweep")
+	}
+	out, err := SparkDiscussion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper claims >= 92% cost reduction; assert both rows land at
+	// 90%+ (the rendered percentages start with "9").
+	count := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "spark-") {
+			fields := strings.Fields(line)
+			last := fields[len(fields)-1]
+			if !strings.HasPrefix(last, "9") {
+				t.Errorf("cost reduction %s below the paper's >=92%% claim", last)
+			}
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("expected 2 spark rows:\n%s", out)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation sweep")
+	}
+	for _, fn := range []func() (string, error){AblationSolvers, AblationDAG, AblationReduceModel} {
+		out, err := fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) == 0 {
+			t.Fatal("empty ablation output")
+		}
+	}
+}
+
+func TestAllExperimentsEnumerated(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{
+		"table1", "fig1", "fig2", "fig3", "fig6", "fig7", "table3", "fig8",
+		"fig9", "spark", "providers", "footnote1", "ephemeral", "pipeline",
+		"sensitivity", "ablation-solvers", "ablation-dag", "ablation-reduce",
+		"ablation-bandwidth", "ablation-billing", "ablation-concurrency",
+	} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestPipelineAllocationWithinBudget(t *testing.T) {
+	out, err := PipelineAllocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fastest", "cheapest", "budget", "measured", "filter:", "aggregate:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pipeline output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSensitivityMovesTheOptimum(t *testing.T) {
+	out, err := Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct dispatch latencies must yield at least two distinct plans.
+	plans := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.Index(line, "mem("); i >= 0 {
+			plans[line[i:]] = true
+		}
+	}
+	if len(plans) < 2 {
+		t.Fatalf("sensitivity sweep produced a single plan everywhere:\n%s", out)
+	}
+}

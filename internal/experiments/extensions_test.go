@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProvidersPlansAllSheets(t *testing.T) {
+	out, err := Providers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"aws", "gcp-like", "azure-like"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("providers missing %q:\n%s", want, out)
+		}
+	}
+	// Azure's 1536 MB ceiling must show in its plan.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "azure-like") && !strings.Contains(line, "1536") {
+			t.Fatalf("azure plan should be capped at 1536 MB:\n%s", line)
+		}
+	}
+}
+
+func TestFootnoteOrchestratorCoordinatorCheaper(t *testing.T) {
+	out, err := FootnoteOrchestrator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coordCost, sfCost string
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		if strings.HasPrefix(line, "coordinator") {
+			coordCost = fields[len(fields)-2]
+		}
+		if strings.HasPrefix(line, "step functions") {
+			sfCost = fields[len(fields)-2]
+		}
+	}
+	if coordCost == "" || sfCost == "" {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if !(coordCost < sfCost) { // lexicographic works: same $0.00xxx format
+		t.Fatalf("footnote 1 violated: coordinator %s vs step functions %s\n%s",
+			coordCost, sfCost, out)
+	}
+}
+
+func TestEphemeralStorageCacheFasterForSort(t *testing.T) {
+	out, err := EphemeralStorage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cache-tier row must report a >= 1.0x speedup.
+	found := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "cache tier") {
+			continue
+		}
+		found++
+		fields := strings.Fields(line)
+		speedup := fields[len(fields)-1]
+		if strings.HasPrefix(speedup, "0.") {
+			t.Fatalf("cache tier slowed a workload down:\n%s", out)
+		}
+	}
+	if found != 2 {
+		t.Fatalf("expected 2 cache rows:\n%s", out)
+	}
+}
+
+func TestAblationSharedBandwidthMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large profiled runs")
+	}
+	out, err := AblationSharedBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 1 GiB/s row must be the slowest (biggest slowdown factor).
+	if !strings.Contains(out, "1.0 GiB/s") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	var last string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "GiB/s") {
+			fields := strings.Fields(line)
+			last = fields[len(fields)-1]
+		}
+	}
+	if !strings.HasPrefix(last, "2.") && !strings.HasPrefix(last, "3.") {
+		t.Fatalf("tightest cap should slow the job ~2x, got %s:\n%s", last, out)
+	}
+}
+
+func TestAblationConcurrencyCapBinds(t *testing.T) {
+	out, err := AblationConcurrencyCap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var prevJCT string
+	rows := 0
+	for _, line := range lines[2:] {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		rows++
+		jct := fields[1]
+		// JCT must be non-decreasing as the cap tightens (fixed-width
+		// rendering makes lexicographic comparison safe per column).
+		if prevJCT != "" && len(jct) == len(prevJCT) && jct < prevJCT {
+			t.Fatalf("JCT decreased under a tighter cap:\n%s", out)
+		}
+		prevJCT = jct
+		// Peak concurrency never exceeds the cap.
+		capVal, peak := fields[0], fields[2]
+		if len(peak) > len(capVal) || (len(peak) == len(capVal) && peak > capVal) {
+			t.Fatalf("peak %s exceeded cap %s:\n%s", peak, capVal, out)
+		}
+	}
+	if rows != 4 {
+		t.Fatalf("expected 4 rows:\n%s", out)
+	}
+	// The tightest cap must show a large model error.
+	if !strings.Contains(lines[len(lines)-1], "+") {
+		t.Fatalf("tightest cap shows no model error:\n%s", out)
+	}
+}
+
+func TestAggregatePlanningIsWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planning at paper scale")
+	}
+	out, err := AblationAggregatePlanning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perStep, aggregate string
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if strings.HasPrefix(line, "per-step") {
+			perStep = fields[len(fields)-1]
+		}
+		if strings.HasPrefix(line, "Eq. 9") {
+			aggregate = fields[len(fields)-1]
+		}
+	}
+	if perStep == "" || aggregate == "" {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// Fixed-width "NN.NNs" rendering: lexicographic compare works when
+	// lengths match; otherwise longer means bigger.
+	worse := len(aggregate) > len(perStep) ||
+		(len(aggregate) == len(perStep) && aggregate > perStep)
+	if !worse {
+		t.Fatalf("aggregate-planned JCT %s should exceed per-step %s:\n%s",
+			aggregate, perStep, out)
+	}
+}
+
+func TestEMRScalingCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planning at paper scale")
+	}
+	out, err := EMRScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "astra (serverless)") || !strings.Contains(out, "24 x m3.xlarge") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// Every cluster size must cost more than Astra (the "vs astra cost"
+	// multiplier starts with a digit >= 1 and is not 0.x).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "m3.xlarge") {
+			fields := strings.Fields(line)
+			costX := fields[len(fields)-1]
+			if strings.HasPrefix(costX, "0.") {
+				t.Fatalf("a VM cluster undercut Astra's cost:\n%s", out)
+			}
+		}
+	}
+}
+
+func TestCalibrationMeasuresRealRatios(t *testing.T) {
+	out, err := Calibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			continue
+		}
+		switch fields[0] {
+		case "sort":
+			if fields[2] != "1.000" || fields[4] != "1.000" {
+				t.Fatalf("sort must measure ratios of exactly 1:\n%s", out)
+			}
+		case "grep":
+			// Declared 0.08; the measured selectivity must be in the same
+			// ballpark (it is a property of the corpus).
+			if !strings.HasPrefix(fields[2], "0.0") && !strings.HasPrefix(fields[2], "0.1") {
+				t.Fatalf("grep alpha = %s, want ~0.1:\n%s", fields[2], out)
+			}
+		}
+	}
+}
+
+func TestAblationBillingQuantumLegacyCostsMore(t *testing.T) {
+	out, err := AblationBillingQuantum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("output:\n%s", out)
+	}
+	ms1 := strings.Fields(lines[2])[1]
+	ms100 := strings.Fields(lines[3])[1]
+	if !(ms1 < ms100) { // same $0.00xxx width: lexicographic compare works
+		t.Fatalf("legacy billing should cost more: %s vs %s", ms1, ms100)
+	}
+}

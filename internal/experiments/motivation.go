@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+	"astra/internal/trace"
+	"astra/internal/workload"
+)
+
+// motivationParams returns the Sec. II toy setting: 10 objects, 2 MB
+// total, WordCount logic. The toy job was driven by a lightweight client
+// (no framework layers), so the dispatch round trip is the bare invoke
+// API latency; with the job this tiny, S3 request latency is what shapes
+// the curves.
+func motivationParams() model.Params {
+	p := model.DefaultParams(workload.MotivationJob())
+	p.DispatchLatency = 120 * time.Millisecond
+	return p
+}
+
+// TableI renders the paper's Table I: the orchestration of a 10-object
+// job for 1-5 objects per lambda.
+func TableI() (string, error) {
+	rows, err := mapreduce.TableI(10, []int{1, 2, 3, 4, 5})
+	if err != nil {
+		return "", err
+	}
+	maxSteps := 0
+	for _, r := range rows {
+		if len(r.StepReducers) > maxSteps {
+			maxSteps = len(r.StepReducers)
+		}
+	}
+	t := &table{header: []string{"objects/lambda", "mappers"}}
+	for s := 1; s <= maxSteps; s++ {
+		t.header = append(t.header, fmt.Sprintf("step %d reducers", s))
+	}
+	for _, r := range rows {
+		cells := []string{fmt.Sprint(r.ObjectsPerLambda), fmt.Sprint(r.Mappers)}
+		for s := 0; s < maxSteps; s++ {
+			if s < len(r.StepReducers) {
+				cells = append(cells, fmt.Sprint(r.StepReducers[s]))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.add(cells...)
+	}
+	return t.String(), nil
+}
+
+// motivationMemories are the three allocations Figs. 1-2 sweep.
+var motivationMemories = []int{128, 1536, 3008}
+
+// MotivationPoint is one (memory, k) measurement.
+type MotivationPoint struct {
+	MemoryMB         int
+	ObjectsPerLambda int
+	Report           *mapreduce.Report
+}
+
+// motivationSweep runs the Sec. II experiment: objects per lambda 1..9
+// under the three memory allocations (k is used for both kM and kR, as in
+// the paper's motivation setup).
+func motivationSweep() ([]MotivationPoint, error) {
+	params := motivationParams()
+	var points []MotivationPoint
+	for _, mem := range motivationMemories {
+		for k := 1; k <= 9; k++ {
+			cfg := mapreduce.Config{
+				MapperMemMB: mem, CoordMemMB: mem, ReducerMemMB: mem,
+				ObjsPerMapper: k, ObjsPerReducer: k,
+			}
+			rep, err := Execute(params, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("k=%d mem=%d: %w", k, mem, err)
+			}
+			points = append(points, MotivationPoint{MemoryMB: mem, ObjectsPerLambda: k, Report: rep})
+		}
+	}
+	return points, nil
+}
+
+// Fig1 renders completion time vs objects per lambda for the three
+// memory allocations.
+func Fig1() (string, error) {
+	points, err := motivationSweep()
+	if err != nil {
+		return "", err
+	}
+	return renderMotivation(points, "JCT", func(p MotivationPoint) string {
+		return fmtDur(p.Report.JCT)
+	}), nil
+}
+
+// Fig2 renders monetary cost for the same sweep.
+func Fig2() (string, error) {
+	points, err := motivationSweep()
+	if err != nil {
+		return "", err
+	}
+	return renderMotivation(points, "cost", func(p MotivationPoint) string {
+		return fmtUSD(p.Report.Cost.Total())
+	}), nil
+}
+
+func renderMotivation(points []MotivationPoint, metric string, val func(MotivationPoint) string) string {
+	t := &table{header: []string{"objects/lambda"}}
+	for _, mem := range motivationMemories {
+		t.header = append(t.header, fmt.Sprintf("%s @%dMB", metric, mem))
+	}
+	byKey := map[[2]int]MotivationPoint{}
+	for _, p := range points {
+		byKey[[2]int{p.MemoryMB, p.ObjectsPerLambda}] = p
+	}
+	for k := 1; k <= 9; k++ {
+		cells := []string{fmt.Sprint(k)}
+		for _, mem := range motivationMemories {
+			cells = append(cells, val(byKey[[2]int{mem, k}]))
+		}
+		t.add(cells...)
+	}
+	return t.String()
+}
+
+// Fig3 renders the job timeline decomposition for the paper's two sample
+// configurations: (3 objects per lambda, 128 MB) and (2 objects per
+// lambda, 3008 MB).
+func Fig3() (string, error) {
+	params := motivationParams()
+	samples := []mapreduce.Config{
+		{MapperMemMB: 128, CoordMemMB: 128, ReducerMemMB: 128, ObjsPerMapper: 3, ObjsPerReducer: 3},
+		{MapperMemMB: 3008, CoordMemMB: 3008, ReducerMemMB: 3008, ObjsPerMapper: 2, ObjsPerReducer: 2},
+	}
+	var b strings.Builder
+	for i, cfg := range samples {
+		rep, err := Execute(params, cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "(%c) %s -> JCT %s\n", 'a'+rune(i), cfg, fmtDur(rep.JCT))
+		tl := trace.FromRecords(rep.Records)
+		b.WriteString(tl.Render(60))
+		b.WriteString(tl.PhaseSummary())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Fig6 sweeps the memory allocation for WordCount (1 GB) with the other
+// knobs fixed, reporting completion time, mapper phase time and cost —
+// the observation the baselines are built on.
+func Fig6() (string, error) {
+	params := model.DefaultParams(workload.WordCount1GB())
+	t := &table{header: []string{"memory MB", "JCT", "mapper phase", "cost"}}
+	for _, mem := range []int{128, 256, 512, 768, 1024, 1280, 1536, 1792, 2048, 2560, 3008} {
+		cfg := mapreduce.Config{
+			MapperMemMB: mem, CoordMemMB: mem, ReducerMemMB: mem,
+			ObjsPerMapper: 1, ObjsPerReducer: 2,
+		}
+		rep, err := Execute(params, cfg)
+		if err != nil {
+			return "", err
+		}
+		t.add(fmt.Sprint(mem), fmtDur(rep.JCT), fmtDur(rep.Phases.Map), fmtUSD(rep.Cost.Total()))
+	}
+	return t.String(), nil
+}

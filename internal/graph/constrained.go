@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"container/heap"
+)
+
+// Algorithm1 is the paper's constrained-path heuristic, as written in
+// Fig. "Algorithm 1": run Dijkstra on the objective weights, walk the
+// resulting path accumulating the side weight, and when the accumulated
+// side reaches the budget, delete the edge where the violation occurred
+// and re-run on the reduced graph. It terminates when a path satisfies
+// the budget or the graph disconnects.
+//
+// The receiver is mutated (edges are removed); callers that need the
+// graph afterwards should rebuild it. Algorithm 1 is a heuristic: it can
+// return a suboptimal path or miss a feasible one (see the solver
+// ablation); ConstrainedShortestPath is the exact reference.
+func (g *Graph) Algorithm1(src, dst int, budget float64) (Path, error) {
+	maxIter := g.m + 1
+	for iter := 0; iter < maxIter; iter++ {
+		_, prev := g.dijkstra(src, nil, nil)
+		p, ok := g.assemble(src, dst, prev)
+		if !ok {
+			return Path{}, ErrInfeasible
+		}
+		// Walk the path, accumulating the side weight like the
+		// pseudocode's cost counter.
+		side := 0.0
+		violated := false
+		for i := 0; i+1 < len(p.Nodes); i++ {
+			u, v := p.Nodes[i], p.Nodes[i+1]
+			e := g.adj[u][g.edgeAt(u, v)]
+			side += e.Side
+			if side > budget {
+				g.removeEdge(u, v)
+				violated = true
+				break
+			}
+		}
+		if !violated {
+			return p, nil
+		}
+	}
+	return Path{}, ErrInfeasible
+}
+
+// label is a Pareto-optimal partial path in the bicriteria search.
+type label struct {
+	node int
+	w    float64
+	side float64
+	prev *label
+}
+
+type labelPQ []*label
+
+func (q labelPQ) Len() int            { return len(q) }
+func (q labelPQ) Less(i, j int) bool  { return q[i].w < q[j].w }
+func (q labelPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *labelPQ) Push(x interface{}) { *q = append(*q, x.(*label)) }
+func (q *labelPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	l := old[n-1]
+	*q = old[:n-1]
+	return l
+}
+
+// dominated reports whether (w, side) is weakly dominated by any label in
+// set.
+func dominated(set []*label, w, side float64) bool {
+	for _, l := range set {
+		if l.w <= w && l.side <= side {
+			return true
+		}
+	}
+	return false
+}
+
+// insertLabel adds a label to a node's Pareto set, evicting labels it
+// dominates.
+func insertLabel(set []*label, l *label) []*label {
+	out := set[:0]
+	for _, o := range set {
+		if l.w <= o.w && l.side <= o.side {
+			continue // evicted
+		}
+		out = append(out, o)
+	}
+	return append(out, l)
+}
+
+// ConstrainedShortestPath solves the weight-constrained shortest path
+// problem exactly: the minimum-W path from src to dst whose accumulated
+// Side does not exceed budget. It is a label-setting search with Pareto
+// dominance pruning; with non-negative weights the first label settled at
+// dst is optimal.
+func (g *Graph) ConstrainedShortestPath(src, dst int, budget float64) (Path, error) {
+	if src == dst {
+		return Path{Nodes: []int{src}}, nil
+	}
+	sets := make([][]*label, g.n)
+	start := &label{node: src}
+	sets[src] = []*label{start}
+	q := &labelPQ{start}
+	for q.Len() > 0 {
+		l := heap.Pop(q).(*label)
+		if l.node == dst {
+			return g.pathFromLabel(l), nil
+		}
+		// A label is stale if a later insertion evicted it from its
+		// node's Pareto set.
+		if !contains(sets[l.node], l) {
+			continue
+		}
+		for _, e := range g.adj[l.node] {
+			if e.removed {
+				continue
+			}
+			nw, ns := l.w+e.W, l.side+e.Side
+			if ns > budget {
+				continue
+			}
+			if dominated(sets[e.To], nw, ns) {
+				continue
+			}
+			nl := &label{node: e.To, w: nw, side: ns, prev: l}
+			sets[e.To] = insertLabel(sets[e.To], nl)
+			heap.Push(q, nl)
+		}
+	}
+	return Path{}, ErrInfeasible
+}
+
+func contains(set []*label, l *label) bool {
+	for _, o := range set {
+		if o == l {
+			return true
+		}
+	}
+	return false
+}
+
+// pathFromLabel rebuilds the node sequence of a settled label.
+func (g *Graph) pathFromLabel(l *label) Path {
+	var rev []int
+	for at := l; at != nil; at = at.prev {
+		rev = append(rev, at.node)
+	}
+	nodes := make([]int, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	return Path{Nodes: nodes, W: l.w, Side: l.side}
+}

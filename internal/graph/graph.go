@@ -1,0 +1,198 @@
+// Package graph provides the shortest-path machinery behind Astra's
+// optimizer (Sec. IV of the paper): plain Dijkstra, Yen's k-shortest
+// simple paths, the paper's Algorithm 1 (Dijkstra with iterative removal
+// of constraint-violating edges), and an exact label-setting solver for
+// the weight-constrained shortest path problem.
+//
+// Every edge carries two values: W, the objective weight minimized by the
+// search, and Side, the constrained resource accumulated along the path.
+// For the paper's performance optimization (Eq. 16) W is phase time and
+// Side is phase cost; for cost minimization (Eq. 20) the roles swap.
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the solvers.
+var (
+	ErrNoPath     = errors.New("graph: no path")
+	ErrInfeasible = errors.New("graph: no path satisfies the side constraint")
+)
+
+// Edge is a directed edge with an objective weight and a side weight.
+type Edge struct {
+	To   int
+	W    float64
+	Side float64
+	// removed supports Algorithm 1's destructive edge deletion without
+	// reallocating adjacency lists.
+	removed bool
+}
+
+// Graph is a directed graph over nodes 0..N-1.
+type Graph struct {
+	n   int
+	adj [][]Edge
+	m   int
+}
+
+// New creates a graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n <= 0 {
+		panic("graph: node count must be positive")
+	}
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// NumNodes reports the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges reports the live (non-removed) edge count.
+func (g *Graph) NumEdges() int { return g.m }
+
+// AddEdge inserts a directed edge. Negative objective weights are
+// rejected: every solver here assumes non-negativity.
+func (g *Graph) AddEdge(u, v int, w, side float64) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range", u, v))
+	}
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("graph: invalid weight %v on edge (%d,%d)", w, u, v))
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, W: w, Side: side})
+	g.m++
+}
+
+// Path is a walk through the graph with its accumulated weights.
+type Path struct {
+	Nodes []int
+	W     float64
+	Side  float64
+}
+
+// edgeAt returns the index of the live edge u->v, or -1.
+func (g *Graph) edgeAt(u, v int) int {
+	for i := range g.adj[u] {
+		if !g.adj[u][i].removed && g.adj[u][i].To == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeEdge marks the edge u->v removed, reporting whether it existed.
+func (g *Graph) removeEdge(u, v int) bool {
+	if i := g.edgeAt(u, v); i >= 0 {
+		g.adj[u][i].removed = true
+		g.m--
+		return true
+	}
+	return false
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// dijkstra computes shortest distances from src, honoring banned nodes
+// and banned edges (both may be nil). It returns dist and predecessor
+// arrays.
+func (g *Graph) dijkstra(src int, bannedNode []bool, bannedEdge map[[2]int]bool) ([]float64, []int) {
+	dist := make([]float64, g.n)
+	prev := make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	if bannedNode != nil && bannedNode[src] {
+		return dist, prev
+	}
+	dist[src] = 0
+	q := &pq{{node: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, e := range g.adj[u] {
+			if e.removed {
+				continue
+			}
+			v := e.To
+			if bannedNode != nil && bannedNode[v] {
+				continue
+			}
+			if bannedEdge != nil && bannedEdge[[2]int{u, v}] {
+				continue
+			}
+			if nd := dist[u] + e.W; nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(q, pqItem{node: v, dist: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// assemble reconstructs the path to dst from a predecessor array,
+// accumulating both weights.
+func (g *Graph) assemble(src, dst int, prev []int) (Path, bool) {
+	if src == dst {
+		return Path{Nodes: []int{src}}, true
+	}
+	var rev []int
+	for at := dst; at != -1; at = prev[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+	}
+	if len(rev) == 0 || rev[len(rev)-1] != src {
+		return Path{}, false
+	}
+	nodes := make([]int, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	p := Path{Nodes: nodes}
+	for i := 0; i+1 < len(nodes); i++ {
+		e := g.adj[nodes[i]][g.edgeAt(nodes[i], nodes[i+1])]
+		p.W += e.W
+		p.Side += e.Side
+	}
+	return p, true
+}
+
+// ShortestPath returns the minimum-W path from src to dst.
+func (g *Graph) ShortestPath(src, dst int) (Path, error) {
+	_, prev := g.dijkstra(src, nil, nil)
+	p, ok := g.assemble(src, dst, prev)
+	if !ok {
+		return Path{}, ErrNoPath
+	}
+	return p, nil
+}

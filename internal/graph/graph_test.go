@@ -1,0 +1,321 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds the classic two-route test graph:
+// 0 -> 1 -> 3 is fast but expensive, 0 -> 2 -> 3 slow but cheap.
+func diamond() *Graph {
+	g := New(4)
+	g.AddEdge(0, 1, 1, 10)
+	g.AddEdge(1, 3, 1, 10)
+	g.AddEdge(0, 2, 5, 1)
+	g.AddEdge(2, 3, 5, 1)
+	return g
+}
+
+func eqNodes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestShortestPathBasic(t *testing.T) {
+	p, err := diamond().ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqNodes(p.Nodes, []int{0, 1, 3}) || p.W != 2 || p.Side != 20 {
+		t.Fatalf("path = %+v", p)
+	}
+}
+
+func TestShortestPathNoPath(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1, 0)
+	if _, err := g.ShortestPath(0, 2); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	p, err := diamond().ShortestPath(2, 2)
+	if err != nil || len(p.Nodes) != 1 || p.W != 0 {
+		t.Fatalf("self path = %+v, %v", p, err)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(-1, 0, 1, 0) },
+		func() { g.AddEdge(0, 2, 1, 0) },
+		func() { g.AddEdge(0, 1, -1, 0) },
+		func() { g.AddEdge(0, 1, math.NaN(), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAlgorithm1PicksFeasibleRoute(t *testing.T) {
+	// Budget 5 rules out the fast route (side 20); Algorithm 1 must fall
+	// back to the slow, cheap one.
+	g := diamond()
+	p, err := g.Algorithm1(0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqNodes(p.Nodes, []int{0, 2, 3}) {
+		t.Fatalf("path = %+v", p)
+	}
+	if p.Side > 5 {
+		t.Fatalf("budget violated: %+v", p)
+	}
+}
+
+func TestAlgorithm1UnconstrainedKeepsShortest(t *testing.T) {
+	p, err := diamond().Algorithm1(0, 3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqNodes(p.Nodes, []int{0, 1, 3}) {
+		t.Fatalf("path = %+v", p)
+	}
+}
+
+func TestAlgorithm1Infeasible(t *testing.T) {
+	g := diamond()
+	if _, err := g.Algorithm1(0, 3, 0.5); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestConstrainedShortestPathExact(t *testing.T) {
+	p, err := diamond().ConstrainedShortestPath(0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqNodes(p.Nodes, []int{0, 2, 3}) || p.W != 10 || p.Side != 2 {
+		t.Fatalf("path = %+v", p)
+	}
+	// With a loose budget the unconstrained optimum comes back.
+	p, err = diamond().ConstrainedShortestPath(0, 3, 100)
+	if err != nil || p.W != 2 {
+		t.Fatalf("path = %+v, %v", p, err)
+	}
+	// Infeasible budget.
+	if _, err := diamond().ConstrainedShortestPath(0, 3, 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConstrainedBeatsAlgorithm1WhenGreedyFails(t *testing.T) {
+	// A graph where Algorithm 1's edge removal discards an edge shared by
+	// the only feasible path: 0->1 is shared; the violation happens on
+	// 1->2 though, so build a sharper trap: two mid routes.
+	//
+	//      /-> 1 --(w1,s9)--> 3
+	//    0 --> 2 --(w5,s1)--> 3
+	// and an expensive first hop to 1 (w0.5, s9): total fast path side 18
+	// exceeds budget 10; removal of a fast edge still leaves the cheap
+	// route, so both agree here; the point of this test is agreement on
+	// optimum value.
+	g := New(4)
+	g.AddEdge(0, 1, 0.5, 9)
+	g.AddEdge(1, 3, 1, 9)
+	g.AddEdge(0, 2, 5, 1)
+	g.AddEdge(2, 3, 5, 1)
+	exact, err := g.ConstrainedShortestPath(0, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.W != 10 || exact.Side != 2 {
+		t.Fatalf("exact = %+v", exact)
+	}
+}
+
+func TestYenKSPOrderAndSimplicity(t *testing.T) {
+	// Grid-ish graph with multiple routes.
+	g := New(5)
+	g.AddEdge(0, 1, 1, 0)
+	g.AddEdge(0, 2, 2, 0)
+	g.AddEdge(1, 2, 1, 0)
+	g.AddEdge(1, 3, 4, 0)
+	g.AddEdge(2, 3, 1, 0)
+	g.AddEdge(2, 4, 5, 0)
+	g.AddEdge(3, 4, 1, 0)
+	paths := g.YenKSP(0, 4, 5)
+	if len(paths) < 3 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].W < paths[i-1].W {
+			t.Fatalf("paths out of order: %v", paths)
+		}
+	}
+	// Best: 0-1-2-3-4 = 1+1+1+1 = 4.
+	if paths[0].W != 4 {
+		t.Fatalf("best = %+v", paths[0])
+	}
+	for _, p := range paths {
+		seen := map[int]bool{}
+		for _, n := range p.Nodes {
+			if seen[n] {
+				t.Fatalf("non-simple path %v", p.Nodes)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestYenUntil(t *testing.T) {
+	g := diamond()
+	p, err := g.YenUntil(0, 3, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Side > 5 {
+		t.Fatalf("budget violated: %+v", p)
+	}
+	if _, err := g.YenUntil(0, 3, 0.1, 10); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	empty := New(2)
+	if _, err := empty.YenUntil(0, 1, 1, 5); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// randomDAG builds a layered random DAG resembling the optimizer's shape.
+func randomDAG(rng *rand.Rand, layers, width int) (*Graph, int, int) {
+	n := layers*width + 2
+	g := New(n)
+	src, dst := n-2, n-1
+	node := func(l, i int) int { return l*width + i }
+	for i := 0; i < width; i++ {
+		g.AddEdge(src, node(0, i), rng.Float64(), rng.Float64())
+	}
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			for j := 0; j < width; j++ {
+				g.AddEdge(node(l, i), node(l+1, j), rng.Float64()*10, rng.Float64()*10)
+			}
+		}
+	}
+	for i := 0; i < width; i++ {
+		g.AddEdge(node(layers-1, i), dst, 0, 0)
+	}
+	return g, src, dst
+}
+
+// bruteBest enumerates all src->dst paths in the layered DAG.
+func bruteBest(g *Graph, src, dst int, budget float64) (Path, bool) {
+	best := Path{W: math.Inf(1)}
+	var walk func(at int, nodes []int, w, side float64)
+	walk = func(at int, nodes []int, w, side float64) {
+		if at == dst {
+			if side <= budget && w < best.W {
+				best = Path{Nodes: append([]int{}, nodes...), W: w, Side: side}
+			}
+			return
+		}
+		for _, e := range g.adj[at] {
+			if e.removed {
+				continue
+			}
+			walk(e.To, append(nodes, e.To), w+e.W, side+e.Side)
+		}
+	}
+	walk(src, []int{src}, 0, 0)
+	return best, !math.IsInf(best.W, 1)
+}
+
+func TestConstrainedMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64, budgetRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, src, dst := randomDAG(rng, 3, 3)
+		budget := float64(budgetRaw%40) + 1
+		want, feasible := bruteBest(g, src, dst, budget)
+		got, err := g.ConstrainedShortestPath(src, dst, budget)
+		if !feasible {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.W-want.W) < 1e-9 && got.Side <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1NeverViolatesBudgetProperty(t *testing.T) {
+	f := func(seed int64, budgetRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, src, dst := randomDAG(rng, 3, 3)
+		budget := float64(budgetRaw%40) + 1
+		p, err := g.Algorithm1(src, dst, budget)
+		if err != nil {
+			return true // infeasible claims are allowed for the heuristic
+		}
+		return p.Side <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraMatchesYenFirstPathProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, src, dst := randomDAG(rng, 4, 3)
+		sp, err := g.ShortestPath(src, dst)
+		if err != nil {
+			return false
+		}
+		yen := g.YenKSP(src, dst, 1)
+		return len(yen) == 1 && math.Abs(yen[0].W-sp.W) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveEdgeBookkeeping(t *testing.T) {
+	g := diamond()
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if !g.removeEdge(0, 1) {
+		t.Fatal("edge should exist")
+	}
+	if g.removeEdge(0, 1) {
+		t.Fatal("edge already removed")
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	p, err := g.ShortestPath(0, 3)
+	if err != nil || !eqNodes(p.Nodes, []int{0, 2, 3}) {
+		t.Fatalf("path after removal = %+v, %v", p, err)
+	}
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"sort"
+)
+
+// YenKSP enumerates up to k loopless shortest paths from src to dst in
+// non-decreasing W order (Yen's algorithm). It underlies the
+// "keep taking the next-shortest path until one fits the budget" exact
+// solver on the configuration DAG, and the k-shortest-path reference the
+// paper cites for Algorithm 1.
+func (g *Graph) YenKSP(src, dst, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, err := g.ShortestPath(src, dst)
+	if err != nil {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+
+	for len(paths) < k {
+		prevPath := paths[len(paths)-1].Nodes
+		// Each node of the previous path (except the last) spawns a spur.
+		for i := 0; i < len(prevPath)-1; i++ {
+			spurNode := prevPath[i]
+			rootNodes := prevPath[:i+1]
+
+			// Ban edges used by already-found paths sharing this root,
+			// and ban root nodes (except the spur) to keep paths simple.
+			bannedEdge := make(map[[2]int]bool)
+			for _, p := range paths {
+				if len(p.Nodes) > i && equalPrefix(p.Nodes, rootNodes) {
+					bannedEdge[[2]int{p.Nodes[i], p.Nodes[i+1]}] = true
+				}
+			}
+			bannedNode := make([]bool, g.n)
+			for _, n := range rootNodes[:len(rootNodes)-1] {
+				bannedNode[n] = true
+			}
+
+			_, prev := g.dijkstra(spurNode, bannedNode, bannedEdge)
+			spur, ok := g.assemble(spurNode, dst, prev)
+			if !ok {
+				continue
+			}
+			total := append(append([]int{}, rootNodes[:len(rootNodes)-1]...), spur.Nodes...)
+			cand, ok := g.weigh(total)
+			if !ok {
+				continue
+			}
+			if !containsPath(paths, cand) && !containsPath(candidates, cand) {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return candidates[a].W < candidates[b].W })
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+// YenUntil walks the k-shortest-path stream (lazily, in batches) until a
+// path satisfying the side budget appears, scanning at most maxPaths
+// paths. It is exact on DAG instances whenever a feasible path exists
+// within the scan horizon.
+func (g *Graph) YenUntil(src, dst int, budget float64, maxPaths int) (Path, error) {
+	paths := g.YenKSP(src, dst, maxPaths)
+	if len(paths) == 0 {
+		return Path{}, ErrNoPath
+	}
+	for _, p := range paths {
+		if p.Side <= budget {
+			return p, nil
+		}
+	}
+	return Path{}, ErrInfeasible
+}
+
+// weigh computes a Path's weights from an explicit node sequence,
+// reporting false if any hop is missing.
+func (g *Graph) weigh(nodes []int) (Path, bool) {
+	p := Path{Nodes: nodes}
+	for i := 0; i+1 < len(nodes); i++ {
+		idx := g.edgeAt(nodes[i], nodes[i+1])
+		if idx < 0 {
+			return Path{}, false
+		}
+		e := g.adj[nodes[i]][idx]
+		p.W += e.W
+		p.Side += e.Side
+	}
+	return p, true
+}
+
+func equalPrefix(p, prefix []int) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(set []Path, p Path) bool {
+	for _, o := range set {
+		if len(o.Nodes) != len(p.Nodes) {
+			continue
+		}
+		same := true
+		for i := range o.Nodes {
+			if o.Nodes[i] != p.Nodes[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package lambda
+
+import (
+	"time"
+
+	"astra/internal/objectstore"
+	"astra/internal/simtime"
+)
+
+// Ctx is the execution context handed to a Handler. All platform
+// interaction goes through it so the timeout can be enforced at every
+// blocking call, the way the real sandbox kills an over-deadline function
+// the next time it would make progress.
+type Ctx struct {
+	platform *Platform
+	fn       *Function
+	proc     *simtime.Proc
+	payload  []byte
+	deadline simtime.Time
+}
+
+// Payload returns the invocation payload.
+func (c *Ctx) Payload() []byte { return c.payload }
+
+// MemoryMB reports the function's memory allocation.
+func (c *Ctx) MemoryMB() int { return c.fn.MemoryMB }
+
+// Now reports the current virtual time.
+func (c *Ctx) Now() simtime.Time { return c.proc.Now() }
+
+// Remaining reports time left before the deadline (may be negative).
+func (c *Ctx) Remaining() time.Duration { return c.deadline - c.proc.Now() }
+
+// checkDeadline panics with ErrTimeout once the deadline has passed. The
+// panic unwinds the handler; Platform.runHandler converts it to an error.
+func (c *Ctx) checkDeadline() {
+	if c.proc.Now() >= c.deadline {
+		panic(ErrTimeout)
+	}
+}
+
+// Work charges refSeconds of compute measured at the platform's reference
+// memory tier, scaled by the function's speed factor. This is how handlers
+// declare CPU work: d * u_i in the paper's Eq. (3), with u_i realized by
+// the speed model.
+func (c *Ctx) Work(refSeconds float64) {
+	c.checkDeadline()
+	if refSeconds <= 0 {
+		return
+	}
+	scaled := refSeconds * c.platform.cfg.Speed.Factor(c.fn.MemoryMB)
+	c.proc.Sleep(time.Duration(scaled * float64(time.Second)))
+	c.checkDeadline()
+}
+
+// WorkBytes charges compute for processing n bytes at refSecPerMB
+// reference-seconds per MB.
+func (c *Ctx) WorkBytes(n int64, refSecPerMB float64) {
+	c.Work(float64(n) / (1 << 20) * refSecPerMB)
+}
+
+// Get reads an object through the store, charging transfer time.
+func (c *Ctx) Get(bucket, key string) (*objectstore.Object, error) {
+	c.checkDeadline()
+	obj, err := c.platform.store.Get(c.proc, bucket, key)
+	c.checkDeadline()
+	return obj, err
+}
+
+// Put writes concrete bytes through the store.
+func (c *Ctx) Put(bucket, key string, data []byte) error {
+	c.checkDeadline()
+	err := c.platform.store.Put(c.proc, bucket, key, data)
+	c.checkDeadline()
+	return err
+}
+
+// PutProfiled writes a size-only object through the store.
+func (c *Ctx) PutProfiled(bucket, key string, size int64) error {
+	c.checkDeadline()
+	err := c.platform.store.PutProfiled(c.proc, bucket, key, size)
+	c.checkDeadline()
+	return err
+}
+
+// List lists keys with a prefix through the store.
+func (c *Ctx) List(bucket, prefix string) ([]string, error) {
+	c.checkDeadline()
+	keys, err := c.platform.store.List(c.proc, bucket, prefix)
+	c.checkDeadline()
+	return keys, err
+}
+
+// Delete removes an object through the store.
+func (c *Ctx) Delete(bucket, key string) error {
+	c.checkDeadline()
+	err := c.platform.store.Delete(c.proc, bucket, key)
+	c.checkDeadline()
+	return err
+}
+
+// InvokeAsync lets a handler launch another function (the coordinator
+// lambda invoking reducers). The child invocation runs concurrently; the
+// caller's clock does not advance.
+func (c *Ctx) InvokeAsync(name, label string, payload []byte) *Invocation {
+	c.checkDeadline()
+	return c.platform.InvokeAsync(c.proc, name, label, payload)
+}
+
+// Wait blocks the handler until an async invocation completes.
+func (c *Ctx) Wait(iv *Invocation) ([]byte, error) {
+	c.checkDeadline()
+	resp, err := iv.Wait(c.proc)
+	c.checkDeadline()
+	return resp, err
+}

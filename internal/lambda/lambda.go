@@ -1,0 +1,379 @@
+// Package lambda implements the FaaS substitute: a virtual-time serverless
+// platform with the semantics the Astra models assume of AWS Lambda.
+//
+//   - Memory tiers from the price sheet (128-3008 MB in 64 MB steps).
+//   - Compute speed proportional to allocated memory, with a configurable
+//     flattening point (real Lambda stops adding single-thread speed around
+//     1792 MB when the second vCPU arrives — this is what makes memory
+//     tiers above ~1.5 GB unattractive in the paper's Fig. 6).
+//   - An account-level concurrency limit (1000) enforced FIFO, or
+//     optionally as 429-style throttle errors with retries.
+//   - Cold starts against a per-function warm-container pool with a
+//     keep-alive TTL.
+//   - A hard execution timeout (900 s) enforced at every platform API
+//     call the handler makes.
+//   - Per-invocation billing records: duration rounded up to the billing
+//     quantum x allocated GB x GB-second price, plus the invocation fee.
+//
+// Handlers execute real Go code; only time is virtual. Compute cost is
+// declared through Ctx.Work in reference-seconds, which the platform
+// scales by the memory-dependent speed factor.
+package lambda
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"astra/internal/objectstore"
+	"astra/internal/pricing"
+	"astra/internal/simtime"
+)
+
+// Errors returned by the platform.
+var (
+	ErrTimeout         = errors.New("lambda: function timed out")
+	ErrThrottled       = errors.New("lambda: concurrency limit exceeded (429)")
+	ErrUnknownFunction = errors.New("lambda: unknown function")
+	ErrBadMemory       = errors.New("lambda: invalid memory size")
+)
+
+// Handler is user function code. It returns a response payload. Returning
+// an error fails the invocation; the duration is still billed.
+type Handler func(ctx *Ctx) ([]byte, error)
+
+// SpeedModel maps a memory allocation to a compute speed factor.
+type SpeedModel struct {
+	// RefMemMB is the tier at which Ctx.Work's reference seconds apply
+	// unscaled (workload profiles are calibrated at this tier).
+	RefMemMB int
+	// FloorMemMB is the allocation beyond which single-thread speed stops
+	// improving. Zero disables flattening (pure proportionality).
+	FloorMemMB int
+}
+
+// Factor reports the multiplier applied to reference compute time at the
+// given memory size: <1 is faster than the reference tier.
+func (m SpeedModel) Factor(memMB int) float64 {
+	ref := m.RefMemMB
+	if ref <= 0 {
+		ref = 1024
+	}
+	eff := memMB
+	if m.FloorMemMB > 0 && eff > m.FloorMemMB {
+		eff = m.FloorMemMB
+	}
+	if eff <= 0 {
+		eff = 1
+	}
+	return float64(ref) / float64(eff)
+}
+
+// ThrottleMode selects the behavior when the concurrency limit is hit.
+type ThrottleMode int
+
+const (
+	// ThrottleBlock queues invocations FIFO until capacity frees (the
+	// behavior of synchronous invokes driven by a patient client).
+	ThrottleBlock ThrottleMode = iota
+	// ThrottleError fails invocations with ErrThrottled, subject to the
+	// retry policy — AWS's 429 behavior.
+	ThrottleError
+)
+
+// Config parameterizes the platform.
+type Config struct {
+	Sheet *pricing.Sheet
+	Speed SpeedModel
+	// ColdStart is the unbilled initialization penalty when no warm
+	// container is available.
+	ColdStart time.Duration
+	// DispatchLatency is the invoke-API round trip paid by the CALLER
+	// before each invocation starts. Callers that launch a wave of
+	// lambdas in a loop (the driver launching mappers, the coordinator
+	// launching reducers) therefore serialize this cost — the mechanism
+	// that makes very high degrees of parallelism expensive in practice.
+	DispatchLatency time.Duration
+	// KeepAlive is how long an idle container stays warm.
+	KeepAlive time.Duration
+	// Throttle selects queueing vs 429 errors at the concurrency limit.
+	Throttle ThrottleMode
+	// DisableTimeout lifts the per-function execution deadline. The
+	// paper's optimization model (Sec. IV) carries no per-lambda duration
+	// constraint, so the large profiled experiments run with this set;
+	// realistic deployments keep enforcement on.
+	DisableTimeout bool
+	// MaxRetries bounds automatic retries for ThrottleError mode.
+	MaxRetries int
+	// RetryBackoff is the (deterministic, linear) backoff between retries.
+	RetryBackoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sheet == nil {
+		c.Sheet = pricing.AWS()
+	}
+	if c.Speed.RefMemMB == 0 {
+		c.Speed.RefMemMB = 1024
+	}
+	if c.Speed.FloorMemMB == 0 {
+		c.Speed.FloorMemMB = 1792
+	}
+	if c.KeepAlive == 0 {
+		c.KeepAlive = 10 * time.Minute
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Function is a registered function: code plus configuration.
+type Function struct {
+	Name     string
+	MemoryMB int
+	Timeout  time.Duration
+	Handler  Handler
+
+	warm []simtime.Time // expiry times of idle warm containers (FIFO)
+}
+
+// Record describes one completed (or failed) invocation.
+type Record struct {
+	Function string
+	Label    string
+	MemoryMB int
+	Cold     bool
+	Queued   time.Duration // time spent waiting for concurrency
+	Start    simtime.Time  // handler start (after cold start)
+	End      simtime.Time
+	Billed   time.Duration
+	Cost     pricing.USD // duration cost + invocation fee
+	Err      error
+}
+
+// Duration reports the billed-relevant execution duration.
+func (r Record) Duration() time.Duration { return r.End - r.Start }
+
+// Platform is the simulated FaaS control plane.
+type Platform struct {
+	sched *simtime.Scheduler
+	store *objectstore.Store
+	cfg   Config
+
+	concurrency *simtime.Semaphore
+	funcs       map[string]*Function
+	records     []Record
+	throttles   int
+}
+
+// New creates a platform bound to the scheduler and object store.
+func New(sched *simtime.Scheduler, store *objectstore.Store, cfg Config) *Platform {
+	cfg = cfg.withDefaults()
+	return &Platform{
+		sched:       sched,
+		store:       store,
+		cfg:         cfg,
+		concurrency: sched.NewSemaphore(cfg.Sheet.Lambda.MaxConcurrency),
+		funcs:       make(map[string]*Function),
+	}
+}
+
+// Sheet exposes the price sheet the platform bills against.
+func (pl *Platform) Sheet() *pricing.Sheet { return pl.cfg.Sheet }
+
+// Speed exposes the compute speed model.
+func (pl *Platform) Speed() SpeedModel { return pl.cfg.Speed }
+
+// Store exposes the object store functions read and write through.
+func (pl *Platform) Store() *objectstore.Store { return pl.store }
+
+// Register installs a function. Memory must be a valid tier and the
+// timeout must respect the platform limit.
+func (pl *Platform) Register(name string, memMB int, handler Handler) (*Function, error) {
+	l := pl.cfg.Sheet.Lambda
+	if !l.ValidMemory(memMB) {
+		return nil, fmt.Errorf("%w: %d MB", ErrBadMemory, memMB)
+	}
+	timeout := l.Timeout
+	if pl.cfg.DisableTimeout {
+		timeout = 10000 * time.Hour
+	}
+	f := &Function{Name: name, MemoryMB: memMB, Timeout: timeout, Handler: handler}
+	pl.funcs[name] = f
+	return f, nil
+}
+
+// MustRegister is Register for static setup code; it panics on error.
+func (pl *Platform) MustRegister(name string, memMB int, handler Handler) *Function {
+	f, err := pl.Register(name, memMB, handler)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Records returns all invocation records so far, in completion order.
+func (pl *Platform) Records() []Record { return pl.records }
+
+// Throttles reports how many 429 rejections occurred (ThrottleError mode).
+func (pl *Platform) Throttles() int { return pl.throttles }
+
+// PeakConcurrency reports the high-water mark of simultaneous executions.
+func (pl *Platform) PeakConcurrency() int { return pl.concurrency.PeakInUse() }
+
+// Bill sums the Lambda-side bill: duration costs plus invocation fees for
+// every invocation, successful or not.
+func (pl *Platform) Bill() pricing.USD {
+	var total pricing.USD
+	for _, r := range pl.records {
+		total += r.Cost
+	}
+	return total
+}
+
+// takeWarm pops a still-warm container for f, expiring stale entries.
+func (pl *Platform) takeWarm(f *Function) bool {
+	now := pl.sched.Now()
+	for len(f.warm) > 0 {
+		exp := f.warm[0]
+		f.warm = f.warm[1:]
+		if exp > now {
+			return true
+		}
+	}
+	return false
+}
+
+// Invoke runs a registered function synchronously in the calling process,
+// returning its response payload. Queueing, cold start, execution and
+// billing all happen on the virtual clock.
+func (pl *Platform) Invoke(p *simtime.Proc, name string, payload []byte) ([]byte, error) {
+	return pl.InvokeLabeled(p, name, "", payload)
+}
+
+// InvokeLabeled is Invoke with a label recorded for tracing.
+func (pl *Platform) InvokeLabeled(p *simtime.Proc, name, label string, payload []byte) ([]byte, error) {
+	if pl.cfg.DispatchLatency > 0 {
+		p.Sleep(pl.cfg.DispatchLatency)
+	}
+	return pl.invokeDispatched(p, name, label, payload)
+}
+
+// invokeDispatched runs an invocation whose dispatch latency has already
+// been paid by the caller.
+func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payload []byte) ([]byte, error) {
+	f, ok := pl.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, name)
+	}
+
+	enqueue := pl.sched.Now()
+	if pl.cfg.Throttle == ThrottleBlock {
+		pl.concurrency.Acquire(p, 1)
+	} else {
+		acquired := false
+		for attempt := 0; attempt <= pl.cfg.MaxRetries; attempt++ {
+			if pl.concurrency.TryAcquire(1) {
+				acquired = true
+				break
+			}
+			pl.throttles++
+			if attempt < pl.cfg.MaxRetries {
+				p.Sleep(time.Duration(attempt+1) * pl.cfg.RetryBackoff)
+			}
+		}
+		if !acquired {
+			return nil, ErrThrottled
+		}
+	}
+	defer pl.concurrency.Release(1)
+	queued := pl.sched.Now() - enqueue
+
+	cold := !pl.takeWarm(f)
+	if cold && pl.cfg.ColdStart > 0 {
+		p.Sleep(pl.cfg.ColdStart)
+	}
+
+	start := pl.sched.Now()
+	ctx := &Ctx{
+		platform: pl,
+		fn:       f,
+		proc:     p,
+		payload:  payload,
+		deadline: start + f.Timeout,
+	}
+	resp, err := pl.runHandler(ctx)
+	end := pl.sched.Now()
+	if errors.Is(err, ErrTimeout) {
+		// The platform kills the sandbox at the deadline; bill exactly the
+		// timeout regardless of how far past it the handler's last
+		// blocking call landed.
+		end = ctx.deadline
+	}
+
+	l := pl.cfg.Sheet.Lambda
+	billed := l.BilledDuration(end - start)
+	rec := Record{
+		Function: f.Name,
+		Label:    label,
+		MemoryMB: f.MemoryMB,
+		Cold:     cold,
+		Queued:   queued,
+		Start:    start,
+		End:      end,
+		Billed:   billed,
+		Cost:     l.DurationCost(f.MemoryMB, end-start) + l.InvocationCost(1),
+		Err:      err,
+	}
+	pl.records = append(pl.records, rec)
+
+	// Container returns to the warm pool.
+	f.warm = append(f.warm, pl.sched.Now()+pl.cfg.KeepAlive)
+	return resp, err
+}
+
+// runHandler executes the user handler, converting panics into errors so a
+// buggy handler fails one invocation rather than the whole simulation.
+func (pl *Platform) runHandler(ctx *Ctx) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, ErrTimeout) {
+				err = ErrTimeout
+				return
+			}
+			panic(r) // simulation bugs still abort loudly
+		}
+	}()
+	return ctx.fn.Handler(ctx)
+}
+
+// Invocation is a handle to an asynchronous invocation.
+type Invocation struct {
+	done  *simtime.Latch
+	resp  []byte
+	err   error
+	label string
+}
+
+// Wait blocks until the invocation completes and returns its result.
+func (iv *Invocation) Wait(p *simtime.Proc) ([]byte, error) {
+	iv.done.Wait(p)
+	return iv.resp, iv.err
+}
+
+// InvokeAsync launches the function in a child process and returns a
+// handle. The caller pays the dispatch latency (so loops of InvokeAsync
+// serialize dispatch, like real invoke-API loops); the execution itself
+// runs concurrently.
+func (pl *Platform) InvokeAsync(p *simtime.Proc, name, label string, payload []byte) *Invocation {
+	if pl.cfg.DispatchLatency > 0 {
+		p.Sleep(pl.cfg.DispatchLatency)
+	}
+	iv := &Invocation{done: pl.sched.NewLatch(), label: label}
+	p.Spawn("invoke:"+name, func(q *simtime.Proc) {
+		iv.resp, iv.err = pl.invokeDispatched(q, name, label, payload)
+		iv.done.Done()
+	})
+	return iv
+}

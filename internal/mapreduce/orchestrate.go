@@ -1,0 +1,186 @@
+// Package mapreduce implements the serverless MapReduce framework the
+// paper builds on (the AWS reference architecture of Sec. II-B): parallel
+// mapper lambdas, a coordinator lambda, and a multi-step tree of reducer
+// lambdas exchanging intermediate objects through the object store.
+//
+// The package has two layers: Orchestrate computes the pure shape of a job
+// (Table I of the paper) from the object counts, and Driver executes that
+// shape on the simulated Lambda platform, in either concrete mode (real
+// bytes, real map/reduce code) or profiled mode (size-only metadata at any
+// scale).
+package mapreduce
+
+import (
+	"fmt"
+
+	"astra/internal/workload"
+)
+
+// StateObjectBytes is the size of the reducer state object the coordinator
+// writes to the store before each reducing step (the l constant; the paper
+// assumes 1 MB).
+const StateObjectBytes = 1 << 20
+
+// Step is one reducing step: Loads[i] is the number of input objects
+// assigned to reducer i of the step.
+type Step struct {
+	Loads []int
+}
+
+// Reducers reports the number of reducer lambdas in the step (g_p).
+func (s Step) Reducers() int { return len(s.Loads) }
+
+// Objects reports the number of input objects consumed by the step.
+func (s Step) Objects() int {
+	n := 0
+	for _, l := range s.Loads {
+		n += l
+	}
+	return n
+}
+
+// Orchestration is the complete shape of a serverless MapReduce job for
+// given object counts: how many mappers, how objects are distributed, and
+// the full reducing-step cascade (the paper's Table I and Table II).
+type Orchestration struct {
+	NumObjects     int
+	ObjsPerMapper  int
+	ObjsPerReducer int
+	// MapperLoads[i] is the number of input objects mapper i processes.
+	MapperLoads []int
+	// Steps is the reducing cascade; Steps[p].Reducers() is g_{p+1}.
+	Steps []Step
+}
+
+// Mappers reports the number of mapper lambdas (j).
+func (o Orchestration) Mappers() int { return len(o.MapperLoads) }
+
+// Reducers reports the total number of reducer lambdas across all steps
+// (g in the paper).
+func (o Orchestration) Reducers() int {
+	n := 0
+	for _, s := range o.Steps {
+		n += s.Reducers()
+	}
+	return n
+}
+
+// NumSteps reports the number of reducing steps (P).
+func (o Orchestration) NumSteps() int { return len(o.Steps) }
+
+// TotalLambdas reports every lambda the job invokes: mappers, one
+// coordinator, and all reducers.
+func (o Orchestration) TotalLambdas() int { return o.Mappers() + 1 + o.Reducers() }
+
+// splitGreedy distributes n objects into loads of k, with the remainder on
+// the last worker — the skewed tail distribution the paper describes in
+// Sec. II-C (e.g. 10 objects at k=7 gives loads (7,3)).
+func splitGreedy(n, k int) []int {
+	var loads []int
+	for n > 0 {
+		take := k
+		if take > n {
+			take = n
+		}
+		loads = append(loads, take)
+		n -= take
+	}
+	return loads
+}
+
+// Orchestrate computes the job shape for n input objects with kM objects
+// per mapper and kR objects per reducer.
+//
+// Mappers: j = ceil(n/kM), loads greedy with a skewed tail. Reducing:
+// g_1 = ceil(j/kR), then g_p = ceil(g_{p-1}/kR) until a single reducer
+// remains; kR <= 1 degenerates to a single one-reducer step consuming all
+// j objects (Table I, column 1). A job always has at least one reducing
+// step, which produces the final output object.
+func Orchestrate(n, kM, kR int) (Orchestration, error) {
+	if n <= 0 {
+		return Orchestration{}, fmt.Errorf("mapreduce: need a positive object count, got %d", n)
+	}
+	if kM <= 0 || kM > n {
+		return Orchestration{}, fmt.Errorf("mapreduce: objects per mapper %d out of range [1, %d]", kM, n)
+	}
+	if kR <= 0 {
+		return Orchestration{}, fmt.Errorf("mapreduce: objects per reducer %d must be positive", kR)
+	}
+	o := Orchestration{
+		NumObjects:     n,
+		ObjsPerMapper:  kM,
+		ObjsPerReducer: kR,
+		MapperLoads:    splitGreedy(n, kM),
+	}
+	count := o.Mappers()
+	if kR == 1 {
+		// A reducer that consumes one object and emits one object would
+		// cascade forever; the reference framework collapses this to a
+		// single reducer handling everything (Table I, column 1).
+		o.Steps = []Step{{Loads: []int{count}}}
+		return o, nil
+	}
+	for {
+		step := Step{Loads: splitGreedy(count, kR)}
+		o.Steps = append(o.Steps, step)
+		count = step.Reducers()
+		if count <= 1 {
+			break
+		}
+	}
+	return o, nil
+}
+
+// OrchestrateFor computes the job shape for a workload profile:
+// single-step-reduce applications (Sort) run exactly one reducing step
+// whose partitioned outputs are final; aggregations cascade until a
+// single object remains.
+func OrchestrateFor(pf workload.Profile, n, kM, kR int) (Orchestration, error) {
+	if !pf.SingleStepReduce {
+		return Orchestrate(n, kM, kR)
+	}
+	if n <= 0 {
+		return Orchestration{}, fmt.Errorf("mapreduce: need a positive object count, got %d", n)
+	}
+	if kM <= 0 || kM > n {
+		return Orchestration{}, fmt.Errorf("mapreduce: objects per mapper %d out of range [1, %d]", kM, n)
+	}
+	if kR <= 0 {
+		return Orchestration{}, fmt.Errorf("mapreduce: objects per reducer %d must be positive", kR)
+	}
+	o := Orchestration{
+		NumObjects:     n,
+		ObjsPerMapper:  kM,
+		ObjsPerReducer: kR,
+		MapperLoads:    splitGreedy(n, kM),
+	}
+	o.Steps = []Step{{Loads: splitGreedy(o.Mappers(), kR)}}
+	return o, nil
+}
+
+// TableIRow reproduces one column of the paper's Table I for the
+// motivation experiment (10 input objects): the mapper count and the
+// reducer count at each step, for k objects per lambda.
+type TableIRow struct {
+	ObjectsPerLambda int
+	Mappers          int
+	StepReducers     []int
+}
+
+// TableI computes the paper's Table I for n input objects and the given
+// per-lambda object counts (the paper uses n=10, k=1..5).
+func TableI(n int, ks []int) ([]TableIRow, error) {
+	rows := make([]TableIRow, 0, len(ks))
+	for _, k := range ks {
+		o, err := Orchestrate(n, k, k)
+		if err != nil {
+			return nil, err
+		}
+		row := TableIRow{ObjectsPerLambda: k, Mappers: o.Mappers()}
+		for _, s := range o.Steps {
+			row.StepReducers = append(row.StepReducers, s.Reducers())
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

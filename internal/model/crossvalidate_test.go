@@ -1,0 +1,202 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"astra/internal/lambda"
+	"astra/internal/mapreduce"
+	"astra/internal/objectstore"
+	"astra/internal/pricing"
+	"astra/internal/simtime"
+	"astra/internal/workload"
+)
+
+// runOnSimulator executes a profiled job on the real engine with the
+// parameters the Exact model assumes.
+func runOnSimulator(t *testing.T, p Params, cfg mapreduce.Config) *mapreduce.Report {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	store := objectstore.New(sched, objectstore.Config{
+		Bandwidth:      p.BandwidthBps,
+		RequestLatency: p.RequestLatency,
+		Pricing:        p.Sheet.Store,
+	})
+	pl := lambda.New(sched, store, lambda.Config{
+		Sheet:           p.Sheet,
+		Speed:           p.Speed,
+		DispatchLatency: p.DispatchLatency,
+		DisableTimeout:  true,
+	})
+	keys, err := workload.SeedProfiled(store, "in", p.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := mapreduce.NewDriver(pl)
+	var rep *mapreduce.Report
+	err = sched.Run(func(proc *simtime.Proc) {
+		rep, err = driver.Run(proc, mapreduce.JobSpec{
+			Workload:  p.Job,
+			Bucket:    "in",
+			InputKeys: keys,
+			Mode:      mapreduce.Profiled,
+		}, cfg)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return rep
+}
+
+// TestExactModelMatchesSimulator is the linchpin validation: for a matrix
+// of workloads and configurations, the Exact predictor's completion time
+// and cost must match the executed job to sub-millisecond / sub-ppm
+// precision. This is what entitles the optimizer to trust the model.
+func TestExactModelMatchesSimulator(t *testing.T) {
+	jobs := []workload.Job{
+		{Profile: workload.WordCount, NumObjects: 10, ObjectSize: 16 << 20},
+		{Profile: workload.Sort, NumObjects: 14, ObjectSize: 32 << 20},
+		{Profile: workload.Query, NumObjects: 9, ObjectSize: 24 << 20},
+	}
+	configs := []mapreduce.Config{
+		{MapperMemMB: 128, CoordMemMB: 128, ReducerMemMB: 128, ObjsPerMapper: 1, ObjsPerReducer: 2},
+		{MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024, ObjsPerMapper: 2, ObjsPerReducer: 3},
+		{MapperMemMB: 3008, CoordMemMB: 1024, ReducerMemMB: 1536, ObjsPerMapper: 3, ObjsPerReducer: 1},
+		{MapperMemMB: 512, CoordMemMB: 512, ReducerMemMB: 512, ObjsPerMapper: 4, ObjsPerReducer: 4},
+	}
+	for _, job := range jobs {
+		for _, cfg := range configs {
+			if cfg.ObjsPerMapper > job.NumObjects {
+				continue
+			}
+			p := DefaultParams(job)
+			pred, err := NewExact(p).Predict(cfg)
+			if err != nil {
+				t.Fatalf("%s %v: %v", job.Profile.Name, cfg, err)
+			}
+			rep := runOnSimulator(t, p, cfg)
+
+			if dt := absDur(pred.JCT() - rep.JCT); dt > time.Millisecond {
+				t.Errorf("%s %v: predicted JCT %v vs measured %v (diff %v)",
+					job.Profile.Name, cfg, pred.JCT(), rep.JCT, dt)
+			}
+			// Lambda cost tolerance: when a duration lands exactly on a
+			// billing-quantum boundary (e.g. Sort's 8.96 s at 128 MB),
+			// float assembly order decides which 1 ms bucket it rounds
+			// into — a ~2e-9 USD artifact per lambda.
+			if d := relDiff(float64(pred.LambdaCost), float64(rep.Cost.Lambda)); d > 1e-3 {
+				t.Errorf("%s %v: lambda cost %v vs %v", job.Profile.Name, cfg, pred.LambdaCost, rep.Cost.Lambda)
+			}
+			if d := relDiff(float64(pred.RequestCost), float64(rep.Cost.Requests)); d > 1e-9 {
+				t.Errorf("%s %v: request cost %v vs %v", job.Profile.Name, cfg, pred.RequestCost, rep.Cost.Requests)
+			}
+			if d := relDiff(float64(pred.StorageCost), float64(rep.Cost.Storage)); d > 1e-5 {
+				t.Errorf("%s %v: storage cost %v vs %v", job.Profile.Name, cfg, pred.StorageCost, rep.Cost.Storage)
+			}
+			// Phase decomposition agrees too.
+			if dt := absDur(secs(pred.MapSec) - rep.Phases.Map); dt > time.Millisecond {
+				t.Errorf("%s %v: map phase %v vs %v", job.Profile.Name, cfg, secs(pred.MapSec), rep.Phases.Map)
+			}
+			if dt := absDur(secs(pred.ReduceSec) - rep.Phases.Reduce); dt > time.Millisecond {
+				t.Errorf("%s %v: reduce phase %v vs %v", job.Profile.Name, cfg, secs(pred.ReduceSec), rep.Phases.Reduce)
+			}
+		}
+	}
+}
+
+// TestExactModelMatchesSimulatorAtScale repeats the validation on a
+// paper-scale input (the 100 GB Sort) to ensure no drift accumulates over
+// hundreds of lambdas.
+func TestExactModelMatchesSimulatorAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale validation")
+	}
+	p := DefaultParams(workload.Sort100GB())
+	cfg := mapreduce.Config{
+		MapperMemMB: 256, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 4, ObjsPerReducer: 8,
+	}
+	pred, err := NewExact(p).Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runOnSimulator(t, p, cfg)
+	if dt := absDur(pred.JCT() - rep.JCT); dt > 5*time.Millisecond {
+		t.Errorf("JCT: predicted %v vs measured %v", pred.JCT(), rep.JCT)
+	}
+	if d := relDiff(float64(pred.TotalCost()), float64(rep.Cost.Total())); d > 1e-4 {
+		t.Errorf("cost: predicted %v vs measured %v", pred.TotalCost(), rep.Cost.Total())
+	}
+}
+
+// TestExactModelMatchesSimulatorUnderBindingCap: the cap-aware wave
+// computation must keep the model exact even when the account concurrency
+// limit queues lambdas (ablation A6's regime).
+func TestExactModelMatchesSimulatorUnderBindingCap(t *testing.T) {
+	for _, cap := range []int{50, 25, 10, 3} {
+		sheet := pricing.AWS()
+		sheet.Lambda.MaxConcurrency = cap
+		p := DefaultParams(workload.Job{
+			Profile: workload.Sort, NumObjects: 60, ObjectSize: 64 << 20,
+		})
+		p.Sheet = sheet
+		p.DispatchLatency = 50 * time.Millisecond
+		cfg := mapreduce.Config{
+			MapperMemMB: 1792, CoordMemMB: 256, ReducerMemMB: 1792,
+			ObjsPerMapper: 1, ObjsPerReducer: 4,
+		}
+		pred, err := NewExact(p).Predict(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := runOnSimulator(t, p, cfg)
+		if dt := absDur(pred.JCT() - rep.JCT); dt > 2*time.Millisecond {
+			t.Errorf("cap %d: predicted %v vs measured %v", cap, pred.JCT(), rep.JCT)
+		}
+	}
+	// Multi-step cascade under a cap (coordinator holds a slot during
+	// the waited steps).
+	sheet := pricing.AWS()
+	sheet.Lambda.MaxConcurrency = 6
+	p := DefaultParams(workload.Job{
+		Profile: workload.WordCount, NumObjects: 24, ObjectSize: 16 << 20,
+	})
+	p.Sheet = sheet
+	p.DispatchLatency = 50 * time.Millisecond
+	cfg := mapreduce.Config{
+		MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 1, ObjsPerReducer: 2,
+	}
+	pred, err := NewExact(p).Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runOnSimulator(t, p, cfg)
+	if dt := absDur(pred.JCT() - rep.JCT); dt > 2*time.Millisecond {
+		t.Errorf("cascade under cap: predicted %v vs measured %v", pred.JCT(), rep.JCT)
+	}
+}
+
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) / den
+}

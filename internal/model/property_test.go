@@ -1,0 +1,135 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"astra/internal/mapreduce"
+	"astra/internal/workload"
+)
+
+// TestExactMatchesSimulatorRandomized drives the exact-model/engine
+// equivalence across randomized jobs and configurations — the
+// property-based version of the fixed cross-validation matrix.
+func TestExactMatchesSimulatorRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized cross-validation")
+	}
+	profiles := []workload.Profile{workload.WordCount, workload.Sort, workload.Query}
+	tiers := []int{128, 256, 512, 768, 1024, 1536, 1792, 2048, 3008}
+	rng := rand.New(rand.NewSource(20260706))
+	for trial := 0; trial < 30; trial++ {
+		job := workload.Job{
+			Profile:    profiles[rng.Intn(len(profiles))],
+			NumObjects: 2 + rng.Intn(24),
+			ObjectSize: int64(1+rng.Intn(64)) << 20,
+		}
+		cfg := mapreduce.Config{
+			MapperMemMB:    tiers[rng.Intn(len(tiers))],
+			CoordMemMB:     tiers[rng.Intn(len(tiers))],
+			ReducerMemMB:   tiers[rng.Intn(len(tiers))],
+			ObjsPerMapper:  1 + rng.Intn(job.NumObjects),
+			ObjsPerReducer: 1 + rng.Intn(job.NumObjects),
+		}
+		p := DefaultParams(job)
+		pred, err := NewExact(p).Predict(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%s %v): %v", trial, job.Profile.Name, cfg, err)
+		}
+		rep := runOnSimulator(t, p, cfg)
+		if dt := absDur(pred.JCT() - rep.JCT); dt > 2*time.Millisecond {
+			t.Errorf("trial %d (%s N=%d objSize=%dMB %v): predicted %v vs measured %v",
+				trial, job.Profile.Name, job.NumObjects, job.ObjectSize>>20, cfg,
+				pred.JCT(), rep.JCT)
+		}
+		if d := relDiff(float64(pred.TotalCost()), float64(rep.Cost.Total())); d > 1e-3 {
+			t.Errorf("trial %d (%s %v): cost predicted %v vs measured %v",
+				trial, job.Profile.Name, cfg, pred.TotalCost(), rep.Cost.Total())
+		}
+	}
+}
+
+// TestPredictionInvariantsRandomized checks structural invariants of both
+// predictors over random inputs: positivity, phase additivity, and the
+// exact model never exceeding the aggregate model's reduce time.
+func TestPredictionInvariantsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tiers := []int{128, 512, 1024, 1792, 3008}
+	for trial := 0; trial < 100; trial++ {
+		job := workload.Job{
+			Profile:    workload.WordCount,
+			NumObjects: 2 + rng.Intn(40),
+			ObjectSize: int64(1+rng.Intn(32)) << 20,
+		}
+		cfg := mapreduce.Config{
+			MapperMemMB:    tiers[rng.Intn(len(tiers))],
+			CoordMemMB:     tiers[rng.Intn(len(tiers))],
+			ReducerMemMB:   tiers[rng.Intn(len(tiers))],
+			ObjsPerMapper:  1 + rng.Intn(job.NumObjects),
+			ObjsPerReducer: 1 + rng.Intn(job.NumObjects),
+		}
+		p := DefaultParams(job)
+		exact, err := NewExact(p).Predict(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := NewPaper(p)
+		agg.Aggregate = true
+		aggPred, err := agg.Predict(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.MapSec <= 0 || exact.CoordSec <= 0 || exact.ReduceSec <= 0 {
+			t.Fatalf("trial %d: non-positive phase in %+v", trial, exact)
+		}
+		sum := 0.0
+		for _, s := range exact.StepSec {
+			sum += s
+		}
+		if diff := sum - exact.ReduceSec; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: steps don't sum to reduce phase", trial)
+		}
+		// Aggregate (sequential totals) reduce time dominates the exact
+		// parallel per-step time.
+		if aggPred.ReduceSec < exact.ReduceSec-1e-6 {
+			t.Fatalf("trial %d (%v): aggregate reduce %v < exact %v",
+				trial, cfg, aggPred.ReduceSec, exact.ReduceSec)
+		}
+		if exact.TotalCost() <= 0 {
+			t.Fatalf("trial %d: non-positive cost", trial)
+		}
+	}
+}
+
+// TestMoreMemoryNeverSlowerExactRandomized: the exact model must be
+// monotone in memory (equal knobs elsewhere) — the property the whole
+// speed model stands on.
+func TestMoreMemoryNeverSlowerExactRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		job := workload.Job{
+			Profile:    workload.Query,
+			NumObjects: 2 + rng.Intn(20),
+			ObjectSize: int64(1+rng.Intn(32)) << 20,
+		}
+		kM := 1 + rng.Intn(job.NumObjects)
+		kR := 1 + rng.Intn(job.NumObjects)
+		p := DefaultParams(job)
+		e := NewExact(p)
+		prev := -1.0
+		for _, mem := range []int{128, 320, 704, 1024, 1536, 1792} {
+			pred, err := e.Predict(mapreduce.Config{
+				MapperMemMB: mem, CoordMemMB: mem, ReducerMemMB: mem,
+				ObjsPerMapper: kM, ObjsPerReducer: kR,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev >= 0 && pred.TotalSec() > prev+1e-9 {
+				t.Fatalf("trial %d: JCT rose with memory at %d MB", trial, mem)
+			}
+			prev = pred.TotalSec()
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestWaveStartsUnlimited(t *testing.T) {
+	launch := []float64{1, 2, 3}
+	dur := []float64{10, 10, 10}
+	starts := waveStarts(launch, dur, 100)
+	for i := range launch {
+		if starts[i] != launch[i] {
+			t.Fatalf("unconstrained start[%d] = %v, want %v", i, starts[i], launch[i])
+		}
+	}
+}
+
+func TestWaveStartsSingleSlot(t *testing.T) {
+	// One slot: strictly sequential, but never before the launch time.
+	launch := []float64{0, 0.1, 0.2, 50}
+	dur := []float64{10, 10, 10, 10}
+	starts := waveStarts(launch, dur, 1)
+	want := []float64{0, 10, 20, 50}
+	for i := range want {
+		if math.Abs(starts[i]-want[i]) > 1e-12 {
+			t.Fatalf("starts = %v, want %v", starts, want)
+		}
+	}
+}
+
+func TestWaveStartsTwoSlots(t *testing.T) {
+	launch := []float64{0, 0, 0, 0}
+	dur := []float64{4, 1, 3, 1}
+	starts := waveStarts(launch, dur, 2)
+	// t=0: tasks 0,1 start. Task 1 ends at 1 -> task 2 starts at 1,
+	// ends at 4. Task 0 ends at 4 -> task 3 starts at 4.
+	want := []float64{0, 0, 1, 4}
+	for i := range want {
+		if math.Abs(starts[i]-want[i]) > 1e-12 {
+			t.Fatalf("starts = %v, want %v", starts, want)
+		}
+	}
+}
+
+// bruteWave simulates the FIFO queue naively for validation.
+func bruteWave(launch, dur []float64, cap int) []float64 {
+	starts := make([]float64, len(launch))
+	var running []float64 // end times
+	for i := range launch {
+		// Free finished slots relative to this task's earliest possible
+		// start; FIFO order is the iteration order.
+		start := launch[i]
+		for {
+			// Count slots busy at time start.
+			busy := 0
+			for _, e := range running {
+				if e > start {
+					busy++
+				}
+			}
+			if busy < cap {
+				break
+			}
+			// Advance to the earliest end among busy slots.
+			next := math.Inf(1)
+			for _, e := range running {
+				if e > start && e < next {
+					next = e
+				}
+			}
+			start = next
+		}
+		starts[i] = start
+		running = append(running, start+dur[i])
+	}
+	return starts
+}
+
+func TestWaveStartsMatchesBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		cap := 1 + rng.Intn(6)
+		launch := make([]float64, n)
+		dur := make([]float64, n)
+		tl := 0.0
+		for i := range launch {
+			tl += rng.Float64()
+			launch[i] = tl
+			dur[i] = rng.Float64() * 10
+		}
+		got := waveStarts(launch, dur, cap)
+		want := bruteWave(launch, dur, cap)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d cap %d: starts[%d] = %v, want %v\nlaunch=%v\ndur=%v",
+					trial, cap, i, got[i], want[i], launch, dur)
+			}
+		}
+		// Starts never precede launches and stay FIFO-ordered.
+		if !sort.Float64sAreSorted(got) {
+			t.Fatalf("trial %d: starts not monotone: %v", trial, got)
+		}
+		for i := range got {
+			if got[i] < launch[i] {
+				t.Fatalf("trial %d: task %d started before launch", trial, i)
+			}
+		}
+	}
+}
+
+func TestWaveStartsZeroCapClamps(t *testing.T) {
+	starts := waveStarts([]float64{0, 0}, []float64{1, 1}, 0)
+	if starts[1] != 1 {
+		t.Fatalf("cap 0 should clamp to 1 slot: %v", starts)
+	}
+}

@@ -1,0 +1,64 @@
+package optimizer
+
+import (
+	"astra/internal/mapreduce"
+)
+
+// The three baseline configuration strategies of Sec. V. They encode the
+// "vague sense" a user gets from eyeballing Fig. 6 without a model:
+// Baseline 1 buys performance, Baseline 2 buys thrift, Baseline 3 mixes.
+
+// Baseline1 is the performance-leaning baseline: 1536 MB for every lambda
+// (Fig. 6 shows little improvement above that), one object per mapper for
+// maximum mapper parallelism, and two objects per reducer.
+func Baseline1(numObjects int) mapreduce.Config {
+	return mapreduce.Config{
+		MapperMemMB:    1536,
+		CoordMemMB:     1536,
+		ReducerMemMB:   1536,
+		ObjsPerMapper:  1,
+		ObjsPerReducer: 2,
+	}
+}
+
+// Baseline2 is the cost-leaning baseline: the smallest memory block
+// (128 MB) everywhere, with Baseline 1's object allocations.
+func Baseline2(numObjects int) mapreduce.Config {
+	return mapreduce.Config{
+		MapperMemMB:    128,
+		CoordMemMB:     128,
+		ReducerMemMB:   128,
+		ObjsPerMapper:  1,
+		ObjsPerReducer: 2,
+	}
+}
+
+// Baseline3 is the hybrid baseline: cheap maximum-parallelism mappers
+// (128 MB, one object each) and a two-step reducing phase on 1536 MB
+// lambdas — two reducers splitting the objects in the first step and one
+// final reducer — which requires objects-per-reducer of ceil(j/2) where j
+// is the mapper count (= the object count, since each mapper takes one).
+func Baseline3(numObjects int) mapreduce.Config {
+	kR := (numObjects + 1) / 2
+	if kR < 1 {
+		kR = 1
+	}
+	return mapreduce.Config{
+		MapperMemMB:    128,
+		CoordMemMB:     1536,
+		ReducerMemMB:   1536,
+		ObjsPerMapper:  1,
+		ObjsPerReducer: kR,
+	}
+}
+
+// Baselines returns the three baseline configs for a job size, in paper
+// order.
+func Baselines(numObjects int) []mapreduce.Config {
+	return []mapreduce.Config{
+		Baseline1(numObjects), Baseline2(numObjects), Baseline3(numObjects),
+	}
+}
+
+// BaselineNames labels the baselines in figure legends.
+var BaselineNames = []string{"Baseline 1", "Baseline 2", "Baseline 3"}

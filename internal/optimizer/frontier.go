@@ -1,0 +1,126 @@
+package optimizer
+
+import (
+	"sort"
+
+	"astra/internal/dag"
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+)
+
+// FrontierPoint is one Pareto-optimal configuration: no other candidate
+// is both faster and cheaper under the exact model.
+type FrontierPoint struct {
+	Config mapreduce.Config
+	Pred   model.Prediction
+}
+
+// Frontier computes a time/cost Pareto frontier for a job, sorted fastest
+// first. Candidates are harvested from three sweeps of the configuration
+// DAG — the k fastest paths, the k cheapest paths, and exact
+// constrained-shortest-path solutions at interpolated deadlines to fill
+// the middle — then re-evaluated with the engine-faithful model and
+// dominance-pruned. It is the tradeoff curve behind both the single-job
+// "what should I pay for speed?" question and the pipeline planner's
+// per-stage search.
+func Frontier(params model.Params, k int, opts dag.Options) ([]FrontierPoint, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		k = 24
+	}
+	m := model.NewPaper(params)
+	exact := model.NewExact(params)
+
+	var raw []FrontierPoint
+	add := func(cfg mapreduce.Config) {
+		pred, err := exact.Predict(cfg)
+		if err != nil {
+			return
+		}
+		raw = append(raw, FrontierPoint{Config: cfg, Pred: pred})
+	}
+
+	// The fast end of the space…
+	dt, err := dag.Build(m, dag.MinimizeTime, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range dt.G.YenKSP(dt.Src, dt.Dst, k) {
+		if cfg, err := dt.Decode(p); err == nil {
+			add(cfg)
+		}
+	}
+	// …the cheap end…
+	dc, err := dag.Build(m, dag.MinimizeCost, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range dc.G.YenKSP(dc.Src, dc.Dst, k) {
+		if cfg, err := dc.Decode(p); err == nil {
+			add(cfg)
+		}
+	}
+	// …and the middle: the cheapest plan at interpolated deadlines.
+	if len(raw) >= 2 {
+		lo, hi := raw[0].Pred.TotalSec(), raw[0].Pred.TotalSec()
+		for _, c := range raw {
+			if s := c.Pred.TotalSec(); s < lo {
+				lo = s
+			} else if s > hi {
+				hi = s
+			}
+		}
+		steps := k / 2
+		for i := 1; i < steps; i++ {
+			deadline := lo + (hi-lo)*float64(i)/float64(steps)
+			dcsp, err := dag.Build(m, dag.MinimizeCost, opts)
+			if err != nil {
+				return nil, err
+			}
+			if p, err := dcsp.G.ConstrainedShortestPath(dcsp.Src, dcsp.Dst, deadline); err == nil {
+				if cfg, err := dcsp.Decode(p); err == nil {
+					add(cfg)
+				}
+			}
+		}
+	}
+
+	front := paretoPrune(raw)
+	if len(front) == 0 {
+		return nil, ErrNoFeasiblePlan
+	}
+	sort.Slice(front, func(a, b int) bool {
+		return front[a].Pred.TotalSec() < front[b].Pred.TotalSec()
+	})
+	return front, nil
+}
+
+// paretoPrune removes dominated and duplicate candidates.
+func paretoPrune(cands []FrontierPoint) []FrontierPoint {
+	var front []FrontierPoint
+	for _, c := range cands {
+		dominated := false
+		for _, o := range cands {
+			if o.Pred.TotalSec() <= c.Pred.TotalSec() &&
+				o.Pred.TotalCost() <= c.Pred.TotalCost() &&
+				(o.Pred.TotalSec() < c.Pred.TotalSec() || o.Pred.TotalCost() < c.Pred.TotalCost()) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	seen := map[mapreduce.Config]bool{}
+	out := front[:0]
+	for _, c := range front {
+		if !seen[c.Config] {
+			seen[c.Config] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,405 @@
+// Package optimizer is Astra's decision engine (Sec. IV): given a job,
+// a model parameterization and a user objective — minimize completion
+// time under a budget, or minimize cost under a completion-time QoS
+// threshold — it searches the configuration space and returns the
+// execution plan (memory tiers and degrees of parallelism).
+//
+// Four solvers are provided:
+//
+//   - Algorithm1: the paper's method — Dijkstra on the Fig. 5 DAG with
+//     iterative removal of constraint-violating edges.
+//   - Yen: k-shortest paths on the same DAG until one satisfies the
+//     constraint; exact on the DAG, the reference for Algorithm 1's gap.
+//   - Rerank: top-K DAG paths re-evaluated with the exact engine model,
+//     best feasible wins; repairs the DAG's separability approximations.
+//   - Brute: exhaustive enumeration with the exact model; exponential in
+//     nothing but simply large, so it is guarded by a work limit and used
+//     to validate the others on small instances.
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"astra/internal/dag"
+	"astra/internal/graph"
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+	"astra/internal/pricing"
+)
+
+// Goal selects the optimization problem.
+type Goal int
+
+const (
+	// MinTimeUnderBudget is the Eq. 16 problem: fastest plan whose
+	// predicted cost stays within Budget.
+	MinTimeUnderBudget Goal = iota
+	// MinCostUnderDeadline is the Eq. 20 problem: cheapest plan whose
+	// predicted completion time stays within Deadline.
+	MinCostUnderDeadline
+)
+
+// String names the goal.
+func (g Goal) String() string {
+	if g == MinCostUnderDeadline {
+		return "min-cost-under-deadline"
+	}
+	return "min-time-under-budget"
+}
+
+// Objective is a user requirement: a goal plus its constraint.
+type Objective struct {
+	Goal Goal
+	// Budget constrains MinTimeUnderBudget plans.
+	Budget pricing.USD
+	// Deadline constrains MinCostUnderDeadline plans.
+	Deadline time.Duration
+}
+
+// Solver selects the search strategy.
+type Solver int
+
+const (
+	// Algorithm1 is the paper's solver.
+	Algorithm1 Solver = iota
+	// Yen runs k-shortest paths until the constraint holds.
+	Yen
+	// Rerank re-evaluates the top DAG paths with the exact model.
+	Rerank
+	// Brute exhaustively enumerates with the exact model.
+	Brute
+	// Auto runs Algorithm 1 and falls back to CSP when the heuristic's
+	// destructive edge removal disconnects the graph before finding a
+	// feasible path (a known failure mode, quantified in ablation A1).
+	Auto
+	// CSP solves the weight-constrained shortest path on the DAG exactly
+	// with label-setting and Pareto dominance pruning.
+	CSP
+)
+
+// String names the solver.
+func (s Solver) String() string {
+	switch s {
+	case Yen:
+		return "yen-ksp"
+	case Rerank:
+		return "rerank"
+	case Brute:
+		return "brute-force"
+	case Auto:
+		return "algorithm1+csp"
+	case CSP:
+		return "label-setting-csp"
+	default:
+		return "algorithm1"
+	}
+}
+
+// ErrNoFeasiblePlan is returned when no configuration satisfies the
+// objective's constraint.
+var ErrNoFeasiblePlan = errors.New("optimizer: no feasible plan")
+
+// Plan is the optimizer's output.
+type Plan struct {
+	Config    mapreduce.Config
+	Objective Objective
+	Solver    Solver
+	// Paper is the aggregate model's estimate for the chosen config.
+	Paper model.Prediction
+	// Exact is the engine-faithful estimate; this is what execution will
+	// measure.
+	Exact model.Prediction
+}
+
+// Summary renders the plan like a Table III column.
+func (p Plan) Summary() string {
+	return fmt.Sprintf("%s | predicted JCT %v, cost %v",
+		p.Config, p.Exact.JCT().Round(time.Millisecond), p.Exact.TotalCost())
+}
+
+// Planner searches plans for one job.
+type Planner struct {
+	Params model.Params
+	Solver Solver
+	// DAGOptions tunes the configuration graph (tier subset, caps).
+	DAGOptions dag.Options
+	// YenMaxPaths bounds the Yen scan (default 200).
+	YenMaxPaths int
+	// RerankPaths is the K for the rerank solver (default 50).
+	RerankPaths int
+	// BruteWorkLimit bounds brute-force enumeration (default 2e6 configs).
+	BruteWorkLimit int
+	// AggregateModel makes the DAG edges use the literal Eq. 9 aggregate
+	// reduce-phase charging instead of the per-step default — the model
+	// the paper wrote down verbatim, kept for the A3 planning ablation.
+	AggregateModel bool
+}
+
+// paperModel builds the DAG's edge-weight model per the planner's flags.
+func (pl *Planner) paperModel() *model.Paper {
+	m := model.NewPaper(pl.Params)
+	m.Aggregate = pl.AggregateModel
+	return m
+}
+
+// New creates a planner with the paper's solver.
+func New(params model.Params) *Planner {
+	return &Planner{Params: params, Solver: Algorithm1}
+}
+
+// Plan solves the objective.
+//
+// DAG-based solvers enforce the constraint against the paper model, whose
+// separability estimators can under-predict; Plan therefore verifies the
+// chosen configuration against the exact engine model and, on a
+// violation, re-solves with a proportionally tightened internal
+// constraint until the user's requirement holds (a small calibration
+// loop — the "dynamically adjusted and refined" modeling the paper's
+// discussion section sketches).
+func (pl *Planner) Plan(obj Objective) (*Plan, error) {
+	if err := pl.Params.Validate(); err != nil {
+		return nil, err
+	}
+	solve := func(o Objective) (mapreduce.Config, error) {
+		switch pl.Solver {
+		case Brute:
+			return pl.bruteSolve(o)
+		case Rerank:
+			return pl.rerankSolve(o)
+		default:
+			return pl.dagSolve(o)
+		}
+	}
+	// Brute and Rerank already enforce the constraint under the exact
+	// model; no calibration needed.
+	needCalibration := pl.Solver != Brute && pl.Solver != Rerank
+
+	internal := obj
+	const maxCalibrations = 8
+	for iter := 0; ; iter++ {
+		cfg, err := solve(internal)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := pl.finish(cfg, obj)
+		if err != nil {
+			return nil, err
+		}
+		if !needCalibration || iter >= maxCalibrations {
+			return plan, nil
+		}
+		switch obj.Goal {
+		case MinTimeUnderBudget:
+			actual := plan.Exact.TotalCost()
+			if actual <= obj.Budget {
+				return plan, nil
+			}
+			internal.Budget = pricing.USD(float64(internal.Budget) * float64(obj.Budget) / float64(actual) * 0.995)
+		case MinCostUnderDeadline:
+			actual := plan.Exact.JCT()
+			if actual <= obj.Deadline {
+				return plan, nil
+			}
+			scale := obj.Deadline.Seconds() / actual.Seconds() * 0.995
+			internal.Deadline = time.Duration(float64(internal.Deadline) * scale)
+		}
+	}
+}
+
+// finish attaches both model predictions to a chosen configuration.
+func (pl *Planner) finish(cfg mapreduce.Config, obj Objective) (*Plan, error) {
+	paperPred, err := model.NewPaper(pl.Params).Predict(cfg)
+	if err != nil {
+		return nil, err
+	}
+	exactPred, err := model.NewExact(pl.Params).Predict(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Config:    cfg,
+		Objective: obj,
+		Solver:    pl.Solver,
+		Paper:     paperPred,
+		Exact:     exactPred,
+	}, nil
+}
+
+// mode and budget translate an objective into DAG terms.
+func (obj Objective) mode() dag.Mode {
+	if obj.Goal == MinCostUnderDeadline {
+		return dag.MinimizeCost
+	}
+	return dag.MinimizeTime
+}
+
+func (obj Objective) sideBudget() float64 {
+	if obj.Goal == MinCostUnderDeadline {
+		return obj.Deadline.Seconds()
+	}
+	return float64(obj.Budget)
+}
+
+// dagSolve runs Algorithm 1 or Yen on the Fig. 5 DAG.
+func (pl *Planner) dagSolve(obj Objective) (mapreduce.Config, error) {
+	d, err := dag.Build(pl.paperModel(), obj.mode(), pl.DAGOptions)
+	if err != nil {
+		return mapreduce.Config{}, err
+	}
+	maxPaths := pl.YenMaxPaths
+	if maxPaths <= 0 {
+		maxPaths = 200
+	}
+	var path graph.Path
+	switch pl.Solver {
+	case Yen:
+		path, err = d.G.YenUntil(d.Src, d.Dst, obj.sideBudget(), maxPaths)
+	case CSP:
+		path, err = d.G.ConstrainedShortestPath(d.Src, d.Dst, obj.sideBudget())
+	case Auto:
+		path, err = d.G.Algorithm1(d.Src, d.Dst, obj.sideBudget())
+		if err != nil {
+			// Algorithm 1 mutates the graph; rebuild for the exact
+			// label-setting fallback.
+			d, err = dag.Build(pl.paperModel(), obj.mode(), pl.DAGOptions)
+			if err != nil {
+				return mapreduce.Config{}, err
+			}
+			path, err = d.G.ConstrainedShortestPath(d.Src, d.Dst, obj.sideBudget())
+		}
+	default:
+		path, err = d.G.Algorithm1(d.Src, d.Dst, obj.sideBudget())
+	}
+	if err != nil {
+		if errors.Is(err, graph.ErrInfeasible) || errors.Is(err, graph.ErrNoPath) {
+			return mapreduce.Config{}, fmt.Errorf("%w: %v", ErrNoFeasiblePlan, err)
+		}
+		return mapreduce.Config{}, err
+	}
+	return d.Decode(path)
+}
+
+// rerankSolve takes the top-K DAG paths, re-evaluates each with the exact
+// model, and returns the best configuration that satisfies the constraint
+// under the exact model.
+func (pl *Planner) rerankSolve(obj Objective) (mapreduce.Config, error) {
+	d, err := dag.Build(pl.paperModel(), obj.mode(), pl.DAGOptions)
+	if err != nil {
+		return mapreduce.Config{}, err
+	}
+	k := pl.RerankPaths
+	if k <= 0 {
+		k = 50
+	}
+	paths := d.G.YenKSP(d.Src, d.Dst, k)
+	if len(paths) == 0 {
+		return mapreduce.Config{}, ErrNoFeasiblePlan
+	}
+	exact := model.NewExact(pl.Params)
+	var best mapreduce.Config
+	bestObjVal := 0.0
+	found := false
+	for _, p := range paths {
+		cfg, err := d.Decode(p)
+		if err != nil {
+			continue
+		}
+		pred, err := exact.Predict(cfg)
+		if err != nil {
+			continue
+		}
+		objVal, constraint := splitObjective(obj, pred)
+		if constraint {
+			if !found || objVal < bestObjVal {
+				best, bestObjVal, found = cfg, objVal, true
+			}
+		}
+	}
+	if !found {
+		return mapreduce.Config{}, ErrNoFeasiblePlan
+	}
+	return best, nil
+}
+
+// splitObjective evaluates a prediction against an objective, returning
+// the objective value and whether the constraint holds.
+func splitObjective(obj Objective, pred model.Prediction) (float64, bool) {
+	if obj.Goal == MinCostUnderDeadline {
+		return float64(pred.TotalCost()), pred.TotalSec() <= obj.Deadline.Seconds()
+	}
+	return pred.TotalSec(), float64(pred.TotalCost()) <= float64(obj.Budget)
+}
+
+// bruteSolve enumerates every configuration with the exact model.
+func (pl *Planner) bruteSolve(obj Objective) (mapreduce.Config, error) {
+	tiers := pl.DAGOptions.Tiers
+	if len(tiers) == 0 {
+		tiers = pl.Params.Sheet.Lambda.MemoryTiers()
+	}
+	n := pl.Params.Job.NumObjects
+	maxKM := pl.DAGOptions.MaxKM
+	if maxKM <= 0 || maxKM > n {
+		maxKM = n
+	}
+	maxKR := pl.DAGOptions.MaxKR
+	if maxKR <= 0 || maxKR > n {
+		maxKR = n
+	}
+	limit := pl.BruteWorkLimit
+	if limit <= 0 {
+		limit = 2_000_000
+	}
+	combos := maxKM * maxKR * len(tiers) * len(tiers) * len(tiers)
+	if combos > limit {
+		return mapreduce.Config{}, fmt.Errorf(
+			"optimizer: brute force over %d configurations exceeds the work limit %d; restrict DAGOptions",
+			combos, limit)
+	}
+	exact := model.NewExact(pl.Params)
+	var best mapreduce.Config
+	bestVal := 0.0
+	bestTie := 0.0 // the other metric, for breaking objective ties
+	found := false
+	for kM := 1; kM <= maxKM; kM++ {
+		for kR := 1; kR <= maxKR; kR++ {
+			orch, err := mapreduce.OrchestrateFor(pl.Params.Job.Profile, n, kM, kR)
+			if err != nil {
+				continue
+			}
+			if model.Feasible(pl.Params, orch) != nil {
+				continue
+			}
+			for _, i := range tiers {
+				for _, a := range tiers {
+					for _, s := range tiers {
+						cfg := mapreduce.Config{
+							MapperMemMB: i, CoordMemMB: a, ReducerMemMB: s,
+							ObjsPerMapper: kM, ObjsPerReducer: kR,
+						}
+						pred, err := exact.Predict(cfg)
+						if err != nil {
+							continue
+						}
+						val, ok := splitObjective(obj, pred)
+						if !ok {
+							continue
+						}
+						tie := float64(pred.TotalCost())
+						if obj.Goal == MinCostUnderDeadline {
+							tie = pred.TotalSec()
+						}
+						if !found || val < bestVal || (val == bestVal && tie < bestTie) {
+							best, bestVal, bestTie, found = cfg, val, tie, true
+						}
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		return mapreduce.Config{}, ErrNoFeasiblePlan
+	}
+	return best, nil
+}

@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"astra/internal/lambda"
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+	"astra/internal/objectstore"
+	"astra/internal/simtime"
+	"astra/internal/workload"
+)
+
+// Result is a measured pipeline execution.
+type Result struct {
+	// Stages holds each stage's execution report, in order.
+	Stages []*mapreduce.Report
+	// JCT is the end-to-end completion time.
+	JCT time.Duration
+	// Cost aggregates the stage bills.
+	Cost mapreduce.CostBreakdown
+}
+
+// Execute runs a planned pipeline on a fresh simulated platform in
+// profiled mode: each stage's final objects feed the next stage, all on
+// one object store and one Lambda platform.
+func Execute(params model.Params, p Pipeline, plan *Plan) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(plan.Stages) != len(p.Stages) {
+		return nil, fmt.Errorf("pipeline: plan has %d stages for a %d-stage pipeline",
+			len(plan.Stages), len(p.Stages))
+	}
+	sched := simtime.NewScheduler()
+	store := objectstore.New(sched, objectstore.Config{
+		Bandwidth:      params.BandwidthBps,
+		RequestLatency: params.RequestLatency,
+		Pricing:        params.Sheet.Store,
+	})
+	pl := lambda.New(sched, store, lambda.Config{
+		Sheet:           params.Sheet,
+		Speed:           params.Speed,
+		DispatchLatency: params.DispatchLatency,
+		DisableTimeout:  true,
+	})
+	perObj := maxInt64(p.InputBytes/int64(p.InputObjects), 1)
+	keys := make([]string, p.InputObjects)
+	store.CreateBucket("pipeline-input")
+	for i := range keys {
+		keys[i] = workload.InputKey(i)
+		store.SeedProfiled("pipeline-input", keys[i], perObj)
+	}
+
+	driver := mapreduce.NewDriver(pl)
+	res := &Result{}
+	err := sched.Run(func(proc *simtime.Proc) {
+		bucket := "pipeline-input"
+		inKeys := keys
+		io := stageIO{objects: p.InputObjects, bytes: p.InputBytes}
+		for i, st := range p.Stages {
+			job := workload.Job{
+				Profile:    st.Profile,
+				NumObjects: io.objects,
+				ObjectSize: maxInt64(io.bytes/int64(io.objects), 1),
+			}
+			rep, err := driver.Run(proc, mapreduce.JobSpec{
+				Workload:  job,
+				Bucket:    bucket,
+				InputKeys: inKeys,
+				Mode:      mapreduce.Profiled,
+			}, plan.Stages[i].Config)
+			if err != nil {
+				panic(fmt.Errorf("stage %q: %w", st.Name, err))
+			}
+			res.Stages = append(res.Stages, rep)
+			bucket = rep.InterBucket
+			inKeys = rep.OutputKeys
+			next, err := outputOf(st.Profile, io, plan.Stages[i].Config)
+			if err != nil {
+				panic(err)
+			}
+			io = next
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rep := range res.Stages {
+		res.JCT += rep.JCT
+		res.Cost.Lambda += rep.Cost.Lambda
+		res.Cost.Requests += rep.Cost.Requests
+		res.Cost.Storage += rep.Cost.Storage
+		res.Cost.Workflow += rep.Cost.Workflow
+	}
+	return res, nil
+}

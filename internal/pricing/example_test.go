@@ -1,0 +1,34 @@
+package pricing_test
+
+import (
+	"fmt"
+	"time"
+
+	"astra/internal/pricing"
+)
+
+// The paper's headline constants: 46 memory tiers, $0.20 per million
+// invocations, and duration billing proportional to allocated memory.
+func ExampleAWS() {
+	sheet := pricing.AWS()
+	fmt.Println("tiers:", sheet.Lambda.NumTiers())
+	fmt.Println("1M invocations:", sheet.Lambda.InvocationCost(1_000_000))
+	fmt.Println("1 GB-second:", sheet.Lambda.DurationCost(1024, time.Second))
+	// Output:
+	// tiers: 46
+	// 1M invocations: $0.200000
+	// 1 GB-second: $0.000017
+}
+
+// Billed duration rounds up to the quantum; the legacy sheet uses the
+// pre-2021 100 ms granularity.
+func ExampleLambda_BilledDuration() {
+	now := pricing.AWS().Lambda
+	legacy := pricing.AWSLegacyBilling().Lambda
+	d := 42*time.Millisecond + 300*time.Microsecond
+	fmt.Println(now.BilledDuration(d))
+	fmt.Println(legacy.BilledDuration(d))
+	// Output:
+	// 43ms
+	// 100ms
+}

@@ -1,0 +1,102 @@
+package profiler
+
+import (
+	"testing"
+
+	"astra/internal/model"
+	"astra/internal/optimizer"
+	"astra/internal/workload"
+)
+
+func TestCalibrateSortRatiosNearOne(t *testing.T) {
+	// Sort moves every byte through every phase: measured alpha and beta
+	// must both be ~1 regardless of the declared profile values.
+	declared := workload.Sort
+	declared.MapOutputRatio = 0.5 // deliberately wrong
+	cal, err := Calibrate(declared, Sample{Objects: 8, BytesPerObject: 10_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.MapOutputRatio < 0.95 || cal.MapOutputRatio > 1.05 {
+		t.Fatalf("sort alpha = %v, want ~1", cal.MapOutputRatio)
+	}
+	if cal.ReduceOutputRatio < 0.95 || cal.ReduceOutputRatio > 1.05 {
+		t.Fatalf("sort beta = %v, want ~1", cal.ReduceOutputRatio)
+	}
+	// The calibrated profile carries the measured values and keeps u.
+	if cal.Profile.MapOutputRatio != cal.MapOutputRatio {
+		t.Fatal("profile not updated")
+	}
+	if cal.Profile.USecPerMB != declared.USecPerMB {
+		t.Fatal("compute density must be preserved")
+	}
+}
+
+func TestCalibrateWordCountShrinks(t *testing.T) {
+	cal, err := Calibrate(workload.WordCount, Sample{Objects: 8, BytesPerObject: 20_000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A counted corpus is far smaller than the raw text.
+	if cal.MapOutputRatio >= 0.5 {
+		t.Fatalf("wordcount alpha = %v, want well below raw size", cal.MapOutputRatio)
+	}
+	// Merging count tables of a fixed vocabulary barely shrinks them:
+	// beta should be near 1 — notably different from the nominal 0.9.
+	if cal.ReduceOutputRatio <= 0.5 || cal.ReduceOutputRatio > 1.1 {
+		t.Fatalf("wordcount beta = %v", cal.ReduceOutputRatio)
+	}
+}
+
+func TestCalibrateQueryAggregatesHard(t *testing.T) {
+	cal, err := Calibrate(workload.Query, Sample{Objects: 8, BytesPerObject: 20_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten countries' revenue table is tiny relative to the raw rows.
+	if cal.MapOutputRatio >= 0.1 {
+		t.Fatalf("query alpha = %v, want tiny", cal.MapOutputRatio)
+	}
+}
+
+func TestCalibrateDeterministic(t *testing.T) {
+	a, err := Calibrate(workload.WordCount, Sample{Objects: 6, BytesPerObject: 8_000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Calibrate(workload.WordCount, Sample{Objects: 6, BytesPerObject: 8_000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MapOutputRatio != b.MapOutputRatio || a.ReduceOutputRatio != b.ReduceOutputRatio {
+		t.Fatal("same sample must calibrate identically")
+	}
+}
+
+func TestCalibrateRejectsBadSamples(t *testing.T) {
+	if _, err := Calibrate(workload.WordCount, Sample{Objects: 2, BytesPerObject: 100}); err == nil {
+		t.Fatal("too few objects should fail")
+	}
+	if _, err := Calibrate(workload.WordCount, Sample{Objects: 8, BytesPerObject: 0}); err == nil {
+		t.Fatal("zero size should fail")
+	}
+}
+
+// TestCalibratedProfilePlans: the measured profile slots straight into
+// the planner — the refinement loop end to end.
+func TestCalibratedProfilePlans(t *testing.T) {
+	cal, err := Calibrate(workload.WordCount, Sample{Objects: 8, BytesPerObject: 16_000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := workload.Job{Profile: cal.Profile, NumObjects: 20, ObjectSize: 64 << 20}
+	pl := optimizer.New(model.DefaultParams(job))
+	pl.Solver = optimizer.Auto
+	plan, err := pl.Plan(optimizer.Objective{Goal: optimizer.MinTimeUnderBudget, Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Exact.TotalSec() <= 0 {
+		t.Fatal("degenerate plan")
+	}
+}

@@ -1,0 +1,84 @@
+package simtime
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// goroutinesSettled polls until the goroutine count drops to at most
+// want, tolerating scheduler lag.
+func goroutinesSettled(want int) bool {
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= want {
+			return true
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// TestNoGoroutineLeakAfterClean: a completed simulation leaves no process
+// goroutines behind.
+func TestNoGoroutineLeakAfterClean(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		_, err := Elapsed(func(p *Proc) {
+			p.Parallel(20, "w", func(q *Proc, j int) { q.Sleep(time.Millisecond) })
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !goroutinesSettled(before + 2) {
+		t.Fatalf("goroutines leaked: %d -> %d", before, runtime.NumGoroutine())
+	}
+}
+
+// TestNoGoroutineLeakAfterDeadlock: the abort path unwinds every blocked
+// process goroutine.
+func TestNoGoroutineLeakAfterDeadlock(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		s := NewScheduler()
+		err := s.Run(func(p *Proc) {
+			l := s.NewLatch()
+			for j := 0; j < 10; j++ {
+				p.Spawn("stuck", func(q *Proc) { l.Wait(q) })
+			}
+			l.Wait(p) // everyone waits forever
+		})
+		if err == nil {
+			t.Fatal("expected deadlock")
+		}
+	}
+	if !goroutinesSettled(before + 2) {
+		t.Fatalf("goroutines leaked after deadlock: %d -> %d", before, runtime.NumGoroutine())
+	}
+}
+
+// TestNoGoroutineLeakAfterPanic: a panicking process aborts the whole
+// simulation and everything unwinds.
+func TestNoGoroutineLeakAfterPanic(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		s := NewScheduler()
+		err := s.Run(func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				p.Spawn("sleeper", func(q *Proc) { q.Sleep(time.Hour) })
+			}
+			p.Spawn("bomb", func(q *Proc) {
+				q.Sleep(time.Second)
+				panic("boom")
+			})
+			p.Sleep(2 * time.Hour)
+		})
+		if err == nil {
+			t.Fatal("expected panic to surface")
+		}
+	}
+	if !goroutinesSettled(before + 2) {
+		t.Fatalf("goroutines leaked after panic: %d -> %d", before, runtime.NumGoroutine())
+	}
+}

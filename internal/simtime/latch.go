@@ -1,0 +1,74 @@
+package simtime
+
+// Latch is a one-shot completion signal. Processes that Wait before Done
+// block until Done is called; Waits after Done return immediately.
+type Latch struct {
+	s       *Scheduler
+	done    bool
+	waiters []*Proc
+}
+
+// NewLatch creates an unreleased latch.
+func (s *Scheduler) NewLatch() *Latch { return &Latch{s: s} }
+
+// Done releases the latch, waking all waiters at the current virtual time.
+// It is idempotent and must be called from process or callback context.
+func (l *Latch) Done() {
+	if l.done {
+		return
+	}
+	l.done = true
+	for _, w := range l.waiters {
+		l.s.wake(w)
+	}
+	l.waiters = nil
+}
+
+// IsDone reports whether the latch has been released.
+func (l *Latch) IsDone() bool { return l.done }
+
+// Wait blocks p until the latch is released.
+func (l *Latch) Wait(p *Proc) {
+	if l.done {
+		return
+	}
+	l.waiters = append(l.waiters, p)
+	p.block("latch")
+}
+
+// Counter is a countdown latch: it releases once Add has been balanced by
+// the configured number of Done calls. Used to model barrier-style phase
+// completion (e.g., "all mappers finished").
+type Counter struct {
+	s       *Scheduler
+	n       int
+	waiters []*Proc
+}
+
+// NewCounter creates a countdown latch expecting n Done calls.
+func (s *Scheduler) NewCounter(n int) *Counter { return &Counter{s: s, n: n} }
+
+// Done decrements the counter; when it reaches zero all waiters wake.
+// Calling Done more times than the initial count panics: that is always a
+// bookkeeping bug in the simulation harness.
+func (c *Counter) Done() {
+	if c.n <= 0 {
+		panic("simtime: Counter.Done called more times than its count")
+	}
+	c.n--
+	if c.n == 0 {
+		for _, w := range c.waiters {
+			c.s.wake(w)
+		}
+		c.waiters = nil
+	}
+}
+
+// Wait blocks p until the count reaches zero.
+func (c *Counter) Wait(p *Proc) {
+	if c.n == 0 {
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	p.block("counter")
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCSV exports the timeline as CSV with one row per lambda:
+// label, start_seconds, end_seconds, duration_seconds.
+func (tl Timeline) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"label", "start_s", "end_s", "duration_s"}); err != nil {
+		return err
+	}
+	for _, r := range tl.Rows {
+		rec := []string{
+			r.Label,
+			fmt.Sprintf("%.6f", r.Start.Seconds()),
+			fmt.Sprintf("%.6f", r.End.Seconds()),
+			fmt.Sprintf("%.6f", (r.End - r.Start).Seconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonRow is the JSON export schema for one lambda.
+type jsonRow struct {
+	Label     string  `json:"label"`
+	StartSec  float64 `json:"start_s"`
+	EndSec    float64 `json:"end_s"`
+	DurationS float64 `json:"duration_s"`
+}
+
+// jsonTimeline is the JSON export schema.
+type jsonTimeline struct {
+	SpanSec float64   `json:"span_s"`
+	Rows    []jsonRow `json:"rows"`
+}
+
+// WriteJSON exports the timeline as a JSON document suitable for external
+// visualization tools.
+func (tl Timeline) WriteJSON(w io.Writer) error {
+	doc := jsonTimeline{SpanSec: tl.Span.Seconds()}
+	for _, r := range tl.Rows {
+		doc.Rows = append(doc.Rows, jsonRow{
+			Label:     r.Label,
+			StartSec:  r.Start.Seconds(),
+			EndSec:    r.End.Seconds(),
+			DurationS: (r.End - r.Start).Seconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

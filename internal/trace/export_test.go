@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tl := FromRecords(sampleRecords())
+	var buf bytes.Buffer
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // header + 5 lambdas
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0][0] != "label" || rows[0][3] != "duration_s" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	// map-0: 0..4s.
+	found := false
+	for _, r := range rows[1:] {
+		if r[0] == "map-0" {
+			found = true
+			if r[1] != "0.000000" || r[3] != "4.000000" {
+				t.Fatalf("map-0 row = %v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("map-0 missing")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tl := FromRecords(sampleRecords())
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		SpanSec float64 `json:"span_s"`
+		Rows    []struct {
+			Label    string  `json:"label"`
+			StartSec float64 `json:"start_s"`
+			EndSec   float64 `json:"end_s"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SpanSec != 14 || len(doc.Rows) != 5 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	for _, r := range doc.Rows {
+		if r.EndSec < r.StartSec {
+			t.Fatalf("row %q ends before it starts", r.Label)
+		}
+	}
+	if !strings.Contains(buf.String(), "coordinator") {
+		t.Fatal("missing coordinator row")
+	}
+}
+
+func TestExportEmptyTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Timeline{}).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Timeline{}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

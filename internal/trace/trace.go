@@ -1,0 +1,139 @@
+// Package trace renders execution timelines from the platform's
+// invocation records — the tool behind the Fig. 3 job decomposition view:
+// an ASCII Gantt chart with one row per lambda, grouped into mapper,
+// coordinator and reducer-step lanes.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"astra/internal/lambda"
+)
+
+// Row is one lambda's rendered interval.
+type Row struct {
+	Label string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Timeline is an ordered set of rows with a common origin.
+type Timeline struct {
+	Rows   []Row
+	Origin time.Duration // virtual time of the earliest start
+	Span   time.Duration
+}
+
+// FromRecords builds a timeline from invocation records, normalizing to
+// the earliest start.
+func FromRecords(records []lambda.Record) Timeline {
+	if len(records) == 0 {
+		return Timeline{}
+	}
+	origin := records[0].Start
+	var end time.Duration
+	for _, r := range records {
+		if r.Start < origin {
+			origin = r.Start
+		}
+		if r.End > end {
+			end = r.End
+		}
+	}
+	tl := Timeline{Origin: origin, Span: end - origin}
+	for _, r := range records {
+		label := r.Label
+		if label == "" {
+			label = r.Function
+		}
+		tl.Rows = append(tl.Rows, Row{Label: label, Start: r.Start - origin, End: r.End - origin})
+	}
+	sort.SliceStable(tl.Rows, func(i, j int) bool {
+		if tl.Rows[i].Start != tl.Rows[j].Start {
+			return tl.Rows[i].Start < tl.Rows[j].Start
+		}
+		return tl.Rows[i].Label < tl.Rows[j].Label
+	})
+	return tl
+}
+
+// Render draws the timeline as an ASCII Gantt chart of the given width
+// (in columns for the bar area; labels are padded separately).
+func (tl Timeline) Render(width int) string {
+	if len(tl.Rows) == 0 {
+		return "(empty timeline)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	labelW := 0
+	for _, r := range tl.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	span := tl.Span
+	if span <= 0 {
+		span = time.Nanosecond
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s |%s| total %v\n", labelW, "lambda",
+		strings.Repeat("-", width), tl.Span.Round(time.Millisecond))
+	for _, r := range tl.Rows {
+		startCol := int(float64(r.Start) / float64(span) * float64(width))
+		endCol := int(float64(r.End) / float64(span) * float64(width))
+		if endCol <= startCol {
+			endCol = startCol + 1
+		}
+		if endCol > width {
+			endCol = width
+		}
+		bar := strings.Repeat(" ", startCol) +
+			strings.Repeat("#", endCol-startCol) +
+			strings.Repeat(" ", width-endCol)
+		fmt.Fprintf(&b, "%-*s |%s| %v..%v\n", labelW, r.Label, bar,
+			r.Start.Round(time.Millisecond), r.End.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// PhaseSummary aggregates rows by label prefix (text before the first
+// '-'), reporting each group's span — a compact Fig. 3 caption.
+func (tl Timeline) PhaseSummary() string {
+	type agg struct {
+		start, end time.Duration
+		n          int
+	}
+	groups := map[string]*agg{}
+	var order []string
+	for _, r := range tl.Rows {
+		key := r.Label
+		if i := strings.IndexByte(key, '-'); i > 0 {
+			key = key[:i]
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &agg{start: r.Start, end: r.End}
+			groups[key] = g
+			order = append(order, key)
+		}
+		if r.Start < g.start {
+			g.start = r.Start
+		}
+		if r.End > g.end {
+			g.end = r.End
+		}
+		g.n++
+	}
+	var b strings.Builder
+	for _, key := range order {
+		g := groups[key]
+		fmt.Fprintf(&b, "%-12s x%-4d %v .. %v (%v)\n", key, g.n,
+			g.start.Round(time.Millisecond), g.end.Round(time.Millisecond),
+			(g.end - g.start).Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"astra/internal/lambda"
+)
+
+func sampleRecords() []lambda.Record {
+	return []lambda.Record{
+		{Function: "f", Label: "map-0", Start: 0, End: 4 * time.Second},
+		{Function: "f", Label: "map-1", Start: 0, End: 6 * time.Second},
+		{Function: "f", Label: "coordinator", Start: 6 * time.Second, End: 14 * time.Second},
+		{Function: "f", Label: "red-0-0", Start: 7 * time.Second, End: 10 * time.Second},
+		{Function: "f", Label: "red-1-0", Start: 11 * time.Second, End: 14 * time.Second},
+	}
+}
+
+func TestFromRecordsNormalizesAndSorts(t *testing.T) {
+	recs := sampleRecords()
+	// Shift everything by an hour: the timeline must renormalize.
+	for i := range recs {
+		recs[i].Start += time.Hour
+		recs[i].End += time.Hour
+	}
+	tl := FromRecords(recs)
+	if tl.Origin != time.Hour {
+		t.Fatalf("origin = %v", tl.Origin)
+	}
+	if tl.Span != 14*time.Second {
+		t.Fatalf("span = %v", tl.Span)
+	}
+	if tl.Rows[0].Start != 0 {
+		t.Fatalf("first row start = %v", tl.Rows[0].Start)
+	}
+	for i := 1; i < len(tl.Rows); i++ {
+		if tl.Rows[i].Start < tl.Rows[i-1].Start {
+			t.Fatal("rows not sorted by start")
+		}
+	}
+}
+
+func TestRenderContainsBarsAndLabels(t *testing.T) {
+	out := FromRecords(sampleRecords()).Render(40)
+	for _, want := range []string{"map-0", "map-1", "coordinator", "red-0-0", "red-1-0", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 6 { // header + 5 rows
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	if out := (Timeline{}).Render(40); !strings.Contains(out, "empty") {
+		t.Fatalf("empty render = %q", out)
+	}
+	// Zero-length record should still render a 1-column bar.
+	tl := FromRecords([]lambda.Record{{Label: "x", Start: 0, End: 0}})
+	if out := tl.Render(20); !strings.Contains(out, "#") {
+		t.Fatalf("degenerate render = %q", out)
+	}
+}
+
+func TestPhaseSummaryGroups(t *testing.T) {
+	out := FromRecords(sampleRecords()).PhaseSummary()
+	if !strings.Contains(out, "map") || !strings.Contains(out, "coordinator") || !strings.Contains(out, "red") {
+		t.Fatalf("summary missing groups:\n%s", out)
+	}
+	if !strings.Contains(out, "x2") {
+		t.Fatalf("mapper group should count 2:\n%s", out)
+	}
+}
+
+func TestRenderWidthClamp(t *testing.T) {
+	out := FromRecords(sampleRecords()).Render(1)
+	if out == "" {
+		t.Fatal("render with tiny width should still produce output")
+	}
+}
+
+func TestFallbackLabelIsFunctionName(t *testing.T) {
+	tl := FromRecords([]lambda.Record{{Function: "job1-mapper", Start: 0, End: time.Second}})
+	if tl.Rows[0].Label != "job1-mapper" {
+		t.Fatalf("label = %q", tl.Rows[0].Label)
+	}
+}

@@ -1,0 +1,33 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"astra/internal/workload"
+)
+
+// The paper's five evaluation inputs, with the object layouts its Sec. V
+// describes (Sort: 200 x 500 MB; Query: 25.4 GB in 202 objects).
+func ExamplePaperJobs() {
+	for _, job := range workload.PaperJobs() {
+		fmt.Printf("%-10s %3d objects x %4d MB\n",
+			job.Profile.Name, job.NumObjects, job.ObjectSize>>20)
+	}
+	// Output:
+	// wordcount   20 objects x   51 MB
+	// wordcount   24 objects x  426 MB
+	// wordcount   40 objects x  512 MB
+	// sort       200 objects x  500 MB
+	// query      202 objects x  128 MB
+}
+
+// Generators are deterministic in their seed.
+func ExampleCorpusText() {
+	a := workload.CorpusText(42, 24)
+	b := workload.CorpusText(42, 24)
+	fmt.Println(string(a))
+	fmt.Println(string(a) == string(b))
+	// Output:
+	// that the have and the it
+	// true
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"astra/internal/objectstore"
+)
+
+// Generator produces approximately size bytes of deterministic input data
+// from a seed. Exact output length may differ by up to one record.
+type Generator func(seed int64, size int) []byte
+
+// corpusWords is the vocabulary for WordCount inputs; a Zipf-ish skew is
+// induced by sampling the head of the list more often.
+var corpusWords = []string{
+	"the", "of", "and", "a", "to", "in", "is", "you", "that", "it",
+	"he", "was", "for", "on", "are", "as", "with", "his", "they", "at",
+	"be", "this", "have", "from", "or", "one", "had", "by", "word", "but",
+	"not", "what", "all", "were", "we", "when", "your", "can", "said", "there",
+	"use", "an", "each", "which", "she", "do", "how", "their", "if", "will",
+	"lambda", "serverless", "analytics", "astra", "mapreduce", "shuffle",
+	"object", "storage", "function", "memory", "latency", "budget", "cost",
+}
+
+// CorpusText generates whitespace-separated words for WordCount, broken
+// into newline-terminated lines of a dozen words so line-oriented
+// applications (Grep) see realistic text.
+func CorpusText(seed int64, size int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	buf.Grow(size + 16)
+	words := 0
+	for buf.Len() < size {
+		// Squaring the uniform variate skews selection toward the head,
+		// giving a heavy-tailed word distribution like real text.
+		u := rng.Float64()
+		idx := int(u * u * float64(len(corpusWords)))
+		if idx >= len(corpusWords) {
+			idx = len(corpusWords) - 1
+		}
+		buf.WriteString(corpusWords[idx])
+		words++
+		if words%12 == 0 {
+			buf.WriteByte('\n')
+		} else {
+			buf.WriteByte(' ')
+		}
+	}
+	return buf.Bytes()[:size]
+}
+
+// SortRecordSize is the gensort-style record size: a 10-byte key, a
+// 2-byte separator and an 87-byte payload plus newline.
+const SortRecordSize = 100
+
+// SortRecords generates newline-terminated 100-byte records with random
+// 10-byte keys, the classic sort-benchmark format.
+func SortRecords(seed int64, size int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	n := size / SortRecordSize
+	if n == 0 {
+		n = 1
+	}
+	var buf bytes.Buffer
+	buf.Grow(n * SortRecordSize)
+	const keyAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	payload := bytes.Repeat([]byte{'x'}, SortRecordSize-13)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 10; k++ {
+			buf.WriteByte(keyAlphabet[rng.Intn(len(keyAlphabet))])
+		}
+		buf.WriteString("  ")
+		buf.Write(payload)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// Countries used by the uservisits synthesizer.
+var countries = []string{"USA", "CHN", "IND", "BRA", "DEU", "FRA", "GBR", "JPN", "CAN", "AUS"}
+var languages = []string{"en", "zh", "hi", "pt", "de", "fr", "ja", "es"}
+var searchWords = []string{"cloud", "lambda", "price", "news", "travel", "music", "sports", "food"}
+
+// UserVisitsRows generates CSV rows with the AMPLab uservisits schema the
+// paper describes: sourceIP, visitDate, adRevenue, userAgent, countryCode,
+// languageCode, searchWord, duration.
+func UserVisitsRows(seed int64, size int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	buf.Grow(size + 128)
+	for buf.Len() < size {
+		fmt.Fprintf(&buf, "%d.%d.%d.%d,%04d-%02d-%02d,%.2f,Mozilla/5.0,%s,%s,%s,%d\n",
+			rng.Intn(224)+1, rng.Intn(256), rng.Intn(256), rng.Intn(256),
+			1980+rng.Intn(30), 1+rng.Intn(12), 1+rng.Intn(28),
+			rng.Float64()*1000,
+			countries[rng.Intn(len(countries))],
+			languages[rng.Intn(len(languages))],
+			searchWords[rng.Intn(len(searchWords))],
+			1+rng.Intn(10000))
+	}
+	return buf.Bytes()
+}
+
+// GeneratorFor returns the concrete data generator for a profile.
+func GeneratorFor(pf Profile) (Generator, error) {
+	switch pf.Name {
+	case WordCount.Name, SparkWordCount.Name, Grep.Name:
+		return CorpusText, nil
+	case Sort.Name:
+		return SortRecords, nil
+	case Query.Name, SparkSQL.Name:
+		return UserVisitsRows, nil
+	default:
+		return nil, fmt.Errorf("workload: no generator for profile %q", pf.Name)
+	}
+}
+
+// InputKey names the i-th input object under the conventional layout.
+func InputKey(i int) string { return fmt.Sprintf("input/part-%05d", i) }
+
+// SeedConcrete materializes a job's input objects with real generated
+// bytes (setup-time, free of request billing) and returns the keys.
+func SeedConcrete(store *objectstore.Store, bucket string, job Job, seed int64) ([]string, error) {
+	gen, err := GeneratorFor(job.Profile)
+	if err != nil {
+		return nil, err
+	}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	keys := make([]string, job.NumObjects)
+	for i := 0; i < job.NumObjects; i++ {
+		keys[i] = InputKey(i)
+		store.Seed(bucket, keys[i], gen(seed+int64(i), int(job.ObjectSize)))
+	}
+	return keys, nil
+}
+
+// SeedProfiled registers a job's input objects as size-only metadata,
+// letting 100 GB inputs exist without 100 GB of host memory.
+func SeedProfiled(store *objectstore.Store, bucket string, job Job) ([]string, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	keys := make([]string, job.NumObjects)
+	for i := 0; i < job.NumObjects; i++ {
+		keys[i] = InputKey(i)
+		store.SeedProfiled(bucket, keys[i], job.ObjectSize)
+	}
+	return keys, nil
+}
