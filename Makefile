@@ -1,0 +1,30 @@
+# Build and verification targets. `make verify` is the CI gate: static
+# vetting plus the full test suite under the race detector (the plan-search
+# engine is concurrent by default, so every PR must pass -race).
+
+GO ?= go
+
+.PHONY: build test verify bench race vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# -short skips the full evaluation sweeps (internal/experiments), which
+# replan every paper artifact and blow the test timeout under race
+# instrumentation on small hosts; the sweeps run race-free via `make test`,
+# and every concurrency path has dedicated tests that -short keeps.
+race:
+	$(GO) test -race -short ./...
+
+verify: vet race
+
+# Planning-engine benchmarks: serial vs parallel search and warm-planner
+# re-planning at the Sort100GB scale.
+bench:
+	$(GO) test -run xxx -bench 'PlanSort100GB|FrontierSort100GB|PlanQuery202' -benchmem .

@@ -24,6 +24,7 @@
 package astra
 
 import (
+	"context"
 	"time"
 
 	"astra/internal/dag"
@@ -105,29 +106,115 @@ func NewJob(pf Profile, numObjects int, totalBytes int64) Job {
 	return Job{Profile: pf, NumObjects: numObjects, ObjectSize: totalBytes / int64(numObjects)}
 }
 
+// Errors surfaced by the planner, exported so callers can test with
+// errors.Is instead of string-matching.
+var (
+	// ErrInfeasible is wrapped by Plan when no configuration satisfies
+	// the objective's constraint.
+	ErrInfeasible = optimizer.ErrNoFeasiblePlan
+	// ErrInvalidObjective is wrapped by Plan when the objective is
+	// malformed: MinTime with a negative budget, or MinCost with a
+	// non-positive deadline.
+	ErrInvalidObjective = optimizer.ErrInvalidObjective
+)
+
 // MinTime is the Eq. 16 objective: the fastest plan costing at most
-// budget dollars.
+// budget dollars. A negative budget is rejected by Plan with
+// ErrInvalidObjective.
 func MinTime(budgetUSD float64) Objective {
 	return Objective{Goal: optimizer.MinTimeUnderBudget, Budget: USD(budgetUSD)}
 }
 
 // MinCost is the Eq. 20 objective: the cheapest plan finishing within the
-// deadline.
+// deadline. A non-positive deadline is rejected by Plan with
+// ErrInvalidObjective.
 func MinCost(deadline time.Duration) Objective {
 	return Objective{Goal: optimizer.MinCostUnderDeadline, Deadline: deadline}
 }
 
+// PlanCache memoizes model predictions across planning calls. Share one
+// cache (via WithPlanCache) among plans for the same job parameterization
+// to make repeated searches — re-planning under a new budget, frontier
+// sweeps, A/B solver comparisons — substantially cheaper.
+type PlanCache = model.PredictionCache
+
+// NewPlanCache creates an empty prediction cache, safe for concurrent use.
+func NewPlanCache() *PlanCache { return model.NewPredictionCache() }
+
+// planSettings is the resolved option set for one planning call.
+type planSettings struct {
+	params      Params
+	hasParams   bool
+	solver      Solver
+	parallelism int
+	cache       *PlanCache
+}
+
+// PlanOption customizes a planning search (see Plan).
+type PlanOption func(*planSettings)
+
+// WithSolver selects the plan-search strategy (default SolverAuto).
+func WithSolver(s Solver) PlanOption {
+	return func(ps *planSettings) { ps.solver = s }
+}
+
+// WithParams substitutes an explicit model parameterization for the job's
+// defaults (custom price sheet, bandwidth, latencies, speed scaling).
+func WithParams(p Params) PlanOption {
+	return func(ps *planSettings) { ps.params, ps.hasParams = p, true }
+}
+
+// WithParallelism bounds the search engine's worker pool: 0 (the default)
+// uses every available core, 1 forces the serial engine. The chosen plan
+// is identical at every setting; only wall-clock time changes.
+func WithParallelism(n int) PlanOption {
+	return func(ps *planSettings) { ps.parallelism = n }
+}
+
+// WithPlanCache shares a prediction cache with the search, so repeated
+// planning over the same parameterization skips recomputing model
+// evaluations.
+func WithPlanCache(c *PlanCache) PlanOption {
+	return func(ps *planSettings) { ps.cache = c }
+}
+
 // Plan searches for the optimal configuration of a job under an
-// objective, using the default model parameters and the Auto solver.
-func Plan(job Job, obj Objective) (*ExecutionPlan, error) {
-	return PlanWith(model.DefaultParams(job), obj, SolverAuto)
+// objective. With no options it uses the job's default model parameters,
+// the Auto solver, and a worker pool spanning every available core:
+//
+//	plan, err := astra.Plan(job, astra.MinTime(0.01),
+//	        astra.WithSolver(astra.SolverCSP), astra.WithParallelism(4))
+//
+// Plan is PlanContext with context.Background(); use PlanContext to bound
+// or cancel the search.
+func Plan(job Job, obj Objective, opts ...PlanOption) (*ExecutionPlan, error) {
+	return PlanContext(context.Background(), job, obj, opts...)
+}
+
+// PlanContext is Plan with cancellation: the search engine checks ctx
+// throughout DAG construction, path search and candidate evaluation, and
+// returns ctx.Err() promptly — leaking no goroutines — if it fires.
+func PlanContext(ctx context.Context, job Job, obj Objective, opts ...PlanOption) (*ExecutionPlan, error) {
+	ps := planSettings{solver: SolverAuto}
+	for _, opt := range opts {
+		opt(&ps)
+	}
+	params := ps.params
+	if !ps.hasParams {
+		params = model.DefaultParams(job)
+	}
+	pl := optimizer.New(params)
+	pl.Solver = ps.solver
+	pl.Parallelism = ps.parallelism
+	pl.Cache = ps.cache
+	return pl.PlanContext(ctx, obj)
 }
 
 // PlanWith is Plan with explicit model parameters and solver choice.
+//
+// Deprecated: use Plan (or PlanContext) with WithParams and WithSolver.
 func PlanWith(params Params, obj Objective, solver Solver) (*ExecutionPlan, error) {
-	pl := optimizer.New(params)
-	pl.Solver = solver
-	return pl.Plan(obj)
+	return PlanContext(context.Background(), params.Job, obj, WithParams(params), WithSolver(solver))
 }
 
 // Baselines returns the paper's three baseline configurations for a job.
@@ -154,18 +241,30 @@ func WithCacheIntermediates() RunOption {
 
 // Run executes a configuration on a fresh simulated platform in profiled
 // mode (any input scale; data is metadata-only) and reports measured
-// timing and cost.
+// timing and cost. Run is RunContext with context.Background().
 func Run(job Job, cfg Config, opts ...RunOption) (*Report, error) {
-	return RunWith(model.DefaultParams(job), cfg, opts...)
+	return RunContext(context.Background(), job, cfg, opts...)
+}
+
+// RunContext is Run with cancellation: the simulation's event loop checks
+// ctx between events and, when it fires, tears the virtual platform down
+// and returns ctx.Err(). The ctx deadline bounds wall-clock execution,
+// not the simulated clock.
+func RunContext(ctx context.Context, job Job, cfg Config, opts ...RunOption) (*Report, error) {
+	return runContextWith(ctx, model.DefaultParams(job), cfg, opts...)
 }
 
 // RunWith is Run with explicit model parameters.
 func RunWith(params Params, cfg Config, opts ...RunOption) (*Report, error) {
+	return runContextWith(context.Background(), params, cfg, opts...)
+}
+
+func runContextWith(ctx context.Context, params Params, cfg Config, opts ...RunOption) (*Report, error) {
 	world, keys, err := newWorld(params, false, 0)
 	if err != nil {
 		return nil, err
 	}
-	return world.run(params.Job, keys, cfg, mapreduce.Profiled, opts)
+	return world.run(ctx, params.Job, keys, cfg, mapreduce.Profiled, opts)
 }
 
 // RunConcrete executes a configuration over real generated data: the
@@ -180,7 +279,7 @@ func RunConcrete(job Job, cfg Config, seed int64, opts ...RunOption) (*Report, [
 		return nil, nil, err
 	}
 	var outputs [][]byte
-	rep, err := world.runThen(job, keys, cfg, mapreduce.Concrete, opts,
+	rep, err := world.runThen(context.Background(), job, keys, cfg, mapreduce.Concrete, opts,
 		func(p *simtime.Proc, rep *Report) error {
 			for _, key := range rep.OutputKeys {
 				obj, err := world.store.Get(p, rep.InterBucket, key)
@@ -235,13 +334,13 @@ func newWorld(params Params, concrete bool, seed int64) (*world, []string, error
 }
 
 // run executes one job on the world; the world's scheduler is consumed.
-func (w *world) run(job Job, keys []string, cfg Config, mode mapreduce.Mode, opts []RunOption) (*Report, error) {
-	return w.runThen(job, keys, cfg, mode, opts, nil)
+func (w *world) run(ctx context.Context, job Job, keys []string, cfg Config, mode mapreduce.Mode, opts []RunOption) (*Report, error) {
+	return w.runThen(ctx, job, keys, cfg, mode, opts, nil)
 }
 
 // runThen executes one job and then, still inside the simulation, hands
 // the root process to after (e.g. to retrieve output objects).
-func (w *world) runThen(job Job, keys []string, cfg Config, mode mapreduce.Mode,
+func (w *world) runThen(ctx context.Context, job Job, keys []string, cfg Config, mode mapreduce.Mode,
 	opts []RunOption, after func(*simtime.Proc, *Report) error) (*Report, error) {
 	spec := mapreduce.JobSpec{
 		Workload:  job,
@@ -254,7 +353,7 @@ func (w *world) runThen(job Job, keys []string, cfg Config, mode mapreduce.Mode,
 	}
 	var rep *Report
 	var runErr error
-	err := w.sched.Run(func(p *simtime.Proc) {
+	err := w.sched.RunContext(ctx, func(p *simtime.Proc) {
 		rep, runErr = w.driver.Run(p, spec, cfg)
 		if runErr == nil && after != nil {
 			runErr = after(p, rep)
@@ -283,14 +382,33 @@ type (
 var Grep = workload.Grep
 
 // PlanPipeline allocates a global budget or deadline across a pipeline's
-// stages and returns per-stage configurations.
+// stages and returns per-stage configurations. It is PlanPipelineContext
+// with context.Background().
 func PlanPipeline(p Pipeline, obj Objective) (*PipelinePlan, error) {
-	params := model.DefaultParams(workload.Job{
-		Profile:    p.Stages[0].Profile,
-		NumObjects: p.InputObjects,
-		ObjectSize: p.InputBytes / int64(maxInt(p.InputObjects, 1)),
-	})
-	return pipeline.NewPlanner(params).Plan(p, obj)
+	return PlanPipelineContext(context.Background(), p, obj)
+}
+
+// PlanPipelineContext is PlanPipeline with cancellation and planning
+// options (WithParallelism bounds the per-stage frontier sweeps).
+func PlanPipelineContext(ctx context.Context, p Pipeline, obj Objective, opts ...PlanOption) (*PipelinePlan, error) {
+	if len(p.Stages) == 0 {
+		return nil, p.Validate()
+	}
+	ps := planSettings{}
+	for _, opt := range opts {
+		opt(&ps)
+	}
+	params := ps.params
+	if !ps.hasParams {
+		params = model.DefaultParams(workload.Job{
+			Profile:    p.Stages[0].Profile,
+			NumObjects: p.InputObjects,
+			ObjectSize: p.InputBytes / int64(maxInt(p.InputObjects, 1)),
+		})
+	}
+	pl := pipeline.NewPlanner(params)
+	pl.Parallelism = ps.parallelism
+	return pl.PlanContext(ctx, p, obj)
 }
 
 // RunPipeline executes a planned pipeline on a fresh simulated platform.
@@ -317,8 +435,25 @@ type FrontierPoint = optimizer.FrontierPoint
 // Frontier computes a job's time/cost Pareto frontier (fastest first):
 // every point is a configuration no other candidate beats on both
 // completion time and cost. Pass k <= 0 for the default resolution.
+// Frontier is FrontierContext with context.Background().
 func Frontier(job Job, k int) ([]FrontierPoint, error) {
-	return optimizer.Frontier(model.DefaultParams(job), k, dag.Options{})
+	return FrontierContext(context.Background(), job, k)
+}
+
+// FrontierContext is Frontier with cancellation and planning options
+// (WithParams, WithParallelism): the DAG builds, path sweeps and exact
+// re-evaluations behind the frontier are sharded over the worker pool and
+// abort with ctx.Err() when ctx fires.
+func FrontierContext(ctx context.Context, job Job, k int, opts ...PlanOption) ([]FrontierPoint, error) {
+	ps := planSettings{}
+	for _, opt := range opts {
+		opt(&ps)
+	}
+	params := ps.params
+	if !ps.hasParams {
+		params = model.DefaultParams(job)
+	}
+	return optimizer.FrontierContext(ctx, params, k, dag.Options{}, ps.parallelism)
 }
 
 // CalibrateProfile measures a workload's real data ratios (mapper output

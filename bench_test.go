@@ -10,14 +10,17 @@
 package astra
 
 import (
+	"context"
 	"testing"
 	"time"
 
+	"astra/internal/dag"
 	"astra/internal/emr"
 	"astra/internal/experiments"
 	"astra/internal/mapreduce"
 	"astra/internal/model"
 	"astra/internal/optimizer"
+	"astra/internal/pricing"
 	"astra/internal/workload"
 )
 
@@ -139,6 +142,71 @@ func BenchmarkPlanCostModeSort200(b *testing.B) {
 		if _, err := pl.Plan(optimizer.Objective{
 			Goal:     optimizer.MinCostUnderDeadline,
 			Deadline: time.Hour,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPlanSort100GB runs one full planning pass (DAG build + search +
+// calibration) at the Sort100GB scale with a fixed pool size. Serial vs
+// parallel pairs below measure the engine's multi-core speedup; the chosen
+// plan is identical at every pool size, so the pairs are comparable.
+func benchPlanSort100GB(b *testing.B, workers int) {
+	b.Helper()
+	params := model.DefaultParams(workload.Sort100GB())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := optimizer.New(params)
+		pl.Solver = optimizer.Auto
+		pl.Parallelism = workers
+		if _, err := pl.Plan(optimizer.Objective{
+			Goal:   optimizer.MinTimeUnderBudget,
+			Budget: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanSort100GB_Serial(b *testing.B)   { benchPlanSort100GB(b, 1) }
+func BenchmarkPlanSort100GB_Parallel(b *testing.B) { benchPlanSort100GB(b, 0) }
+
+// benchFrontierSort100GB sweeps the Sort100GB Pareto frontier (two DAG
+// builds, three path sweeps, exact re-evaluations) at a fixed pool size —
+// the widest fan-out in the engine and the best multi-core showcase.
+func benchFrontierSort100GB(b *testing.B, workers int) {
+	b.Helper()
+	params := model.DefaultParams(workload.Sort100GB())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimizer.FrontierContext(
+			context.Background(), params, 16, dag.Options{}, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrontierSort100GB_Serial(b *testing.B)   { benchFrontierSort100GB(b, 1) }
+func BenchmarkFrontierSort100GB_Parallel(b *testing.B) { benchFrontierSort100GB(b, 0) }
+
+// BenchmarkPlanSort100GB_CachedReplan measures re-planning under a changed
+// budget on a warm planner: the memoized DAG and prediction cache turn the
+// second solve into search-only work.
+func BenchmarkPlanSort100GB_CachedReplan(b *testing.B) {
+	params := model.DefaultParams(workload.Sort100GB())
+	pl := optimizer.New(params)
+	pl.Solver = optimizer.Auto
+	if _, err := pl.Plan(optimizer.Objective{
+		Goal: optimizer.MinTimeUnderBudget, Budget: 1,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		budget := 0.5 + 0.001*float64(i%100)
+		if _, err := pl.Plan(optimizer.Objective{
+			Goal: optimizer.MinTimeUnderBudget, Budget: pricing.USD(budget),
 		}); err != nil {
 			b.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -53,6 +54,9 @@ type options struct {
 	baselines bool
 	timeline  bool
 	jsonOut   bool
+
+	parallelism int
+	planTimeout time.Duration
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -76,6 +80,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.traceOut, "trace-out", "",
 		"write the execution timeline to this file (.csv or .json; implies -run)")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON")
+	fs.IntVar(&o.parallelism, "parallelism", 0,
+		"plan-search worker pool size (0 = all cores, 1 = serial)")
+	fs.DurationVar(&o.planTimeout, "plan-timeout", 0,
+		"abort planning after this wall-clock duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -169,13 +177,19 @@ func run(args []string, out io.Writer) error {
 		}
 		switch o.objective {
 		case "time":
+			if o.budget < 0 {
+				return fmt.Errorf("budget must be >= 0 (0 = unconstrained), got %v", o.budget)
+			}
 			obj = optimizer.Objective{Goal: optimizer.MinTimeUnderBudget, Budget: pricing.USD(o.budget)}
-			if o.budget <= 0 {
+			if o.budget == 0 {
 				obj.Budget = 1e9 // unconstrained
 			}
 		case "cost":
+			if o.deadline < 0 {
+				return fmt.Errorf("deadline must be >= 0 (0 = unconstrained), got %v", o.deadline)
+			}
 			obj = optimizer.Objective{Goal: optimizer.MinCostUnderDeadline, Deadline: o.deadline}
-			if o.deadline <= 0 {
+			if o.deadline == 0 {
 				obj.Deadline = 1e6 * time.Hour // unconstrained
 			}
 		default:
@@ -186,8 +200,17 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	ctx := context.Background()
+	if o.planTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.planTimeout)
+		defer cancel()
+	}
 	params := model.DefaultParams(job)
-	plan, err := astra.PlanWith(params, obj, solver)
+	plan, err := astra.PlanContext(ctx, job, obj,
+		astra.WithParams(params),
+		astra.WithSolver(solver),
+		astra.WithParallelism(o.parallelism))
 	if err != nil {
 		return err
 	}

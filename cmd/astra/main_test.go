@@ -135,10 +135,42 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"-size-gb", "0"},
 		{"-objects", "-1"},
 		{"-solver", "magic"},
+		{"-objective", "time", "-budget", "-0.01"},
+		{"-objective", "cost", "-deadline", "-1m"},
 	}
 	for _, args := range cases {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v should fail", args)
 		}
+	}
+}
+
+func TestRunParallelismFlagMatchesSerial(t *testing.T) {
+	base := []string{
+		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
+		"-objective", "time", "-budget", "0.01", "-json",
+	}
+	var serial, parallel bytes.Buffer
+	if err := run(append(base, "-parallelism", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-parallelism", "4"), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("plans differ across -parallelism:\nserial: %s\nparallel: %s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestRunPlanTimeoutExpired(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "sort", "-size-gb", "100", "-objects", "200",
+		"-objective", "cost", "-deadline", "1h",
+		"-plan-timeout", "1ns",
+	}, &out)
+	if err == nil {
+		t.Fatal("expired -plan-timeout should abort planning")
 	}
 }

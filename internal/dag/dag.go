@@ -14,15 +14,23 @@
 // Every edge carries both the objective weight and the other metric as a
 // side weight, so the constrained searches (Algorithm 1, Yen, exact
 // label-setting) can enforce the budget or deadline along the path.
+//
+// Edge-weight evaluation — thousands of analytic model calls over L
+// memory tiers and N fan-in candidates — is sharded across a bounded
+// worker pool (Options.Parallelism); the weights are computed into
+// per-index slots and the graph is assembled serially in a fixed order,
+// so the built DAG is bit-for-bit identical at every parallelism degree.
 package dag
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"astra/internal/graph"
 	"astra/internal/mapreduce"
 	"astra/internal/model"
+	"astra/internal/parallel"
 )
 
 // Mode selects which metric is the shortest-path objective.
@@ -57,6 +65,10 @@ type Options struct {
 	// KeepDominatedTiers disables the pruning of memory tiers above the
 	// speed floor (used by ablations that want the paper's full L = 46).
 	KeepDominatedTiers bool
+	// Parallelism bounds the worker pool used for edge-weight evaluation:
+	// 0 means every available core, 1 forces the serial path. The built
+	// graph is identical at every setting.
+	Parallelism int
 }
 
 // DAG is a built configuration graph.
@@ -74,8 +86,16 @@ type DAG struct {
 	iBase, kmBase, krBase, kraBase, sBase int
 }
 
-// Build constructs the DAG for the model under the given mode.
+// Build constructs the DAG for the model under the given mode. It is
+// BuildContext with a background context.
 func Build(m *model.Paper, mode Mode, opts Options) (*DAG, error) {
+	return BuildContext(context.Background(), m, mode, opts)
+}
+
+// BuildContext constructs the DAG, evaluating edge weights on a bounded
+// worker pool and honoring cancellation: if ctx fires mid-build, the
+// partial work is discarded and ctx.Err() is returned.
+func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) (*DAG, error) {
 	if err := m.P.Validate(); err != nil {
 		return nil, err
 	}
@@ -110,6 +130,7 @@ func Build(m *model.Paper, mode Mode, opts Options) (*DAG, error) {
 		maxKR = n
 	}
 	L := len(tiers)
+	workers := opts.Parallelism
 
 	d := &DAG{
 		Mode:   mode,
@@ -126,6 +147,105 @@ func Build(m *model.Paper, mode Mode, opts Options) (*DAG, error) {
 	d.krBase = d.kmBase + maxKM
 	d.kraBase = d.krBase + maxKR
 	d.sBase = d.kraBase + maxKR*L
+
+	// --- Phase 1: evaluate every edge weight into indexed slots. Each
+	// slot is written by exactly one worker, so the values (and therefore
+	// the assembled graph) do not depend on scheduling. ---
+
+	// Mapper column: feasibility plus L (time, cost) pairs per kM.
+	type mapperRow struct {
+		feasible bool
+		t, c     []float64 // indexed by tier
+	}
+	mapRows := make([]mapperRow, maxKM+1)
+	if err := parallel.ForEach(ctx, maxKM, workers, func(i int) {
+		kM := i + 1
+		orch, err := mapreduce.OrchestrateFor(m.P.Job.Profile, n, kM, 2)
+		if err != nil {
+			return
+		}
+		if err := model.Feasible(m.P, orch); err != nil {
+			return
+		}
+		row := mapperRow{feasible: true, t: make([]float64, L), c: make([]float64, L)}
+		for ti, mem := range tiers {
+			row.t[ti] = m.MapperTime(mem, kM)
+			row.c[ti] = m.MapperCost(mem, kM)
+		}
+		mapRows[kM] = row
+	}); err != nil {
+		return nil, err
+	}
+
+	// Transfer column: one (time, cost) pair per feasible (kM, kR).
+	type pairW struct {
+		ok   bool
+		t, c float64
+	}
+	var feasKM []int
+	for kM := 1; kM <= maxKM; kM++ {
+		if mapRows[kM].feasible {
+			feasKM = append(feasKM, kM)
+		}
+	}
+	transfer := make([][]pairW, maxKM+1)
+	if err := parallel.ForEach(ctx, len(feasKM), workers, func(i int) {
+		kM := feasKM[i]
+		row := make([]pairW, maxKR)
+		for kR := 1; kR <= maxKR; kR++ {
+			tt, err := m.TransferTime(kM, kR)
+			if err != nil {
+				continue
+			}
+			gc, err := m.GlueCost(kM, kR)
+			if err != nil {
+				continue
+			}
+			row[kR-1] = pairW{ok: true, t: tt, c: gc}
+		}
+		transfer[kM] = row
+	}); err != nil {
+		return nil, err
+	}
+
+	// Coordinator column: one (time, cost) pair per (kR, tier).
+	coord := make([][]pairW, maxKR)
+	if err := parallel.ForEach(ctx, maxKR, workers, func(i int) {
+		kR := i + 1
+		row := make([]pairW, L)
+		for ta, mem := range tiers {
+			cc, err := m.CoordCost(mem, kR)
+			if err != nil {
+				continue
+			}
+			row[ta] = pairW{ok: true, t: m.CoordCompute(mem), c: cc}
+		}
+		coord[i] = row
+	}); err != nil {
+		return nil, err
+	}
+
+	// Reducer column: Eq. 9 compute and VP+WP cost depend only on
+	// (kR, s); one evaluation per pair, fanned out over kR.
+	reduce := make([][]pairW, maxKR)
+	if err := parallel.ForEach(ctx, maxKR, workers, func(i int) {
+		kR := i + 1
+		row := make([]pairW, L)
+		for ts, mem := range tiers {
+			rc, err1 := m.ReduceCompute(mem, kR)
+			cc, err2 := m.ReduceCost(mem, kR)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			row[ts] = pairW{ok: true, t: rc, c: cc}
+		}
+		reduce[i] = row
+	}); err != nil {
+		return nil, err
+	}
+
+	// --- Phase 2: assemble the graph serially, in a fixed column order,
+	// from the precomputed slots. ---
 	total := d.sBase + L
 	g := graph.New(total)
 	d.G = g
@@ -151,77 +271,49 @@ func Build(m *model.Paper, mode Mode, opts Options) (*DAG, error) {
 	}
 
 	// mapper-mem -> objects-per-mapper: Eq. 4 time, U1+V1+W1 cost.
-	// Skip kM values whose mapper count exceeds the lambda limit R.
-	feasKM := make([]bool, maxKM+1)
+	// Infeasible kM values (mapper count over the lambda limit R) have no
+	// row and contribute no edges.
 	for kM := 1; kM <= maxKM; kM++ {
-		orch, err := mapreduce.OrchestrateFor(m.P.Job.Profile, n, kM, 2)
-		if err != nil {
+		row := mapRows[kM]
+		if !row.feasible {
 			continue
 		}
-		if err := model.Feasible(m.P, orch); err != nil {
-			continue
-		}
-		feasKM[kM] = true
-		for ti, mem := range tiers {
-			addEdge(d.iBase+ti, d.kmBase+(kM-1),
-				m.MapperTime(mem, kM), m.MapperCost(mem, kM))
+		for ti := range tiers {
+			addEdge(d.iBase+ti, d.kmBase+(kM-1), row.t[ti], row.c[ti])
 		}
 	}
 
 	// objects-per-mapper -> objects-per-reducer: transfer times, glue
 	// costs (requests + invocations).
 	for kM := 1; kM <= maxKM; kM++ {
-		if !feasKM[kM] {
+		row := transfer[kM]
+		if row == nil {
 			continue
 		}
 		for kR := 1; kR <= maxKR; kR++ {
-			tt, err := m.TransferTime(kM, kR)
-			if err != nil {
-				continue
+			if w := row[kR-1]; w.ok {
+				addEdge(d.kmBase+(kM-1), d.krBase+(kR-1), w.t, w.c)
 			}
-			gc, err := m.GlueCost(kM, kR)
-			if err != nil {
-				continue
-			}
-			addEdge(d.kmBase+(kM-1), d.krBase+(kR-1), tt, gc)
 		}
 	}
 
 	// objects-per-reducer -> (kR, coordinator memory): c2 time, V2+W2 cost.
 	for kR := 1; kR <= maxKR; kR++ {
-		for ta, mem := range tiers {
-			cc, err := m.CoordCost(mem, kR)
-			if err != nil {
-				continue
+		for ta := range tiers {
+			if w := coord[kR-1][ta]; w.ok {
+				addEdge(d.krBase+(kR-1), d.kraBase+(kR-1)*L+ta, w.t, w.c)
 			}
-			addEdge(d.krBase+(kR-1), d.kraBase+(kR-1)*L+ta,
-				m.CoordCompute(mem), cc)
 		}
 	}
 
 	// (kR, coord-mem) -> reducer memory: Eq. 9 compute, VP+WP cost.
-	// Weight depends only on (kR, s); memoize per pair.
-	type rw struct{ t, c float64 }
-	memo := make(map[[2]int]rw, maxKR*L)
-	for kR := 1; kR <= maxKR; kR++ {
-		for ts, mem := range tiers {
-			rc, err1 := m.ReduceCompute(mem, kR)
-			cc, err2 := m.ReduceCost(mem, kR)
-			if err1 != nil || err2 != nil {
-				continue
-			}
-			memo[[2]int{kR, ts}] = rw{t: rc, c: cc}
-		}
-	}
 	for kR := 1; kR <= maxKR; kR++ {
 		for ta := 0; ta < L; ta++ {
 			from := d.kraBase + (kR-1)*L + ta
 			for ts := range tiers {
-				w, ok := memo[[2]int{kR, ts}]
-				if !ok {
-					continue
+				if w := reduce[kR-1][ts]; w.ok {
+					addEdge(from, d.sBase+ts, w.t, w.c)
 				}
-				addEdge(from, d.sBase+ts, w.t, w.c)
 			}
 		}
 	}
@@ -231,6 +323,15 @@ func Build(m *model.Paper, mode Mode, opts Options) (*DAG, error) {
 		addEdge(d.sBase+ts, d.Dst, 0, 0)
 	}
 	return d, nil
+}
+
+// WithGraph returns a shallow copy of the DAG whose searches run on g —
+// typically a Clone of the original graph, so destructive searches
+// (Algorithm 1) can reuse one memoized build.
+func (d *DAG) WithGraph(g *graph.Graph) *DAG {
+	c := *d
+	c.G = g
+	return &c
 }
 
 // Decode maps a source-to-destination path back to a configuration.

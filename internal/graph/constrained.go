@@ -1,7 +1,7 @@
 package graph
 
 import (
-	"container/heap"
+	"context"
 )
 
 // Algorithm1 is the paper's constrained-path heuristic, as written in
@@ -12,36 +12,12 @@ import (
 // the budget or the graph disconnects.
 //
 // The receiver is mutated (edges are removed); callers that need the
-// graph afterwards should rebuild it. Algorithm 1 is a heuristic: it can
-// return a suboptimal path or miss a feasible one (see the solver
-// ablation); ConstrainedShortestPath is the exact reference.
+// graph afterwards should rebuild or Clone it. Algorithm 1 is a
+// heuristic: it can return a suboptimal path or miss a feasible one (see
+// the solver ablation); ConstrainedShortestPath is the exact reference.
+// Algorithm1Ctx is the cancellable variant.
 func (g *Graph) Algorithm1(src, dst int, budget float64) (Path, error) {
-	maxIter := g.m + 1
-	for iter := 0; iter < maxIter; iter++ {
-		_, prev := g.dijkstra(src, nil, nil)
-		p, ok := g.assemble(src, dst, prev)
-		if !ok {
-			return Path{}, ErrInfeasible
-		}
-		// Walk the path, accumulating the side weight like the
-		// pseudocode's cost counter.
-		side := 0.0
-		violated := false
-		for i := 0; i+1 < len(p.Nodes); i++ {
-			u, v := p.Nodes[i], p.Nodes[i+1]
-			e := g.adj[u][g.edgeAt(u, v)]
-			side += e.Side
-			if side > budget {
-				g.removeEdge(u, v)
-				violated = true
-				break
-			}
-		}
-		if !violated {
-			return p, nil
-		}
-	}
-	return Path{}, ErrInfeasible
+	return g.Algorithm1Ctx(context.Background(), src, dst, budget)
 }
 
 // label is a Pareto-optimal partial path in the bicriteria search.
@@ -94,42 +70,10 @@ func insertLabel(set []*label, l *label) []*label {
 // problem exactly: the minimum-W path from src to dst whose accumulated
 // Side does not exceed budget. It is a label-setting search with Pareto
 // dominance pruning; with non-negative weights the first label settled at
-// dst is optimal.
+// dst is optimal. The graph is not mutated, so concurrent searches may
+// share one graph. ConstrainedShortestPathCtx is the cancellable variant.
 func (g *Graph) ConstrainedShortestPath(src, dst int, budget float64) (Path, error) {
-	if src == dst {
-		return Path{Nodes: []int{src}}, nil
-	}
-	sets := make([][]*label, g.n)
-	start := &label{node: src}
-	sets[src] = []*label{start}
-	q := &labelPQ{start}
-	for q.Len() > 0 {
-		l := heap.Pop(q).(*label)
-		if l.node == dst {
-			return g.pathFromLabel(l), nil
-		}
-		// A label is stale if a later insertion evicted it from its
-		// node's Pareto set.
-		if !contains(sets[l.node], l) {
-			continue
-		}
-		for _, e := range g.adj[l.node] {
-			if e.removed {
-				continue
-			}
-			nw, ns := l.w+e.W, l.side+e.Side
-			if ns > budget {
-				continue
-			}
-			if dominated(sets[e.To], nw, ns) {
-				continue
-			}
-			nl := &label{node: e.To, w: nw, side: ns, prev: l}
-			sets[e.To] = insertLabel(sets[e.To], nl)
-			heap.Push(q, nl)
-		}
-	}
-	return Path{}, ErrInfeasible
+	return g.ConstrainedShortestPathCtx(context.Background(), src, dst, budget)
 }
 
 func contains(set []*label, l *label) bool {

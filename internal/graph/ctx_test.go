@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// layered builds a random layered DAG shaped like the configuration DAG:
+// width nodes per layer, full bipartite edges between adjacent layers, with
+// deterministic pseudo-random weights.
+func layered(layers, width int, seed int64) (*Graph, int, int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := layers*width + 2
+	g := New(n)
+	src, dst := n-2, n-1
+	node := func(l, i int) int { return l*width + i }
+	for i := 0; i < width; i++ {
+		g.AddEdge(src, node(0, i), rng.Float64()+0.1, rng.Float64()+0.1)
+		g.AddEdge(node(layers-1, i), dst, rng.Float64()+0.1, rng.Float64()+0.1)
+	}
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			for j := 0; j < width; j++ {
+				g.AddEdge(node(l, i), node(l+1, j), rng.Float64()+0.1, rng.Float64()+0.1)
+			}
+		}
+	}
+	return g, src, dst
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g, src, dst := layered(4, 5, 1)
+	clone := g.Clone()
+	edgesBefore := g.NumEdges()
+
+	// Algorithm1 destructively removes edges from its receiver.
+	if _, err := clone.Algorithm1(src, dst, 2.0); err != nil && !errors.Is(err, ErrInfeasible) {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != edgesBefore {
+		t.Fatalf("original lost edges through clone: %d -> %d", edgesBefore, g.NumEdges())
+	}
+
+	// The pristine original still solves identically to a fresh build.
+	fresh, _, _ := layered(4, 5, 1)
+	pg, errG := g.ShortestPath(src, dst)
+	pf, errF := fresh.ShortestPath(src, dst)
+	if (errG == nil) != (errF == nil) || (errG == nil && pg.W != pf.W) {
+		t.Fatalf("original diverged from fresh build: %+v/%v vs %+v/%v", pg, errG, pf, errF)
+	}
+}
+
+func TestCtxVariantsMatchLegacy(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		legacy, src, dst := layered(5, 6, seed)
+		fresh, _, _ := layered(5, 6, seed)
+		budget := 3.0
+
+		lp, lerr := legacy.ConstrainedShortestPath(src, dst, budget)
+		cp, cerr := fresh.ConstrainedShortestPathCtx(context.Background(), src, dst, budget)
+		if (lerr == nil) != (cerr == nil) {
+			t.Fatalf("seed %d: CSP err %v vs %v", seed, lerr, cerr)
+		}
+		if lerr == nil && (lp.W != cp.W || !eqNodes(lp.Nodes, cp.Nodes)) {
+			t.Fatalf("seed %d: CSP path %+v vs %+v", seed, lp, cp)
+		}
+
+		a1, _, _ := layered(5, 6, seed)
+		a2, _, _ := layered(5, 6, seed)
+		p1, e1 := a1.Algorithm1(src, dst, budget)
+		p2, e2 := a2.Algorithm1Ctx(context.Background(), src, dst, budget)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("seed %d: Algorithm1 err %v vs %v", seed, e1, e2)
+		}
+		if e1 == nil && (p1.W != p2.W || !eqNodes(p1.Nodes, p2.Nodes)) {
+			t.Fatalf("seed %d: Algorithm1 path %+v vs %+v", seed, p1, p2)
+		}
+	}
+}
+
+func TestParallelYenMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g, src, dst := layered(5, 6, seed)
+		serial := g.YenKSP(src, dst, 12)
+		for _, workers := range []int{2, 4, 8} {
+			par, err := g.YenKSPCtx(context.Background(), src, dst, 12, workers)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if len(par) != len(serial) {
+				t.Fatalf("seed %d workers %d: %d paths, want %d", seed, workers, len(par), len(serial))
+			}
+			for i := range serial {
+				if serial[i].W != par[i].W || !eqNodes(serial[i].Nodes, par[i].Nodes) {
+					t.Fatalf("seed %d workers %d: path %d = %+v, want %+v",
+						seed, workers, i, par[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchCancellation(t *testing.T) {
+	g, src, dst := layered(6, 8, 42)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := g.Clone().Algorithm1Ctx(ctx, src, dst, 2.0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Algorithm1Ctx err = %v, want context.Canceled", err)
+	}
+	if _, err := g.ConstrainedShortestPathCtx(ctx, src, dst, 2.0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ConstrainedShortestPathCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := g.YenKSPCtx(ctx, src, dst, 10, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("YenKSPCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := g.YenUntilCtx(ctx, src, dst, 2.0, 50, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("YenUntilCtx err = %v, want context.Canceled", err)
+	}
+}

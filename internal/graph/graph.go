@@ -54,6 +54,22 @@ func (g *Graph) NumNodes() int { return g.n }
 // NumEdges reports the live (non-removed) edge count.
 func (g *Graph) NumEdges() int { return g.m }
 
+// EdgesFrom returns a copy of u's live outgoing edges in insertion order.
+// It lets callers compare graphs structurally (e.g. a parallel build
+// against a serial one) without touching the adjacency storage.
+func (g *Graph) EdgesFrom(u int) []Edge {
+	if u < 0 || u >= g.n {
+		return nil
+	}
+	var out []Edge
+	for _, e := range g.adj[u] {
+		if !e.removed {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // AddEdge inserts a directed edge. Negative objective weights are
 // rejected: every solver here assumes non-negativity.
 func (g *Graph) AddEdge(u, v int, w, side float64) {

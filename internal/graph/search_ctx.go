@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"container/heap"
+	"context"
+)
+
+// ctxCheckEvery is how many label-queue pops the constrained search
+// processes between context checks: frequent enough that cancellation is
+// observed within microseconds, rare enough to stay off the profile.
+const ctxCheckEvery = 1024
+
+// Clone returns a deep copy of the graph: same nodes, same adjacency
+// order, independent edge storage. It is how the planner reuses one
+// memoized DAG build across searches that mutate the graph (Algorithm 1's
+// destructive edge removal) without re-deriving every edge weight.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, m: g.m, adj: make([][]Edge, g.n)}
+	for u, edges := range g.adj {
+		if len(edges) == 0 {
+			continue
+		}
+		c.adj[u] = append([]Edge(nil), edges...)
+	}
+	return c
+}
+
+// Algorithm1Ctx is Algorithm1 with cancellation: the context is checked
+// before every Dijkstra round (the paper's heuristic can run one round per
+// edge in the worst case), and ctx.Err() is returned if it fires. The
+// receiver is still mutated by the rounds that did run.
+func (g *Graph) Algorithm1Ctx(ctx context.Context, src, dst int, budget float64) (Path, error) {
+	maxIter := g.m + 1
+	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return Path{}, err
+		}
+		_, prev := g.dijkstra(src, nil, nil)
+		p, ok := g.assemble(src, dst, prev)
+		if !ok {
+			return Path{}, ErrInfeasible
+		}
+		side := 0.0
+		violated := false
+		for i := 0; i+1 < len(p.Nodes); i++ {
+			u, v := p.Nodes[i], p.Nodes[i+1]
+			e := g.adj[u][g.edgeAt(u, v)]
+			side += e.Side
+			if side > budget {
+				g.removeEdge(u, v)
+				violated = true
+				break
+			}
+		}
+		if !violated {
+			return p, nil
+		}
+	}
+	return Path{}, ErrInfeasible
+}
+
+// ConstrainedShortestPathCtx is ConstrainedShortestPath with cancellation:
+// the label-setting loop checks the context every ctxCheckEvery pops and
+// returns ctx.Err() when it fires. The graph is not mutated.
+func (g *Graph) ConstrainedShortestPathCtx(ctx context.Context, src, dst int, budget float64) (Path, error) {
+	if err := ctx.Err(); err != nil {
+		return Path{}, err
+	}
+	if src == dst {
+		return Path{Nodes: []int{src}}, nil
+	}
+	sets := make([][]*label, g.n)
+	start := &label{node: src}
+	sets[src] = []*label{start}
+	q := &labelPQ{start}
+	pops := 0
+	for q.Len() > 0 {
+		if pops++; pops%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Path{}, err
+			}
+		}
+		l := heap.Pop(q).(*label)
+		if l.node == dst {
+			return g.pathFromLabel(l), nil
+		}
+		// A label is stale if a later insertion evicted it from its
+		// node's Pareto set.
+		if !contains(sets[l.node], l) {
+			continue
+		}
+		for _, e := range g.adj[l.node] {
+			if e.removed {
+				continue
+			}
+			nw, ns := l.w+e.W, l.side+e.Side
+			if ns > budget {
+				continue
+			}
+			if dominated(sets[e.To], nw, ns) {
+				continue
+			}
+			nl := &label{node: e.To, w: nw, side: ns, prev: l}
+			sets[e.To] = insertLabel(sets[e.To], nl)
+			heap.Push(q, nl)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Path{}, err
+	}
+	return Path{}, ErrInfeasible
+}

@@ -1,29 +1,52 @@
 package graph
 
 import (
+	"context"
 	"sort"
+
+	"astra/internal/parallel"
 )
 
 // YenKSP enumerates up to k loopless shortest paths from src to dst in
 // non-decreasing W order (Yen's algorithm). It underlies the
 // "keep taking the next-shortest path until one fits the budget" exact
 // solver on the configuration DAG, and the k-shortest-path reference the
-// paper cites for Algorithm 1.
+// paper cites for Algorithm 1. It runs serially; YenKSPCtx is the
+// cancellable, parallel variant.
 func (g *Graph) YenKSP(src, dst, k int) []Path {
+	paths, _ := g.YenKSPCtx(context.Background(), src, dst, k, 1)
+	return paths
+}
+
+// YenKSPCtx is YenKSP with cancellation and a bounded worker pool: each
+// round's spur-node searches (independent Dijkstra runs over a read-only
+// view of the graph) are distributed over up to workers goroutines
+// (workers <= 0 means all cores). Candidates are merged in spur order, so
+// the returned paths are identical to the serial enumeration regardless
+// of parallelism. On cancellation the paths found so far are returned
+// alongside ctx.Err().
+func (g *Graph) YenKSPCtx(ctx context.Context, src, dst, k, workers int) ([]Path, error) {
 	if k <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	first, err := g.ShortestPath(src, dst)
 	if err != nil {
-		return nil
+		return nil, ctx.Err()
 	}
 	paths := []Path{first}
 	var candidates []Path
 
 	for len(paths) < k {
+		if err := ctx.Err(); err != nil {
+			return paths, err
+		}
 		prevPath := paths[len(paths)-1].Nodes
-		// Each node of the previous path (except the last) spawns a spur.
-		for i := 0; i < len(prevPath)-1; i++ {
+		// Each node of the previous path (except the last) spawns a spur;
+		// the searches are independent and only read the graph, so they
+		// fan out across the pool. Results land in per-spur slots.
+		spurs := make([]Path, len(prevPath)-1)
+		spurOK := make([]bool, len(prevPath)-1)
+		err := parallel.ForEach(ctx, len(prevPath)-1, workers, func(i int) {
 			spurNode := prevPath[i]
 			rootNodes := prevPath[:i+1]
 
@@ -43,14 +66,23 @@ func (g *Graph) YenKSP(src, dst, k int) []Path {
 			_, prev := g.dijkstra(spurNode, bannedNode, bannedEdge)
 			spur, ok := g.assemble(spurNode, dst, prev)
 			if !ok {
-				continue
+				return
 			}
 			total := append(append([]int{}, rootNodes[:len(rootNodes)-1]...), spur.Nodes...)
-			cand, ok := g.weigh(total)
-			if !ok {
+			if cand, ok := g.weigh(total); ok {
+				spurs[i], spurOK[i] = cand, true
+			}
+		})
+		if err != nil {
+			return paths, err
+		}
+		// Deduplicate and collect in spur order — the same order the
+		// serial loop appends in.
+		for i := range spurs {
+			if !spurOK[i] {
 				continue
 			}
-			if !containsPath(paths, cand) && !containsPath(candidates, cand) {
+			if cand := spurs[i]; !containsPath(paths, cand) && !containsPath(candidates, cand) {
 				candidates = append(candidates, cand)
 			}
 		}
@@ -61,15 +93,23 @@ func (g *Graph) YenKSP(src, dst, k int) []Path {
 		paths = append(paths, candidates[0])
 		candidates = candidates[1:]
 	}
-	return paths
+	return paths, nil
 }
 
-// YenUntil walks the k-shortest-path stream (lazily, in batches) until a
-// path satisfying the side budget appears, scanning at most maxPaths
-// paths. It is exact on DAG instances whenever a feasible path exists
-// within the scan horizon.
+// YenUntil walks the k-shortest-path stream until a path satisfying the
+// side budget appears, scanning at most maxPaths paths. It is exact on
+// DAG instances whenever a feasible path exists within the scan horizon.
 func (g *Graph) YenUntil(src, dst int, budget float64, maxPaths int) (Path, error) {
-	paths := g.YenKSP(src, dst, maxPaths)
+	return g.YenUntilCtx(context.Background(), src, dst, budget, maxPaths, 1)
+}
+
+// YenUntilCtx is YenUntil with cancellation and a worker pool (see
+// YenKSPCtx for the concurrency contract).
+func (g *Graph) YenUntilCtx(ctx context.Context, src, dst int, budget float64, maxPaths, workers int) (Path, error) {
+	paths, err := g.YenKSPCtx(ctx, src, dst, maxPaths, workers)
+	if err != nil {
+		return Path{}, err
+	}
 	if len(paths) == 0 {
 		return Path{}, ErrNoPath
 	}

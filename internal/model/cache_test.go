@@ -1,0 +1,174 @@
+package model
+
+import (
+	"sync"
+	"testing"
+
+	"astra/internal/mapreduce"
+	"astra/internal/workload"
+)
+
+func cacheTestParams() Params {
+	return DefaultParams(workload.Job{
+		Profile:    workload.WordCount,
+		NumObjects: 10,
+		ObjectSize: 8 << 20,
+	})
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := cacheTestParams(), cacheTestParams()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("identical params hash differently: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestFingerprintSeparatesParams(t *testing.T) {
+	base := cacheTestParams()
+	mutants := []func(*Params){
+		func(p *Params) { p.Job.NumObjects++ },
+		func(p *Params) { p.Job.ObjectSize *= 2 },
+		func(p *Params) { p.Job.Profile.USecPerMB *= 1.5 },
+		func(p *Params) { p.Job.Profile.SingleStepReduce = !p.Job.Profile.SingleStepReduce },
+		func(p *Params) { p.BandwidthBps *= 2 },
+		func(p *Params) { p.MaxLambdas++ },
+	}
+	for i, mutate := range mutants {
+		p := cacheTestParams()
+		mutate(&p)
+		if p.Fingerprint() == base.Fingerprint() {
+			t.Errorf("mutant %d hashes equal to base", i)
+		}
+	}
+}
+
+// countingPredictor counts Predict invocations that reach the underlying
+// model, so tests can prove the cache short-circuits repeats.
+type countingPredictor struct {
+	mu    sync.Mutex
+	calls int
+	under Predictor
+}
+
+func (cp *countingPredictor) Predict(cfg mapreduce.Config) (Prediction, error) {
+	cp.mu.Lock()
+	cp.calls++
+	cp.mu.Unlock()
+	return cp.under.Predict(cfg)
+}
+
+func (cp *countingPredictor) count() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.calls
+}
+
+func TestPredictionCacheHitsAndMisses(t *testing.T) {
+	params := cacheTestParams()
+	counted := &countingPredictor{under: NewExact(params)}
+	cache := NewPredictionCache()
+	pred := cache.Wrap(counted, params.Fingerprint(), "exact")
+
+	cfg := mapreduce.Config{
+		MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 2, ObjsPerReducer: 2,
+	}
+	first, err := pred.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := pred.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counted.count() != 1 {
+		t.Fatalf("underlying predictor ran %d times, want 1", counted.count())
+	}
+	if first.TotalSec() != second.TotalSec() || first.TotalCost() != second.TotalCost() {
+		t.Fatal("cached prediction differs from computed prediction")
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+func TestPredictionCacheCachesErrors(t *testing.T) {
+	params := cacheTestParams()
+	counted := &countingPredictor{under: NewExact(params)}
+	pred := NewPredictionCache().Wrap(counted, params.Fingerprint(), "exact")
+
+	bad := mapreduce.Config{
+		MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 0, ObjsPerReducer: 2, // invalid: no mapper load
+	}
+	if _, err := pred.Predict(bad); err == nil {
+		t.Fatal("invalid configuration predicted without error")
+	}
+	if _, err := pred.Predict(bad); err == nil {
+		t.Fatal("cached error lost on second probe")
+	}
+	if counted.count() != 1 {
+		t.Fatalf("error probe recomputed %d times, want 1", counted.count())
+	}
+}
+
+func TestPredictionCacheSeparatesKinds(t *testing.T) {
+	params := cacheTestParams()
+	cache := NewPredictionCache()
+	fp := params.Fingerprint()
+	exact := cache.Wrap(NewExact(params), fp, "exact")
+	paper := cache.Wrap(NewPaper(params), fp, "paper")
+
+	cfg := mapreduce.Config{
+		MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 2, ObjsPerReducer: 2,
+	}
+	pe, err := exact.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := paper.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two models disagree on this configuration; the cache must not
+	// collapse their entries.
+	if pe.TotalSec() == pp.TotalSec() && pe.TotalCost() == pp.TotalCost() {
+		t.Skip("models coincide on this configuration; kind separation unobservable")
+	}
+	if _, m := cache.Stats(); m != 2 {
+		t.Fatalf("misses = %d, want 2 (one per kind)", m)
+	}
+}
+
+func TestPredictionCacheConcurrent(t *testing.T) {
+	params := cacheTestParams()
+	cache := NewPredictionCache()
+	pred := cache.Wrap(NewExact(params), params.Fingerprint(), "exact")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for kM := 1; kM <= 5; kM++ {
+				for kR := 1; kR <= 5; kR++ {
+					cfg := mapreduce.Config{
+						MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+						ObjsPerMapper: kM, ObjsPerReducer: kR,
+					}
+					pred.Predict(cfg)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses := cache.Stats()
+	if hits+misses != 8*25 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, 8*25)
+	}
+	if misses > 25 {
+		t.Fatalf("misses = %d for 25 distinct configs", misses)
+	}
+}

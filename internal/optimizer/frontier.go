@@ -1,11 +1,14 @@
 package optimizer
 
 import (
+	"context"
 	"sort"
 
 	"astra/internal/dag"
+	"astra/internal/graph"
 	"astra/internal/mapreduce"
 	"astra/internal/model"
+	"astra/internal/parallel"
 )
 
 // FrontierPoint is one Pareto-optimal configuration: no other candidate
@@ -15,54 +18,102 @@ type FrontierPoint struct {
 	Pred   model.Prediction
 }
 
-// Frontier computes a time/cost Pareto frontier for a job, sorted fastest
-// first. Candidates are harvested from three sweeps of the configuration
-// DAG — the k fastest paths, the k cheapest paths, and exact
-// constrained-shortest-path solutions at interpolated deadlines to fill
-// the middle — then re-evaluated with the engine-faithful model and
+// Frontier computes a time/cost Pareto frontier with a background context
+// and the default worker pool; see FrontierContext.
+func Frontier(params model.Params, k int, opts dag.Options) ([]FrontierPoint, error) {
+	return FrontierContext(context.Background(), params, k, opts, 0)
+}
+
+// FrontierContext computes a time/cost Pareto frontier for a job, sorted
+// fastest first. Candidates are harvested from three sweeps of the
+// configuration DAG — the k fastest paths, the k cheapest paths, and
+// exact constrained-shortest-path solutions at interpolated deadlines to
+// fill the middle — then re-evaluated with the engine-faithful model and
 // dominance-pruned. It is the tradeoff curve behind both the single-job
 // "what should I pay for speed?" question and the pipeline planner's
 // per-stage search.
-func Frontier(params model.Params, k int, opts dag.Options) ([]FrontierPoint, error) {
+//
+// The two DAG builds, the interpolation sweeps (the label-setting search
+// is read-only, so they share one graph) and the exact re-evaluations all
+// shard across a bounded pool of workers goroutines (0 = all cores); the
+// candidate order is fixed, so the frontier is identical at every pool
+// size. Cancelling ctx aborts the sweep and returns ctx.Err().
+func FrontierContext(ctx context.Context, params model.Params, k int, opts dag.Options, workers int) ([]FrontierPoint, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
 	if k <= 0 {
 		k = 24
 	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = workers
+	}
 	m := model.NewPaper(params)
-	exact := model.NewExact(params)
+	cache := model.NewPredictionCache()
+	exact := cache.Wrap(model.NewExact(params), params.Fingerprint(), "exact")
 
-	var raw []FrontierPoint
-	add := func(cfg mapreduce.Config) {
-		pred, err := exact.Predict(cfg)
+	// evaluate resolves configurations to frontier points in input order,
+	// fanning the exact-model predictions across the pool and dropping
+	// infeasible candidates.
+	evaluate := func(cfgs []mapreduce.Config) ([]FrontierPoint, error) {
+		pts := make([]*FrontierPoint, len(cfgs))
+		if err := parallel.ForEach(ctx, len(cfgs), workers, func(i int) {
+			pred, err := exact.Predict(cfgs[i])
+			if err != nil {
+				return
+			}
+			pts[i] = &FrontierPoint{Config: cfgs[i], Pred: pred}
+		}); err != nil {
+			return nil, err
+		}
+		var out []FrontierPoint
+		for _, p := range pts {
+			if p != nil {
+				out = append(out, *p)
+			}
+		}
+		return out, nil
+	}
+
+	// The fast end and the cheap end of the space: both DAGs build
+	// concurrently, then each is swept for its k best paths.
+	var dt, dc *dag.DAG
+	var errT, errC error
+	if err := parallel.ForEach(ctx, 2, workers, func(i int) {
+		if i == 0 {
+			dt, errT = dag.BuildContext(ctx, m, dag.MinimizeTime, opts)
+		} else {
+			dc, errC = dag.BuildContext(ctx, m, dag.MinimizeCost, opts)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if errT != nil {
+		return nil, errT
+	}
+	if errC != nil {
+		return nil, errC
+	}
+	var cfgs []mapreduce.Config
+	for _, d := range []*dag.DAG{dt, dc} {
+		paths, err := d.G.YenKSPCtx(ctx, d.Src, d.Dst, k, workers)
 		if err != nil {
-			return
+			return nil, err
 		}
-		raw = append(raw, FrontierPoint{Config: cfg, Pred: pred})
+		for _, p := range paths {
+			if cfg, err := d.Decode(p); err == nil {
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	raw, err := evaluate(cfgs)
+	if err != nil {
+		return nil, err
 	}
 
-	// The fast end of the space…
-	dt, err := dag.Build(m, dag.MinimizeTime, opts)
-	if err != nil {
-		return nil, err
-	}
-	for _, p := range dt.G.YenKSP(dt.Src, dt.Dst, k) {
-		if cfg, err := dt.Decode(p); err == nil {
-			add(cfg)
-		}
-	}
-	// …the cheap end…
-	dc, err := dag.Build(m, dag.MinimizeCost, opts)
-	if err != nil {
-		return nil, err
-	}
-	for _, p := range dc.G.YenKSP(dc.Src, dc.Dst, k) {
-		if cfg, err := dc.Decode(p); err == nil {
-			add(cfg)
-		}
-	}
-	// …and the middle: the cheapest plan at interpolated deadlines.
+	// …and the middle: the cheapest plan at interpolated deadlines. The
+	// constrained search leaves the graph untouched, so every sweep runs
+	// on the one memoized cost-mode DAG, in parallel.
 	if len(raw) >= 2 {
 		lo, hi := raw[0].Pred.TotalSec(), raw[0].Pred.TotalSec()
 		for _, c := range raw {
@@ -73,18 +124,30 @@ func Frontier(params model.Params, k int, opts dag.Options) ([]FrontierPoint, er
 			}
 		}
 		steps := k / 2
-		for i := 1; i < steps; i++ {
-			deadline := lo + (hi-lo)*float64(i)/float64(steps)
-			dcsp, err := dag.Build(m, dag.MinimizeCost, opts)
-			if err != nil {
-				return nil, err
+		mids := make([]graph.Path, steps)
+		midOK := make([]bool, steps)
+		if err := parallel.ForEach(ctx, steps-1, workers, func(i int) {
+			deadline := lo + (hi-lo)*float64(i+1)/float64(steps)
+			if p, err := dc.G.ConstrainedShortestPathCtx(ctx, dc.Src, dc.Dst, deadline); err == nil {
+				mids[i+1], midOK[i+1] = p, true
 			}
-			if p, err := dcsp.G.ConstrainedShortestPath(dcsp.Src, dcsp.Dst, deadline); err == nil {
-				if cfg, err := dcsp.Decode(p); err == nil {
-					add(cfg)
-				}
+		}); err != nil {
+			return nil, err
+		}
+		var midCfgs []mapreduce.Config
+		for i := 1; i < steps; i++ {
+			if !midOK[i] {
+				continue
+			}
+			if cfg, err := dc.Decode(mids[i]); err == nil {
+				midCfgs = append(midCfgs, cfg)
 			}
 		}
+		midPts, err := evaluate(midCfgs)
+		if err != nil {
+			return nil, err
+		}
+		raw = append(raw, midPts...)
 	}
 
 	front := paretoPrune(raw)

@@ -15,17 +15,29 @@
 //   - Brute: exhaustive enumeration with the exact model; exponential in
 //     nothing but simply large, so it is guarded by a work limit and used
 //     to validate the others on small instances.
+//
+// The engine is concurrent: DAG construction and candidate evaluation
+// shard across a bounded worker pool (Planner.Parallelism), model
+// predictions memoize through a sharded cache keyed by (Config, params
+// fingerprint), and built DAGs are reused across the calibration loop and
+// Algorithm 1's destructive rounds via cloning. Every search accepts a
+// context (PlanContext) for cancellation and deadlines. Results are
+// deterministic: a Planner returns the identical Plan at every
+// parallelism degree.
 package optimizer
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"astra/internal/dag"
 	"astra/internal/graph"
 	"astra/internal/mapreduce"
 	"astra/internal/model"
+	"astra/internal/parallel"
 	"astra/internal/pricing"
 )
 
@@ -56,6 +68,31 @@ type Objective struct {
 	Budget pricing.USD
 	// Deadline constrains MinCostUnderDeadline plans.
 	Deadline time.Duration
+}
+
+// ErrInvalidObjective is wrapped by Validate (and therefore by Plan) when
+// an objective is malformed: a negative budget for MinTimeUnderBudget, or
+// a non-positive deadline for MinCostUnderDeadline. Callers should test
+// with errors.Is.
+var ErrInvalidObjective = errors.New("optimizer: invalid objective")
+
+// Validate reports whether the objective is well-formed. A zero budget is
+// allowed (it is merely infeasible); a negative one is a caller bug, as is
+// a deadline that has already passed before the job starts.
+func (obj Objective) Validate() error {
+	switch obj.Goal {
+	case MinTimeUnderBudget:
+		if obj.Budget < 0 {
+			return fmt.Errorf("%w: %s with negative budget %v", ErrInvalidObjective, obj.Goal, obj.Budget)
+		}
+	case MinCostUnderDeadline:
+		if obj.Deadline <= 0 {
+			return fmt.Errorf("%w: %s with non-positive deadline %v", ErrInvalidObjective, obj.Goal, obj.Deadline)
+		}
+	default:
+		return fmt.Errorf("%w: unknown goal %d", ErrInvalidObjective, int(obj.Goal))
+	}
+	return nil
 }
 
 // Solver selects the search strategy.
@@ -119,12 +156,24 @@ func (p Plan) Summary() string {
 		p.Config, p.Exact.JCT().Round(time.Millisecond), p.Exact.TotalCost())
 }
 
-// Planner searches plans for one job.
+// Planner searches plans for one job. A Planner memoizes its model
+// evaluations and DAG builds, so reusing one Planner across objectives
+// (or calibration rounds) is much cheaper than constructing fresh ones;
+// it is safe for concurrent use as long as its exported fields are not
+// mutated mid-flight.
 type Planner struct {
 	Params model.Params
 	Solver Solver
 	// DAGOptions tunes the configuration graph (tier subset, caps).
 	DAGOptions dag.Options
+	// Parallelism bounds the engine's worker pool: 0 uses every available
+	// core, 1 forces the serial path. The chosen plan is identical at
+	// every setting.
+	Parallelism int
+	// Cache memoizes model predictions across solver passes. Left nil, a
+	// private cache is created on first use; set it to share one cache
+	// across planners for the same parameterization family.
+	Cache *model.PredictionCache
 	// YenMaxPaths bounds the Yen scan (default 200).
 	YenMaxPaths int
 	// RerankPaths is the K for the rerank solver (default 50).
@@ -135,6 +184,20 @@ type Planner struct {
 	// reduce-phase charging instead of the per-step default — the model
 	// the paper wrote down verbatim, kept for the A3 planning ablation.
 	AggregateModel bool
+
+	// mu guards the lazily-built memoization state below.
+	mu       sync.Mutex
+	dagCache map[dagCacheKey]*dag.DAG
+	fp       uint64
+	fpOK     bool
+}
+
+// dagCacheKey identifies one memoized DAG build. DAGOptions and Params
+// are fixed for a Planner's lifetime, so the mode and model flavor are
+// the only variables.
+type dagCacheKey struct {
+	mode      dag.Mode
+	aggregate bool
 }
 
 // paperModel builds the DAG's edge-weight model per the planner's flags.
@@ -149,27 +212,111 @@ func New(params model.Params) *Planner {
 	return &Planner{Params: params, Solver: Algorithm1}
 }
 
-// Plan solves the objective.
+// fingerprint memoizes the parameter fingerprint.
+func (pl *Planner) fingerprint() uint64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if !pl.fpOK {
+		pl.fp = pl.Params.Fingerprint()
+		pl.fpOK = true
+	}
+	return pl.fp
+}
+
+// cache returns the prediction cache, creating a private one on demand.
+func (pl *Planner) cache() *model.PredictionCache {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.Cache == nil {
+		pl.Cache = model.NewPredictionCache()
+	}
+	return pl.Cache
+}
+
+// exactPredictor returns the memoized engine-faithful predictor.
+func (pl *Planner) exactPredictor() model.Predictor {
+	return pl.cache().Wrap(model.NewExact(pl.Params), pl.fingerprint(), "exact")
+}
+
+// paperPredictor returns the memoized whole-configuration paper model (the
+// default per-step formulation, as finish has always used).
+func (pl *Planner) paperPredictor() model.Predictor {
+	return pl.cache().Wrap(model.NewPaper(pl.Params), pl.fingerprint(), "paper")
+}
+
+// dagOpts resolves the DAG options, defaulting the build parallelism to
+// the planner's pool size.
+func (pl *Planner) dagOpts() dag.Options {
+	opts := pl.DAGOptions
+	if opts.Parallelism == 0 {
+		opts.Parallelism = pl.Parallelism
+	}
+	return opts
+}
+
+// buildDAG returns the memoized DAG for a mode, building it on first use.
+// The returned DAG is pristine and shared: read-only searches may use it
+// directly; destructive searches must run on a clone (see WithGraph).
+func (pl *Planner) buildDAG(ctx context.Context, mode dag.Mode) (*dag.DAG, error) {
+	key := dagCacheKey{mode: mode, aggregate: pl.AggregateModel}
+	pl.mu.Lock()
+	if pl.dagCache == nil {
+		pl.dagCache = make(map[dagCacheKey]*dag.DAG)
+	}
+	if d, ok := pl.dagCache[key]; ok {
+		pl.mu.Unlock()
+		return d, nil
+	}
+	pl.mu.Unlock()
+	// Built outside the lock: a long build must not block concurrent
+	// plans for the other mode. At worst two racing callers build the
+	// same DAG and one wins the cache slot; both results are identical.
+	d, err := dag.BuildContext(ctx, pl.paperModel(), mode, pl.dagOpts())
+	if err != nil {
+		return nil, err
+	}
+	pl.mu.Lock()
+	if prev, ok := pl.dagCache[key]; ok {
+		d = prev
+	} else {
+		pl.dagCache[key] = d
+	}
+	pl.mu.Unlock()
+	return d, nil
+}
+
+// Plan solves the objective with a background context; see PlanContext.
+func (pl *Planner) Plan(obj Objective) (*Plan, error) {
+	return pl.PlanContext(context.Background(), obj)
+}
+
+// PlanContext solves the objective, honoring cancellation and deadlines
+// on ctx: a cancelled search stops promptly, leaks no goroutines, and
+// returns ctx.Err().
 //
 // DAG-based solvers enforce the constraint against the paper model, whose
-// separability estimators can under-predict; Plan therefore verifies the
-// chosen configuration against the exact engine model and, on a
-// violation, re-solves with a proportionally tightened internal
+// separability estimators can under-predict; PlanContext therefore
+// verifies the chosen configuration against the exact engine model and,
+// on a violation, re-solves with a proportionally tightened internal
 // constraint until the user's requirement holds (a small calibration
 // loop — the "dynamically adjusted and refined" modeling the paper's
-// discussion section sketches).
-func (pl *Planner) Plan(obj Objective) (*Plan, error) {
+// discussion section sketches). The memoized DAG and prediction caches
+// make these re-solves incremental rather than from-scratch.
+func (pl *Planner) PlanContext(ctx context.Context, obj Objective) (*Plan, error) {
 	if err := pl.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := obj.Validate(); err != nil {
 		return nil, err
 	}
 	solve := func(o Objective) (mapreduce.Config, error) {
 		switch pl.Solver {
 		case Brute:
-			return pl.bruteSolve(o)
+			return pl.bruteSolve(ctx, o)
 		case Rerank:
-			return pl.rerankSolve(o)
+			return pl.rerankSolve(ctx, o)
 		default:
-			return pl.dagSolve(o)
+			return pl.dagSolve(ctx, o)
 		}
 	}
 	// Brute and Rerank already enforce the constraint under the exact
@@ -179,6 +326,9 @@ func (pl *Planner) Plan(obj Objective) (*Plan, error) {
 	internal := obj
 	const maxCalibrations = 8
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg, err := solve(internal)
 		if err != nil {
 			return nil, err
@@ -210,11 +360,11 @@ func (pl *Planner) Plan(obj Objective) (*Plan, error) {
 
 // finish attaches both model predictions to a chosen configuration.
 func (pl *Planner) finish(cfg mapreduce.Config, obj Objective) (*Plan, error) {
-	paperPred, err := model.NewPaper(pl.Params).Predict(cfg)
+	paperPred, err := pl.paperPredictor().Predict(cfg)
 	if err != nil {
 		return nil, err
 	}
-	exactPred, err := model.NewExact(pl.Params).Predict(cfg)
+	exactPred, err := pl.exactPredictor().Predict(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -242,9 +392,22 @@ func (obj Objective) sideBudget() float64 {
 	return float64(obj.Budget)
 }
 
-// dagSolve runs Algorithm 1 or Yen on the Fig. 5 DAG.
-func (pl *Planner) dagSolve(obj Objective) (mapreduce.Config, error) {
-	d, err := dag.Build(pl.paperModel(), obj.mode(), pl.DAGOptions)
+// searchErr translates a graph search failure, passing cancellation
+// through untouched.
+func searchErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	if errors.Is(err, graph.ErrInfeasible) || errors.Is(err, graph.ErrNoPath) {
+		return fmt.Errorf("%w: %v", ErrNoFeasiblePlan, err)
+	}
+	return err
+}
+
+// dagSolve runs Algorithm 1, CSP or Yen on the Fig. 5 DAG. The build is
+// memoized; destructive searches run on a clone.
+func (pl *Planner) dagSolve(ctx context.Context, obj Objective) (mapreduce.Config, error) {
+	d, err := pl.buildDAG(ctx, obj.mode())
 	if err != nil {
 		return mapreduce.Config{}, err
 	}
@@ -255,37 +418,37 @@ func (pl *Planner) dagSolve(obj Objective) (mapreduce.Config, error) {
 	var path graph.Path
 	switch pl.Solver {
 	case Yen:
-		path, err = d.G.YenUntil(d.Src, d.Dst, obj.sideBudget(), maxPaths)
+		path, err = d.G.YenUntilCtx(ctx, d.Src, d.Dst, obj.sideBudget(), maxPaths, pl.Parallelism)
 	case CSP:
-		path, err = d.G.ConstrainedShortestPath(d.Src, d.Dst, obj.sideBudget())
+		path, err = d.G.ConstrainedShortestPathCtx(ctx, d.Src, d.Dst, obj.sideBudget())
 	case Auto:
-		path, err = d.G.Algorithm1(d.Src, d.Dst, obj.sideBudget())
+		// Algorithm 1 mutates the graph; run it on a clone so the exact
+		// label-setting fallback (and later calibration rounds) reuse the
+		// pristine memoized build.
+		work := d.WithGraph(d.G.Clone())
+		path, err = work.G.Algorithm1Ctx(ctx, work.Src, work.Dst, obj.sideBudget())
 		if err != nil {
-			// Algorithm 1 mutates the graph; rebuild for the exact
-			// label-setting fallback.
-			d, err = dag.Build(pl.paperModel(), obj.mode(), pl.DAGOptions)
-			if err != nil {
-				return mapreduce.Config{}, err
+			if cerr := ctx.Err(); cerr != nil {
+				return mapreduce.Config{}, cerr
 			}
-			path, err = d.G.ConstrainedShortestPath(d.Src, d.Dst, obj.sideBudget())
+			path, err = d.G.ConstrainedShortestPathCtx(ctx, d.Src, d.Dst, obj.sideBudget())
 		}
 	default:
-		path, err = d.G.Algorithm1(d.Src, d.Dst, obj.sideBudget())
+		work := d.WithGraph(d.G.Clone())
+		path, err = work.G.Algorithm1Ctx(ctx, work.Src, work.Dst, obj.sideBudget())
 	}
 	if err != nil {
-		if errors.Is(err, graph.ErrInfeasible) || errors.Is(err, graph.ErrNoPath) {
-			return mapreduce.Config{}, fmt.Errorf("%w: %v", ErrNoFeasiblePlan, err)
-		}
-		return mapreduce.Config{}, err
+		return mapreduce.Config{}, searchErr(ctx, err)
 	}
 	return d.Decode(path)
 }
 
 // rerankSolve takes the top-K DAG paths, re-evaluates each with the exact
-// model, and returns the best configuration that satisfies the constraint
-// under the exact model.
-func (pl *Planner) rerankSolve(obj Objective) (mapreduce.Config, error) {
-	d, err := dag.Build(pl.paperModel(), obj.mode(), pl.DAGOptions)
+// model in parallel, and returns the best configuration that satisfies
+// the constraint under the exact model. The scan order is fixed, so the
+// result does not depend on the pool size.
+func (pl *Planner) rerankSolve(ctx context.Context, obj Objective) (mapreduce.Config, error) {
+	d, err := pl.buildDAG(ctx, obj.mode())
 	if err != nil {
 		return mapreduce.Config{}, err
 	}
@@ -293,27 +456,44 @@ func (pl *Planner) rerankSolve(obj Objective) (mapreduce.Config, error) {
 	if k <= 0 {
 		k = 50
 	}
-	paths := d.G.YenKSP(d.Src, d.Dst, k)
+	paths, err := d.G.YenKSPCtx(ctx, d.Src, d.Dst, k, pl.Parallelism)
+	if err != nil {
+		return mapreduce.Config{}, err
+	}
 	if len(paths) == 0 {
 		return mapreduce.Config{}, ErrNoFeasiblePlan
 	}
-	exact := model.NewExact(pl.Params)
-	var best mapreduce.Config
-	bestObjVal := 0.0
-	found := false
-	for _, p := range paths {
-		cfg, err := d.Decode(p)
+	exact := pl.exactPredictor()
+	type scored struct {
+		cfg  mapreduce.Config
+		pred model.Prediction
+		ok   bool
+	}
+	cands := make([]scored, len(paths))
+	if err := parallel.ForEach(ctx, len(paths), pl.Parallelism, func(i int) {
+		cfg, err := d.Decode(paths[i])
 		if err != nil {
-			continue
+			return
 		}
 		pred, err := exact.Predict(cfg)
 		if err != nil {
+			return
+		}
+		cands[i] = scored{cfg: cfg, pred: pred, ok: true}
+	}); err != nil {
+		return mapreduce.Config{}, err
+	}
+	var best mapreduce.Config
+	bestObjVal := 0.0
+	found := false
+	for _, c := range cands {
+		if !c.ok {
 			continue
 		}
-		objVal, constraint := splitObjective(obj, pred)
+		objVal, constraint := splitObjective(obj, c.pred)
 		if constraint {
 			if !found || objVal < bestObjVal {
-				best, bestObjVal, found = cfg, objVal, true
+				best, bestObjVal, found = c.cfg, objVal, true
 			}
 		}
 	}
@@ -332,8 +512,31 @@ func splitObjective(obj Objective, pred model.Prediction) (float64, bool) {
 	return pred.TotalSec(), float64(pred.TotalCost()) <= float64(obj.Budget)
 }
 
-// bruteSolve enumerates every configuration with the exact model.
-func (pl *Planner) bruteSolve(obj Objective) (mapreduce.Config, error) {
+// bruteCandidate is one (kM, kR) pair's best configuration under the
+// exact model, with val/tie carrying the serial comparison state.
+type bruteCandidate struct {
+	found    bool
+	cfg      mapreduce.Config
+	val, tie float64
+}
+
+// better reports whether challenger beats incumbent under the serial
+// scan's strict-improvement rule (ties keep the earlier candidate).
+func (c bruteCandidate) better(than bruteCandidate) bool {
+	if !c.found {
+		return false
+	}
+	if !than.found {
+		return true
+	}
+	return c.val < than.val || (c.val == than.val && c.tie < than.tie)
+}
+
+// bruteSolve enumerates every configuration with the exact model,
+// sharding the (kM, kR) enumeration across the worker pool. Each pair's
+// inner tier scan runs in the serial order, and pair results fold in
+// ascending (kM, kR) order, so the winner is exactly the serial scan's.
+func (pl *Planner) bruteSolve(ctx context.Context, obj Objective) (mapreduce.Config, error) {
 	tiers := pl.DAGOptions.Tiers
 	if len(tiers) == 0 {
 		tiers = pl.Params.Sheet.Lambda.MemoryTiers()
@@ -357,49 +560,59 @@ func (pl *Planner) bruteSolve(obj Objective) (mapreduce.Config, error) {
 			"optimizer: brute force over %d configurations exceeds the work limit %d; restrict DAGOptions",
 			combos, limit)
 	}
-	exact := model.NewExact(pl.Params)
-	var best mapreduce.Config
-	bestVal := 0.0
-	bestTie := 0.0 // the other metric, for breaking objective ties
-	found := false
-	for kM := 1; kM <= maxKM; kM++ {
-		for kR := 1; kR <= maxKR; kR++ {
-			orch, err := mapreduce.OrchestrateFor(pl.Params.Job.Profile, n, kM, kR)
-			if err != nil {
-				continue
+	exact := pl.exactPredictor()
+	pairs := make([]bruteCandidate, maxKM*maxKR)
+	if err := parallel.ForEach(ctx, len(pairs), pl.Parallelism, func(pi int) {
+		kM := pi/maxKR + 1
+		kR := pi%maxKR + 1
+		orch, err := mapreduce.OrchestrateFor(pl.Params.Job.Profile, n, kM, kR)
+		if err != nil {
+			return
+		}
+		if model.Feasible(pl.Params, orch) != nil {
+			return
+		}
+		var best bruteCandidate
+		for _, i := range tiers {
+			if ctx.Err() != nil {
+				return
 			}
-			if model.Feasible(pl.Params, orch) != nil {
-				continue
-			}
-			for _, i := range tiers {
-				for _, a := range tiers {
-					for _, s := range tiers {
-						cfg := mapreduce.Config{
-							MapperMemMB: i, CoordMemMB: a, ReducerMemMB: s,
-							ObjsPerMapper: kM, ObjsPerReducer: kR,
-						}
-						pred, err := exact.Predict(cfg)
-						if err != nil {
-							continue
-						}
-						val, ok := splitObjective(obj, pred)
-						if !ok {
-							continue
-						}
-						tie := float64(pred.TotalCost())
-						if obj.Goal == MinCostUnderDeadline {
-							tie = pred.TotalSec()
-						}
-						if !found || val < bestVal || (val == bestVal && tie < bestTie) {
-							best, bestVal, bestTie, found = cfg, val, tie, true
-						}
+			for _, a := range tiers {
+				for _, s := range tiers {
+					cfg := mapreduce.Config{
+						MapperMemMB: i, CoordMemMB: a, ReducerMemMB: s,
+						ObjsPerMapper: kM, ObjsPerReducer: kR,
+					}
+					pred, err := exact.Predict(cfg)
+					if err != nil {
+						continue
+					}
+					val, ok := splitObjective(obj, pred)
+					if !ok {
+						continue
+					}
+					tie := float64(pred.TotalCost())
+					if obj.Goal == MinCostUnderDeadline {
+						tie = pred.TotalSec()
+					}
+					if cand := (bruteCandidate{found: true, cfg: cfg, val: val, tie: tie}); cand.better(best) {
+						best = cand
 					}
 				}
 			}
 		}
+		pairs[pi] = best
+	}); err != nil {
+		return mapreduce.Config{}, err
 	}
-	if !found {
+	var best bruteCandidate
+	for _, cand := range pairs {
+		if cand.better(best) {
+			best = cand
+		}
+	}
+	if !best.found {
 		return mapreduce.Config{}, ErrNoFeasiblePlan
 	}
-	return best, nil
+	return best.cfg, nil
 }

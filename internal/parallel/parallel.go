@@ -1,0 +1,73 @@
+// Package parallel provides the bounded worker pool underneath Astra's
+// concurrent plan-search engine. Work is expressed as an index space
+// [0, n); callers write results into pre-sized slots so the output is
+// deterministic regardless of scheduling, and cancellation is observed
+// between work items so a cancelled search returns promptly without
+// leaking goroutines.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism degree: values <= 0 mean "use
+// every available core" (GOMAXPROCS).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n), distributing indices over at
+// most workers goroutines (resolved via Workers). fn must write its result
+// into a caller-owned slot for index i; it must not touch other indices'
+// state. ForEach blocks until every started invocation has returned, so no
+// goroutines outlive the call, and returns ctx.Err() if the context was
+// cancelled before all indices were claimed (already-claimed items still
+// finish).
+func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, identical iteration order.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next int64
+	var wg sync.WaitGroup
+	done := ctx.Done()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

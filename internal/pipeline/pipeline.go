@@ -14,6 +14,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -116,6 +117,9 @@ type Planner struct {
 	// FrontierSize caps each stage's Pareto frontier (default 24); the
 	// composite frontier is pruned to FrontierSize^2 at each join.
 	FrontierSize int
+	// Parallelism bounds the per-stage frontier sweeps' worker pool
+	// (0 = all cores, 1 = serial). Plans are identical at every setting.
+	Parallelism int
 }
 
 // NewPlanner creates a pipeline planner from a parameter template.
@@ -131,14 +135,14 @@ func (pl *Planner) frontierSize() int {
 // stageFrontier computes a Pareto frontier of configurations for one
 // stage via optimizer.Frontier, annotating each point with the stage's
 // output shape for chaining.
-func (pl *Planner) stageFrontier(pf workload.Profile, in stageIO) ([]Candidate, error) {
+func (pl *Planner) stageFrontier(ctx context.Context, pf workload.Profile, in stageIO) ([]Candidate, error) {
 	params := pl.Params
 	params.Job = workload.Job{
 		Profile:    pf,
 		NumObjects: in.objects,
 		ObjectSize: maxInt64(in.bytes/int64(in.objects), 1),
 	}
-	points, err := optimizer.Frontier(params, pl.frontierSize(), dag.Options{})
+	points, err := optimizer.FrontierContext(ctx, params, pl.frontierSize(), dag.Options{}, pl.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stage profile %q: %w", pf.Name, err)
 	}
@@ -164,12 +168,21 @@ type composite struct {
 	out    stageIO
 }
 
-// Plan searches the composite space under a global objective. Because
-// later stages' inputs depend on earlier stages' configurations, the
-// search walks the chain keeping a Pareto set of composites (label
-// correcting over the stage DAG).
+// Plan searches the composite space under a global objective; it is
+// PlanContext with a background context.
 func (pl *Planner) Plan(p Pipeline, obj optimizer.Objective) (*Plan, error) {
+	return pl.PlanContext(context.Background(), p, obj)
+}
+
+// PlanContext searches the composite space under a global objective,
+// honoring cancellation on ctx. Because later stages' inputs depend on
+// earlier stages' configurations, the search walks the chain keeping a
+// Pareto set of composites (label correcting over the stage DAG).
+func (pl *Planner) PlanContext(ctx context.Context, p Pipeline, obj optimizer.Objective) (*Plan, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := obj.Validate(); err != nil {
 		return nil, err
 	}
 	frontier := []composite{{out: stageIO{objects: p.InputObjects, bytes: p.InputBytes}}}
@@ -187,7 +200,7 @@ func (pl *Planner) Plan(p Pipeline, obj optimizer.Objective) (*Plan, error) {
 			cands, ok := cache[k]
 			if !ok {
 				var err error
-				cands, err = pl.stageFrontier(st.Profile, comp.out)
+				cands, err = pl.stageFrontier(ctx, st.Profile, comp.out)
 				if err != nil {
 					return nil, fmt.Errorf("stage %q: %w", st.Name, err)
 				}

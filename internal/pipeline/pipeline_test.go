@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -197,7 +198,7 @@ func TestExecuteRejectsMismatchedPlan(t *testing.T) {
 func TestParetoFrontProperties(t *testing.T) {
 	p := logAnalytics()
 	pl := NewPlanner(templParams())
-	front, err := pl.stageFrontier(workload.Grep, stageIO{objects: 16, bytes: 16 << 20})
+	front, err := pl.stageFrontier(context.Background(), workload.Grep, stageIO{objects: 16, bytes: 16 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}

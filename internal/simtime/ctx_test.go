@@ -1,0 +1,67 @@
+package simtime
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewScheduler()
+	err := s.RunContext(ctx, func(p *Proc) {
+		t.Error("root process ran under a cancelled context")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelMidSimulation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewScheduler()
+	events := 0
+	err := s.RunContext(ctx, func(p *Proc) {
+		// An endless virtual-time loop: only cancellation can end it.
+		for {
+			p.Sleep(time.Second)
+			if events++; events == 10_000 {
+				cancel()
+			}
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if events < 10_000 {
+		t.Fatalf("cancel fired after %d events?", events)
+	}
+}
+
+func TestRunContextCancelTearsDownProcesses(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewScheduler()
+	err := s.RunContext(ctx, func(p *Proc) {
+		for i := 0; i < 8; i++ {
+			p.Spawn("worker", func(w *Proc) {
+				for {
+					w.Sleep(time.Millisecond)
+				}
+			})
+		}
+		p.Sleep(time.Second)
+		cancel()
+		for {
+			p.Sleep(time.Second)
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// After teardown the scheduler reports no live or blocked processes.
+	if len(s.live) != 0 || len(s.blocked) != 0 {
+		t.Fatalf("teardown left %d live, %d blocked", len(s.live), len(s.blocked))
+	}
+}

@@ -17,6 +17,7 @@ package simtime
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -160,11 +161,38 @@ func (s *Scheduler) spawnAt(t Time, name string, body func(*Proc)) *Proc {
 // panicked or if the simulation deadlocked (processes blocked forever).
 // Run must be called at most once per Scheduler.
 func (s *Scheduler) Run(root func(*Proc)) error {
+	return s.RunContext(context.Background(), root)
+}
+
+// ctxCheckEvents is how many dispatched events RunContext processes
+// between context checks: a large simulation dispatches millions of
+// events per wall-clock second, so cancellation is still observed within
+// microseconds.
+const ctxCheckEvents = 256
+
+// RunContext is Run with cancellation: the event loop checks ctx between
+// events and, when it fires, tears the simulation down (unwinding every
+// live process goroutine) and returns ctx.Err(). Virtual time is
+// unrelated to wall time, so a ctx deadline bounds the wall-clock cost of
+// the simulation, not the simulated clock.
+func (s *Scheduler) RunContext(ctx context.Context, root func(*Proc)) error {
 	if s.finished {
 		return errors.New("simtime: scheduler already ran")
 	}
+	if err := ctx.Err(); err != nil {
+		s.finished = true
+		return err
+	}
 	s.spawnAt(0, "root", root)
+	dispatched := 0
 	for s.queue.Len() > 0 {
+		if dispatched++; dispatched%ctxCheckEvents == 0 {
+			if err := ctx.Err(); err != nil {
+				s.abortAll()
+				s.finished = true
+				return err
+			}
+		}
 		e := heap.Pop(&s.queue).(*Event)
 		if e.canceled {
 			continue
