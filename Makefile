@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench race vet
+.PHONY: build test verify bench bench-all race vet
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,12 @@ race:
 
 verify: vet race
 
-# Planning-engine benchmarks: serial vs parallel search and warm-planner
-# re-planning at the Sort100GB scale.
+# Planning-engine micro-benchmarks at the Sort100GB scale, written as
+# machine-readable JSON (ns/op, allocs/op, warm-cache hit rate) so runs
+# are diffable across commits.
 bench:
+	$(GO) run ./cmd/astra-microbench -out BENCH_plan.json
+
+# The full `go test -bench` sweep the JSON summary is distilled from.
+bench-all:
 	$(GO) test -run xxx -bench 'PlanSort100GB|FrontierSort100GB|PlanQuery202' -benchmem .

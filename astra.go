@@ -37,6 +37,7 @@ import (
 	"astra/internal/pricing"
 	"astra/internal/profiler"
 	"astra/internal/simtime"
+	"astra/internal/telemetry"
 	"astra/internal/workload"
 )
 
@@ -141,6 +142,22 @@ type PlanCache = model.PredictionCache
 // NewPlanCache creates an empty prediction cache, safe for concurrent use.
 func NewPlanCache() *PlanCache { return model.NewPredictionCache() }
 
+// Telemetry is a metrics-and-spans registry: atomic counters, gauges,
+// bounded histograms and hierarchical spans over wall and virtual time.
+// Attach one to planning (WithTelemetry) and/or execution
+// (WithRunTelemetry), then export with Snapshot().WritePrometheus or
+// WriteJSON. Telemetry is observe-only — plans and simulated results are
+// bit-identical with a registry attached or not — and a nil *Telemetry
+// everywhere means zero overhead.
+type Telemetry = telemetry.Registry
+
+// TelemetrySnapshot is a frozen registry state, safe to diff and export
+// while the live registry keeps counting.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewTelemetry creates an empty registry, safe for concurrent use.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
 // planSettings is the resolved option set for one planning call.
 type planSettings struct {
 	params      Params
@@ -148,6 +165,7 @@ type planSettings struct {
 	solver      Solver
 	parallelism int
 	cache       *PlanCache
+	tel         *Telemetry
 }
 
 // PlanOption customizes a planning search (see Plan).
@@ -176,6 +194,14 @@ func WithParallelism(n int) PlanOption {
 // evaluations.
 func WithPlanCache(c *PlanCache) PlanOption {
 	return func(ps *planSettings) { ps.cache = c }
+}
+
+// WithTelemetry attaches a registry to the search: DAG builds, solver
+// rounds, edge relaxations, pool activity and cache traffic are counted,
+// and the plan's Search stats and Explain() report gain their full
+// detail. The chosen plan is identical with or without it.
+func WithTelemetry(reg *Telemetry) PlanOption {
+	return func(ps *planSettings) { ps.tel = reg }
 }
 
 // Plan searches for the optimal configuration of a job under an
@@ -207,6 +233,7 @@ func PlanContext(ctx context.Context, job Job, obj Objective, opts ...PlanOption
 	pl.Solver = ps.solver
 	pl.Parallelism = ps.parallelism
 	pl.Cache = ps.cache
+	pl.Tel = ps.tel
 	return pl.PlanContext(ctx, obj)
 }
 
@@ -237,6 +264,14 @@ func WithStepFunctions() RunOption {
 func WithCacheIntermediates() RunOption {
 	cache := objectstore.CacheClass()
 	return func(s *mapreduce.JobSpec) { s.IntermediateClass = &cache }
+}
+
+// WithRunTelemetry attaches a registry to the execution: lambda
+// invocations, cold starts, throttles, object-store traffic and
+// virtual-time phase spans are recorded. The simulated outcome is
+// identical with or without it.
+func WithRunTelemetry(reg *Telemetry) RunOption {
+	return func(s *mapreduce.JobSpec) { s.Telemetry = reg }
 }
 
 // Run executes a configuration on a fresh simulated platform in profiled

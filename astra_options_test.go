@@ -4,6 +4,73 @@ import (
 	"testing"
 )
 
+// TestRunWithTelemetryStats drives a job with a registry attached and
+// checks the three readouts agree: the report's RunStats, the raw
+// registry counters, and the virtual run spans — and that attaching
+// telemetry leaves the simulated result untouched.
+func TestRunWithTelemetryStats(t *testing.T) {
+	job := NewJob(WordCount, 10, 64<<20)
+	cfg := Config{
+		MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+		ObjsPerMapper: 2, ObjsPerReducer: 2,
+	}
+	bare, err := Run(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewTelemetry()
+	rep, err := Run(job, cfg, WithRunTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JCT != bare.JCT || rep.Cost.Total() != bare.Cost.Total() {
+		t.Fatalf("telemetry perturbed the run: JCT %v vs %v, cost %v vs %v",
+			rep.JCT, bare.JCT, rep.Cost.Total(), bare.Cost.Total())
+	}
+
+	st := rep.Telemetry()
+	if st.Invocations != len(rep.Records) {
+		t.Fatalf("stats invocations = %d, records = %d", st.Invocations, len(rep.Records))
+	}
+	if st.ColdStarts == 0 || st.StorePuts == 0 || st.StoreGets == 0 || st.StoreBytesOut == 0 {
+		t.Fatalf("platform stats empty: %+v", st)
+	}
+	if st.PeakConcurrency != rep.PeakConcurrency {
+		t.Fatalf("stats peak %d, report peak %d", st.PeakConcurrency, rep.PeakConcurrency)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("astra_lambda_invocations_total"); got != int64(st.Invocations) {
+		t.Fatalf("registry invocations = %d, stats = %d", got, st.Invocations)
+	}
+	if got := snap.Counter("astra_store_put_total"); got != st.StorePuts {
+		t.Fatalf("registry puts = %d, stats = %d", got, st.StorePuts)
+	}
+	runSpans := snap.SpansUnder("run")
+	if len(runSpans) == 0 {
+		t.Fatal("no run spans recorded")
+	}
+	for _, sp := range runSpans {
+		if !sp.HasVirtual {
+			t.Fatalf("run span %q lacks virtual time", sp.Path)
+		}
+	}
+	// The root span must cover the whole job on the virtual clock.
+	found := false
+	for _, sp := range runSpans {
+		if sp.Path == "run" {
+			found = true
+			if sp.Virt != rep.JCT {
+				t.Fatalf("run span virtual duration %v, JCT %v", sp.Virt, rep.JCT)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("missing root 'run' span")
+	}
+}
+
 func TestRunWithStepFunctions(t *testing.T) {
 	job := NewJob(WordCount, 10, 64<<20)
 	cfg := Config{

@@ -1,0 +1,167 @@
+// Command astra-microbench runs the planning-engine micro-benchmarks at
+// the Sort100GB scale and emits a machine-readable JSON summary
+// (BENCH_plan.json by default): nanoseconds and allocations per
+// operation for cold planning, warm re-planning and one simulated
+// execution, plus the warm planner's prediction-cache hit rate. It backs
+// `make bench` so perf regressions are diffable across commits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"astra/internal/experiments"
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+	"astra/internal/optimizer"
+	"astra/internal/pricing"
+	"astra/internal/workload"
+)
+
+// benchResult is one benchmark's machine-readable outcome.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SecondsWall float64 `json:"seconds_wall"`
+}
+
+// report is the document written to -out.
+type report struct {
+	GoVersion    string        `json:"go_version"`
+	GOOS         string        `json:"goos"`
+	GOARCH       string        `json:"goarch"`
+	NumCPU       int           `json:"num_cpu"`
+	Workload     string        `json:"workload"`
+	Benchmarks   []benchResult `json:"benchmarks"`
+	CacheHits    int64         `json:"warm_cache_hits"`
+	CacheMisses  int64         `json:"warm_cache_misses"`
+	CacheHitRate float64       `json:"warm_cache_hit_rate"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "astra-microbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	outPath := flag.String("out", "BENCH_plan.json", "write the JSON report to this file")
+	flag.Parse()
+
+	params := model.DefaultParams(workload.Sort100GB())
+	obj := optimizer.Objective{Goal: optimizer.MinTimeUnderBudget, Budget: 1}
+
+	measure := func(name string, fn func(b *testing.B)) benchResult {
+		r := testing.Benchmark(fn)
+		return benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			SecondsWall: r.T.Seconds(),
+		}
+	}
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Workload:   "Sort100GB",
+		Benchmarks: make([]benchResult, 0, 4),
+	}
+
+	// Cold plan: fresh planner per iteration (DAG build + search +
+	// calibration), serial pool — the bench-parallel-engine.txt baseline.
+	rep.Benchmarks = append(rep.Benchmarks, measure("PlanSort100GB_Serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pl := optimizer.New(params)
+			pl.Solver = optimizer.Auto
+			pl.Parallelism = 1
+			if _, err := pl.Plan(obj); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rep.Benchmarks = append(rep.Benchmarks, measure("PlanSort100GB_Parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pl := optimizer.New(params)
+			pl.Solver = optimizer.Auto
+			if _, err := pl.Plan(obj); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Warm re-plan: shared planner, shifting budgets; the memoized DAG
+	// and prediction cache absorb most of the work. The same planner's
+	// cache stats give the hit rate reported at top level.
+	warm := optimizer.New(params)
+	warm.Solver = optimizer.Auto
+	if _, err := warm.Plan(obj); err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, measure("PlanSort100GB_CachedReplan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			budget := 0.5 + 0.001*float64(i%100)
+			if _, err := warm.Plan(optimizer.Objective{
+				Goal: optimizer.MinTimeUnderBudget, Budget: pricing.USD(budget),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	hits, misses := warm.Cache.Stats()
+	rep.CacheHits, rep.CacheMisses = int64(hits), int64(misses)
+	if hits+misses > 0 {
+		rep.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+
+	// Simulated execution at the same scale: 301 lambdas on the virtual
+	// clock.
+	runCfg := mapreduce.Config{
+		MapperMemMB: 1792, CoordMemMB: 1792, ReducerMemMB: 1792,
+		ObjsPerMapper: 2, ObjsPerReducer: 1,
+	}
+	rep.Benchmarks = append(rep.Benchmarks, measure("SimulateSort100GB", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Execute(params, runCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	for _, b := range rep.Benchmarks {
+		fmt.Printf("%-28s %10d ns/op %10d B/op %8d allocs/op (n=%d, %s)\n",
+			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, b.Iterations,
+			time.Duration(b.SecondsWall*float64(time.Second)).Round(time.Millisecond))
+	}
+	fmt.Printf("warm cache hit rate: %.1f%% (%d hits / %d misses)\n",
+		100*rep.CacheHitRate, rep.CacheHits, rep.CacheMisses)
+	fmt.Printf("wrote %s\n", *outPath)
+	return nil
+}

@@ -41,19 +41,21 @@ func main() {
 }
 
 type options struct {
-	workload  string
-	sizeGB    float64
-	objects   int
-	objective string
-	budget    float64
-	deadline  time.Duration
-	solver    string
-	specPath  string
-	traceOut  string
-	doRun     bool
-	baselines bool
-	timeline  bool
-	jsonOut   bool
+	workload   string
+	sizeGB     float64
+	objects    int
+	objective  string
+	budget     float64
+	deadline   time.Duration
+	solver     string
+	specPath   string
+	traceOut   string
+	metricsOut string
+	explain    bool
+	doRun      bool
+	baselines  bool
+	timeline   bool
+	jsonOut    bool
 
 	parallelism int
 	planTimeout time.Duration
@@ -78,7 +80,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.BoolVar(&o.baselines, "baselines", false, "also execute the paper's three baselines")
 	fs.BoolVar(&o.timeline, "timeline", false, "print the execution timeline (implies -run)")
 	fs.StringVar(&o.traceOut, "trace-out", "",
-		"write the execution timeline to this file (.csv or .json; implies -run)")
+		"write the execution timeline to this file (.csv, .json, or .txt for a Gantt chart; implies -run)")
+	fs.StringVar(&o.metricsOut, "metrics-out", "",
+		"write planning/run telemetry to this file (.json for JSON, anything else for Prometheus text)")
+	fs.BoolVar(&o.explain, "explain", false, "print the plan's search report (explain-plan)")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON")
 	fs.IntVar(&o.parallelism, "parallelism", 0,
 		"plan-search worker pool size (0 = all cores, 1 = serial)")
@@ -120,6 +125,7 @@ type result struct {
 	Predicted predictionJSON    `json:"predicted"`
 	Measured  *measurementJSON  `json:"measured,omitempty"`
 	Baselines []measurementJSON `json:"baselines,omitempty"`
+	Explain   string            `json:"explain,omitempty"`
 }
 
 type predictionJSON struct {
@@ -207,12 +213,20 @@ func run(args []string, out io.Writer) error {
 		defer cancel()
 	}
 	params := model.DefaultParams(job)
+	var tel *astra.Telemetry
+	if o.explain || o.metricsOut != "" {
+		tel = astra.NewTelemetry()
+	}
 	plan, err := astra.PlanContext(ctx, job, obj,
 		astra.WithParams(params),
 		astra.WithSolver(solver),
-		astra.WithParallelism(o.parallelism))
+		astra.WithParallelism(o.parallelism),
+		astra.WithTelemetry(tel))
 	if err != nil {
 		return err
+	}
+	if tel != nil {
+		runOpts = append(runOpts, astra.WithRunTelemetry(tel))
 	}
 
 	res := result{
@@ -235,6 +249,14 @@ func run(args []string, out io.Writer) error {
 			orch.Mappers(), orch.Reducers(), orch.NumSteps())
 		fmt.Fprintf(out, "predicted: JCT %.2fs, cost %s\n",
 			plan.Exact.TotalSec(), plan.Exact.TotalCost())
+	}
+	if o.explain {
+		res.Explain = plan.Explain()
+		if !o.jsonOut {
+			fmt.Fprintln(out)
+			fmt.Fprint(out, res.Explain)
+			fmt.Fprintln(out)
+		}
 	}
 
 	var runReport *mapreduce.Report
@@ -283,6 +305,12 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if o.metricsOut != "" && tel != nil {
+		if err := writeMetrics(o.metricsOut, tel); err != nil {
+			return err
+		}
+	}
+
 	if o.jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -291,18 +319,39 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// writeMetrics exports a telemetry snapshot, picking the format from the
+// file extension: .json gets the full JSON document (spans included),
+// anything else the Prometheus text exposition.
+func writeMetrics(path string, tel *astra.Telemetry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap := tel.Snapshot()
+	if strings.HasSuffix(path, ".json") {
+		return snap.WriteJSON(f)
+	}
+	return snap.WritePrometheus(f)
+}
+
 // writeTrace exports a timeline to disk, picking the format from the
-// file extension (.json or .csv).
+// file extension: .json, .txt (ASCII Gantt chart), or CSV otherwise.
 func writeTrace(path string, tl trace.Timeline) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, ".json") {
+	switch {
+	case strings.HasSuffix(path, ".json"):
 		return tl.WriteJSON(f)
+	case strings.HasSuffix(path, ".txt"):
+		_, err := io.WriteString(f, tl.Render(80))
+		return err
+	default:
+		return tl.WriteCSV(f)
 	}
-	return tl.WriteCSV(f)
 }
 
 func describeObjective(obj optimizer.Objective) string {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -160,6 +161,125 @@ func TestRunParallelismFlagMatchesSerial(t *testing.T) {
 	if serial.String() != parallel.String() {
 		t.Fatalf("plans differ across -parallelism:\nserial: %s\nparallel: %s",
 			serial.String(), parallel.String())
+	}
+}
+
+// TestRunExplainAndMetricsOut drives the observability surface end to
+// end: -explain must print a populated search report, and -metrics-out
+// must write Prometheus text exposition that parses back with the
+// planner and platform counters present.
+func TestRunExplainAndMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	promPath := filepath.Join(dir, "m.prom")
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "sort", "-size-gb", "0.05", "-objects", "8",
+		"-objective", "time", "-budget", "0.01",
+		"-run", "-explain", "-metrics-out", promPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"execution plan", "search", "configs evaluated:", "dag:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, s)
+		}
+	}
+
+	raw, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# TYPE ") {
+				t.Fatalf("unexpected comment line %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		values[line[:sp]] = v
+	}
+	if values["astra_plan_solves_total"] < 1 {
+		t.Fatalf("plan solves = %v, want >= 1 (families: %d)", values["astra_plan_solves_total"], len(values))
+	}
+	if values["astra_lambda_invocations_total"] <= 0 {
+		t.Fatalf("lambda invocations = %v, want > 0", values["astra_lambda_invocations_total"])
+	}
+	if values["astra_dag_nodes"] <= 0 {
+		t.Fatalf("dag nodes = %v, want > 0", values["astra_dag_nodes"])
+	}
+}
+
+// TestRunMetricsOutJSON: a .json suffix switches the metrics export to
+// the JSON snapshot, spans included.
+func TestRunMetricsOutJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "grep", "-size-gb", "0.05", "-objects", "6",
+		"-objective", "time", "-budget", "0.01",
+		"-run", "-metrics-out", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+		Spans    []struct {
+			Path string `json:"path"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid metrics JSON: %v", err)
+	}
+	if doc.Counters["astra_plan_solves_total"] < 1 {
+		t.Fatalf("counters = %v", doc.Counters)
+	}
+	foundRun := false
+	for _, sp := range doc.Spans {
+		if sp.Path == "run" {
+			foundRun = true
+		}
+	}
+	if !foundRun {
+		t.Fatal("metrics JSON missing the virtual 'run' span")
+	}
+}
+
+// TestRunTraceOutText: a .txt suffix renders the Gantt chart to the
+// trace file instead of CSV.
+func TestRunTraceOutText(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.txt")
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "sort", "-size-gb", "0.02", "-objects", "4",
+		"-run", "-trace-out", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "#") || !strings.Contains(string(raw), "lambda") {
+		t.Fatalf("trace .txt is not a Gantt render:\n%s", raw)
 	}
 }
 

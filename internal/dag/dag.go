@@ -31,6 +31,7 @@ import (
 	"astra/internal/mapreduce"
 	"astra/internal/model"
 	"astra/internal/parallel"
+	"astra/internal/telemetry"
 )
 
 // Mode selects which metric is the shortest-path objective.
@@ -99,6 +100,9 @@ func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) 
 	if err := m.P.Validate(); err != nil {
 		return nil, err
 	}
+	tel := telemetry.FromContext(ctx)
+	buildSpan := tel.StartSpan("plan/dag-build")
+	defer buildSpan.End()
 	tiers := opts.Tiers
 	if len(tiers) == 0 {
 		tiers = m.P.Sheet.Lambda.MemoryTiers()
@@ -322,6 +326,9 @@ func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) 
 	for ts := range tiers {
 		addEdge(d.sBase+ts, d.Dst, 0, 0)
 	}
+	tel.Counter(telemetry.MDAGBuilds).Inc()
+	tel.Gauge(telemetry.MDAGNodes).Set(int64(g.NumNodes()))
+	tel.Gauge(telemetry.MDAGEdges).Set(int64(g.NumEdges()))
 	return d, nil
 }
 

@@ -132,8 +132,9 @@ func (q *pq) Pop() interface{} {
 
 // dijkstra computes shortest distances from src, honoring banned nodes
 // and banned edges (both may be nil). It returns dist and predecessor
-// arrays.
-func (g *Graph) dijkstra(src int, bannedNode []bool, bannedEdge map[[2]int]bool) ([]float64, []int) {
+// arrays plus the number of successful edge relaxations — the search
+// engine's basic unit of work, surfaced through telemetry.
+func (g *Graph) dijkstra(src int, bannedNode []bool, bannedEdge map[[2]int]bool) ([]float64, []int, int64) {
 	dist := make([]float64, g.n)
 	prev := make([]int, g.n)
 	done := make([]bool, g.n)
@@ -142,8 +143,9 @@ func (g *Graph) dijkstra(src int, bannedNode []bool, bannedEdge map[[2]int]bool)
 		prev[i] = -1
 	}
 	if bannedNode != nil && bannedNode[src] {
-		return dist, prev
+		return dist, prev, 0
 	}
+	var relaxed int64
 	dist[src] = 0
 	q := &pq{{node: src}}
 	for q.Len() > 0 {
@@ -167,11 +169,12 @@ func (g *Graph) dijkstra(src int, bannedNode []bool, bannedEdge map[[2]int]bool)
 			if nd := dist[u] + e.W; nd < dist[v] {
 				dist[v] = nd
 				prev[v] = u
+				relaxed++
 				heap.Push(q, pqItem{node: v, dist: nd})
 			}
 		}
 	}
-	return dist, prev
+	return dist, prev, relaxed
 }
 
 // assemble reconstructs the path to dst from a predecessor array,
@@ -205,10 +208,17 @@ func (g *Graph) assemble(src, dst int, prev []int) (Path, bool) {
 
 // ShortestPath returns the minimum-W path from src to dst.
 func (g *Graph) ShortestPath(src, dst int) (Path, error) {
-	_, prev := g.dijkstra(src, nil, nil)
+	p, _, err := g.shortestPathStats(src, dst)
+	return p, err
+}
+
+// shortestPathStats is ShortestPath plus the relaxation count, for
+// instrumented callers.
+func (g *Graph) shortestPathStats(src, dst int) (Path, int64, error) {
+	_, prev, relaxed := g.dijkstra(src, nil, nil)
 	p, ok := g.assemble(src, dst, prev)
 	if !ok {
-		return Path{}, ErrNoPath
+		return Path{}, relaxed, ErrNoPath
 	}
-	return p, nil
+	return p, relaxed, nil
 }

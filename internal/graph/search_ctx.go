@@ -3,6 +3,8 @@ package graph
 import (
 	"container/heap"
 	"context"
+
+	"astra/internal/telemetry"
 )
 
 // ctxCheckEvery is how many label-queue pops the constrained search
@@ -29,15 +31,30 @@ func (g *Graph) Clone() *Graph {
 // before every Dijkstra round (the paper's heuristic can run one round per
 // edge in the worst case), and ctx.Err() is returned if it fires. The
 // receiver is still mutated by the rounds that did run.
+//
+// When the context carries a telemetry registry, each edge-removal round
+// is recorded as a span and the round/removal/relaxation counts are
+// accumulated; with no registry attached the loop is identical to the
+// uninstrumented original.
 func (g *Graph) Algorithm1Ctx(ctx context.Context, src, dst int, budget float64) (Path, error) {
+	tel := telemetry.FromContext(ctx)
+	rounds := tel.Counter(telemetry.MAlg1Rounds)
+	removals := tel.Counter(telemetry.MAlg1EdgesRemoved)
+	runs := tel.Counter(telemetry.MSearchDijkstraRuns)
+	relaxations := tel.Counter(telemetry.MSearchEdgesRelaxed)
 	maxIter := g.m + 1
 	for iter := 0; iter < maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return Path{}, err
 		}
-		_, prev := g.dijkstra(src, nil, nil)
+		sp := tel.StartSpan("plan/solve/algorithm1/round")
+		_, prev, relaxed := g.dijkstra(src, nil, nil)
+		rounds.Inc()
+		runs.Inc()
+		relaxations.Add(relaxed)
 		p, ok := g.assemble(src, dst, prev)
 		if !ok {
+			sp.End()
 			return Path{}, ErrInfeasible
 		}
 		side := 0.0
@@ -48,10 +65,12 @@ func (g *Graph) Algorithm1Ctx(ctx context.Context, src, dst int, budget float64)
 			side += e.Side
 			if side > budget {
 				g.removeEdge(u, v)
+				removals.Inc()
 				violated = true
 				break
 			}
 		}
+		sp.End()
 		if !violated {
 			return p, nil
 		}
@@ -69,11 +88,19 @@ func (g *Graph) ConstrainedShortestPathCtx(ctx context.Context, src, dst int, bu
 	if src == dst {
 		return Path{Nodes: []int{src}}, nil
 	}
+	tel := telemetry.FromContext(ctx)
+	popped := tel.Counter(telemetry.MCSPLabelsPopped)
+	relaxations := tel.Counter(telemetry.MSearchEdgesRelaxed)
 	sets := make([][]*label, g.n)
 	start := &label{node: src}
 	sets[src] = []*label{start}
 	q := &labelPQ{start}
 	pops := 0
+	var relaxed int64
+	defer func() {
+		popped.Add(int64(pops))
+		relaxations.Add(relaxed)
+	}()
 	for q.Len() > 0 {
 		if pops++; pops%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -102,6 +129,7 @@ func (g *Graph) ConstrainedShortestPathCtx(ctx context.Context, src, dst int, bu
 			}
 			nl := &label{node: e.To, w: nw, side: ns, prev: l}
 			sets[e.To] = insertLabel(sets[e.To], nl)
+			relaxed++
 			heap.Push(q, nl)
 		}
 	}

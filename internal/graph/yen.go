@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"astra/internal/parallel"
+	"astra/internal/telemetry"
 )
 
 // YenKSP enumerates up to k loopless shortest paths from src to dst in
@@ -29,7 +30,14 @@ func (g *Graph) YenKSPCtx(ctx context.Context, src, dst, k, workers int) ([]Path
 	if k <= 0 {
 		return nil, ctx.Err()
 	}
-	first, err := g.ShortestPath(src, dst)
+	tel := telemetry.FromContext(ctx)
+	rounds := tel.Counter(telemetry.MYenRounds)
+	spurSearches := tel.Counter(telemetry.MYenSpurSearches)
+	runs := tel.Counter(telemetry.MSearchDijkstraRuns)
+	relaxations := tel.Counter(telemetry.MSearchEdgesRelaxed)
+	first, relaxed0, err := g.shortestPathStats(src, dst)
+	runs.Inc()
+	relaxations.Add(relaxed0)
 	if err != nil {
 		return nil, ctx.Err()
 	}
@@ -40,12 +48,17 @@ func (g *Graph) YenKSPCtx(ctx context.Context, src, dst, k, workers int) ([]Path
 		if err := ctx.Err(); err != nil {
 			return paths, err
 		}
+		roundSpan := tel.StartSpan("plan/solve/yen/round")
+		rounds.Inc()
 		prevPath := paths[len(paths)-1].Nodes
 		// Each node of the previous path (except the last) spawns a spur;
 		// the searches are independent and only read the graph, so they
-		// fan out across the pool. Results land in per-spur slots.
+		// fan out across the pool. Results land in per-spur slots —
+		// including the relaxation counts, so the telemetry totals are
+		// identical at every pool size.
 		spurs := make([]Path, len(prevPath)-1)
 		spurOK := make([]bool, len(prevPath)-1)
+		spurRelaxed := make([]int64, len(prevPath)-1)
 		err := parallel.ForEach(ctx, len(prevPath)-1, workers, func(i int) {
 			spurNode := prevPath[i]
 			rootNodes := prevPath[:i+1]
@@ -63,7 +76,8 @@ func (g *Graph) YenKSPCtx(ctx context.Context, src, dst, k, workers int) ([]Path
 				bannedNode[n] = true
 			}
 
-			_, prev := g.dijkstra(spurNode, bannedNode, bannedEdge)
+			_, prev, relaxed := g.dijkstra(spurNode, bannedNode, bannedEdge)
+			spurRelaxed[i] = relaxed
 			spur, ok := g.assemble(spurNode, dst, prev)
 			if !ok {
 				return
@@ -73,6 +87,14 @@ func (g *Graph) YenKSPCtx(ctx context.Context, src, dst, k, workers int) ([]Path
 				spurs[i], spurOK[i] = cand, true
 			}
 		})
+		spurSearches.Add(int64(len(spurs)))
+		runs.Add(int64(len(spurs)))
+		var roundRelaxed int64
+		for _, r := range spurRelaxed {
+			roundRelaxed += r
+		}
+		relaxations.Add(roundRelaxed)
+		roundSpan.End()
 		if err != nil {
 			return paths, err
 		}

@@ -28,6 +28,7 @@ import (
 	"astra/internal/objectstore"
 	"astra/internal/pricing"
 	"astra/internal/simtime"
+	"astra/internal/telemetry"
 )
 
 // Errors returned by the platform.
@@ -165,6 +166,8 @@ type Platform struct {
 	funcs       map[string]*Function
 	records     []Record
 	throttles   int
+	retries     int
+	tel         *telemetry.Registry
 }
 
 // New creates a platform bound to the scheduler and object store.
@@ -218,6 +221,15 @@ func (pl *Platform) Records() []Record { return pl.records }
 
 // Throttles reports how many 429 rejections occurred (ThrottleError mode).
 func (pl *Platform) Throttles() int { return pl.throttles }
+
+// Retries reports how many throttled invocations were retried.
+func (pl *Platform) Retries() int { return pl.retries }
+
+// SetTelemetry attaches a registry that receives per-invocation counters
+// and latency histograms (see telemetry.MLambda*). Telemetry is
+// observe-only: the simulation's virtual-time results are identical with
+// or without it. A nil registry detaches.
+func (pl *Platform) SetTelemetry(reg *telemetry.Registry) { pl.tel = reg }
 
 // PeakConcurrency reports the high-water mark of simultaneous executions.
 func (pl *Platform) PeakConcurrency() int { return pl.concurrency.PeakInUse() }
@@ -279,7 +291,10 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 				break
 			}
 			pl.throttles++
+			pl.tel.Counter(telemetry.MLambdaThrottles).Inc()
 			if attempt < pl.cfg.MaxRetries {
+				pl.retries++
+				pl.tel.Counter(telemetry.MLambdaRetries).Inc()
 				p.Sleep(time.Duration(attempt+1) * pl.cfg.RetryBackoff)
 			}
 		}
@@ -327,6 +342,22 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 		Err:      err,
 	}
 	pl.records = append(pl.records, rec)
+
+	if tel := pl.tel; tel != nil {
+		tel.Counter(telemetry.MLambdaInvocations).Inc()
+		if cold {
+			tel.Counter(telemetry.MLambdaColdStarts).Inc()
+		}
+		switch {
+		case errors.Is(err, ErrTimeout):
+			tel.Counter(telemetry.MLambdaTimeouts).Inc()
+		case err != nil:
+			tel.Counter(telemetry.MLambdaErrors).Inc()
+		}
+		tel.Histogram(telemetry.MLambdaDurationSeconds, telemetry.DurationBuckets).Observe((end - start).Seconds())
+		tel.Histogram(telemetry.MLambdaQueuedSeconds, telemetry.DurationBuckets).Observe(queued.Seconds())
+		tel.Gauge(telemetry.MLambdaConcurrencyPeak).SetMax(int64(pl.concurrency.PeakInUse()))
+	}
 
 	// Container returns to the warm pool.
 	f.warm = append(f.warm, pl.sched.Now()+pl.cfg.KeepAlive)

@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"astra/internal/objectstore"
 	"astra/internal/pricing"
 	"astra/internal/simtime"
+	"astra/internal/telemetry"
 	"astra/internal/workload"
 )
 
@@ -75,6 +77,11 @@ type JobSpec struct {
 	// re-invoked before the job aborts. Failed attempts are still billed
 	// (their duration ran). Zero means fail-fast.
 	TaskRetries int
+	// Telemetry, if set, receives platform counters (invocations, cold
+	// starts, store traffic) and virtual-time phase spans for the run.
+	// Observe-only: the simulated results are identical with or without
+	// it.
+	Telemetry *telemetry.Registry
 }
 
 // PhaseTimes decomposes the job completion time the way Fig. 3 does.
@@ -110,6 +117,31 @@ func (c CostBreakdown) Total() pricing.USD {
 	return c.Lambda + c.Requests + c.Storage + c.Workflow
 }
 
+// RunStats summarizes a run's platform activity: what the lambda control
+// plane and the object store did on the job's behalf. It is derived from
+// invocation records and store counters, so it is populated whether or
+// not a telemetry registry was attached.
+type RunStats struct {
+	// Invocations counts every lambda execution, retries included.
+	Invocations int
+	// ColdStarts counts invocations that paid the cold-start penalty.
+	ColdStarts int
+	// Timeouts counts invocations killed at the platform deadline.
+	Timeouts int
+	// Errors counts invocations failing for any other reason.
+	Errors int
+	// TaskRetries counts driver- or coordinator-level re-invocations of
+	// failed mappers and reducers.
+	TaskRetries int
+	// Throttles counts 429 rejections at the concurrency cap.
+	Throttles int
+	// PeakConcurrency is the high-water mark of simultaneous lambdas.
+	PeakConcurrency int
+	// Object-store traffic attributable to the run.
+	StoreGets, StorePuts        int64
+	StoreBytesIn, StoreBytesOut int64
+}
+
 // Report is the outcome of one executed job.
 type Report struct {
 	Config        Config
@@ -128,7 +160,12 @@ type Report struct {
 	// PeakConcurrency is the job's high-water mark of simultaneous
 	// lambdas.
 	PeakConcurrency int
+	// Stats summarizes platform activity; see RunStats.
+	Stats RunStats
 }
+
+// Telemetry returns the run's platform-activity summary.
+func (r *Report) Telemetry() RunStats { return r.Stats }
 
 // Driver executes MapReduce jobs on a Lambda platform.
 type Driver struct {
@@ -161,6 +198,7 @@ type jobRun struct {
 	app         App
 
 	mapOutKeys    []string
+	taskRetries   int
 	stepSpans     []span
 	finalInvs     []*lambda.Invocation
 	finalKeys     []string
@@ -223,8 +261,14 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 	}
 
 	store := d.pl.Store()
+	// The registry (or nil, detaching any previous job's) observes the
+	// platform for the duration of this run.
+	d.pl.SetTelemetry(spec.Telemetry)
+	store.SetTelemetry(spec.Telemetry)
 	recBase := len(d.pl.Records())
 	bill0 := store.Bill()
+	store0 := store.Metrics()
+	throttles0 := d.pl.Throttles()
 	peak0 := d.pl.PeakConcurrency()
 	t0 := p.Now()
 
@@ -260,6 +304,7 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 	// --- Reducing phase, driven by the chosen orchestrator. ---
 	var coordExclusive time.Duration
 	var workflowFee pricing.USD
+	var coordSpan span
 	switch spec.Orchestrator {
 	case StepFunctions:
 		coordExclusive, workflowFee, err = d.reduceViaStepFunctions(p, run, reducerFn)
@@ -293,6 +338,7 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 		}
 		finalOverlap := coordEnd - run.finalStart
 		coordExclusive = (coordEnd - coordStart) - waited - finalOverlap
+		coordSpan = span{coordStart, coordEnd}
 	}
 	end := p.Now()
 
@@ -330,6 +376,41 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 	if pk := d.pl.PeakConcurrency(); pk > peak0 {
 		rep.PeakConcurrency = pk
 	}
+
+	// --- Platform-activity summary (always computed) and virtual-time
+	// phase spans (when a registry is attached). ---
+	st := RunStats{
+		TaskRetries:     run.taskRetries,
+		Throttles:       d.pl.Throttles() - throttles0,
+		PeakConcurrency: rep.PeakConcurrency,
+	}
+	for _, r := range recs {
+		st.Invocations++
+		if r.Cold {
+			st.ColdStarts++
+		}
+		switch {
+		case errors.Is(r.Err, lambda.ErrTimeout):
+			st.Timeouts++
+		case r.Err != nil:
+			st.Errors++
+		}
+	}
+	sm := store.Metrics().Sub(store0)
+	st.StoreGets, st.StorePuts = sm.Gets, sm.Puts
+	st.StoreBytesIn, st.StoreBytesOut = sm.BytesIn, sm.BytesOut
+	rep.Stats = st
+
+	if tel := spec.Telemetry; tel != nil {
+		tel.RecordVirtual("run", t0, end)
+		tel.RecordVirtual("run/map", t0, mapEnd)
+		if spec.Orchestrator == CoordinatorLambda {
+			tel.RecordVirtual("run/coordinator", coordSpan.start, coordSpan.end)
+		}
+		for i, s := range run.stepSpans {
+			tel.RecordVirtual(fmt.Sprintf("run/step-%02d", i), s.start, s.end)
+		}
+	}
 	return rep, nil
 }
 
@@ -341,6 +422,7 @@ func (d *Driver) awaitWithRetry(p *simtime.Proc, run *jobRun, iv *lambda.Invocat
 	fn, label string, payload []byte) error {
 	_, err := iv.Wait(p)
 	for attempt := 0; err != nil && attempt < run.spec.TaskRetries; attempt++ {
+		run.taskRetries++
 		_, err = d.pl.InvokeLabeled(p, fn, label, payload)
 	}
 	return err
@@ -499,6 +581,7 @@ func (d *Driver) coordHandler(run *jobRun, reducerFn string) lambda.Handler {
 					// Failed reducers are re-invoked by the coordinator,
 					// up to the job's retry budget.
 					for attempt := 0; err != nil && attempt < run.spec.TaskRetries; attempt++ {
+						run.taskRetries++
 						_, err = ctx.Wait(ctx.InvokeAsync(reducerFn, labels[r], bodies[r]))
 					}
 					if err != nil {

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"astra/internal/mapreduce"
 )
@@ -101,14 +102,29 @@ type cacheShard struct {
 // at once; the zero value is not usable — use NewPredictionCache.
 type PredictionCache struct {
 	shards [cacheShards]cacheShard
+	// shardCap bounds each shard's entry count (0: unbounded). When a
+	// full shard takes a new entry, an arbitrary resident entry is
+	// evicted; cached values equal recomputed ones, so eviction affects
+	// only speed, never results.
+	shardCap int
 
-	hits, misses uint64 // guarded by statMu
-	statMu       sync.Mutex
+	hits, misses, evictions atomic.Uint64
 }
 
-// NewPredictionCache creates an empty cache.
+// NewPredictionCache creates an empty, unbounded cache.
 func NewPredictionCache() *PredictionCache {
+	return NewPredictionCacheWithCap(0)
+}
+
+// NewPredictionCacheWithCap creates an empty cache bounded to roughly
+// maxEntries memoized predictions (0 or negative: unbounded). The bound
+// is enforced per shard, so the real capacity is rounded up to a
+// multiple of the shard count.
+func NewPredictionCacheWithCap(maxEntries int) *PredictionCache {
 	c := &PredictionCache{}
+	if maxEntries > 0 {
+		c.shardCap = (maxEntries + cacheShards - 1) / cacheShards
+	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[cacheKey]cacheVal)
 	}
@@ -128,20 +144,11 @@ func (c *PredictionCache) shardFor(k cacheKey) *cacheShard {
 
 // Stats reports cumulative hit and miss counts.
 func (c *PredictionCache) Stats() (hits, misses uint64) {
-	c.statMu.Lock()
-	defer c.statMu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
 
-func (c *PredictionCache) note(hit bool) {
-	c.statMu.Lock()
-	if hit {
-		c.hits++
-	} else {
-		c.misses++
-	}
-	c.statMu.Unlock()
-}
+// Evictions reports how many entries a bounded cache has displaced.
+func (c *PredictionCache) Evictions() uint64 { return c.evictions.Load() }
 
 // predict resolves one configuration through the cache, computing and
 // storing on a miss.
@@ -151,12 +158,19 @@ func (c *PredictionCache) predict(k cacheKey, compute Predictor, cfg mapreduce.C
 	v, ok := sh.m[k]
 	sh.mu.RUnlock()
 	if ok {
-		c.note(true)
+		c.hits.Add(1)
 		return v.pred, v.err
 	}
-	c.note(false)
+	c.misses.Add(1)
 	pred, err := compute.Predict(cfg)
 	sh.mu.Lock()
+	if _, present := sh.m[k]; !present && c.shardCap > 0 && len(sh.m) >= c.shardCap {
+		for victim := range sh.m {
+			delete(sh.m, victim)
+			c.evictions.Add(1)
+			break
+		}
+	}
 	sh.m[k] = cacheVal{pred: pred, err: err}
 	sh.mu.Unlock()
 	return pred, err

@@ -142,6 +142,52 @@ func TestPredictionCacheSeparatesKinds(t *testing.T) {
 	}
 }
 
+// TestPredictionCacheBoundedEvicts exercises the per-shard cap: a tiny
+// bounded cache holding far fewer entries than the probed config space
+// must evict, keep serving correct values, and count the displacements.
+func TestPredictionCacheBoundedEvicts(t *testing.T) {
+	params := cacheTestParams()
+	unbounded := NewPredictionCache().Wrap(NewExact(params), params.Fingerprint(), "exact")
+	cache := NewPredictionCacheWithCap(cacheShards) // one entry per shard
+	pred := cache.Wrap(NewExact(params), params.Fingerprint(), "exact")
+
+	var cfgs []mapreduce.Config
+	for kM := 1; kM <= 10; kM++ {
+		for kR := 1; kR <= 10; kR++ {
+			cfgs = append(cfgs, mapreduce.Config{
+				MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+				ObjsPerMapper: kM, ObjsPerReducer: kR,
+			})
+		}
+	}
+	// Two passes: the second re-probes entries the first pass may have
+	// displaced, and every answer must still match the unbounded cache.
+	for pass := 0; pass < 2; pass++ {
+		for _, cfg := range cfgs {
+			got, gerr := pred.Predict(cfg)
+			want, werr := unbounded.Predict(cfg)
+			if (gerr == nil) != (werr == nil) {
+				t.Fatalf("cfg %+v: err %v vs %v", cfg, gerr, werr)
+			}
+			if gerr == nil && (got.TotalSec() != want.TotalSec() || got.TotalCost() != want.TotalCost()) {
+				t.Fatalf("cfg %+v: bounded cache returned a different prediction", cfg)
+			}
+		}
+	}
+	if cache.Evictions() == 0 {
+		t.Fatalf("no evictions despite %d configs over a %d-entry cap", len(cfgs), cacheShards)
+	}
+	total := 0
+	for i := range cache.shards {
+		cache.shards[i].mu.RLock()
+		total += len(cache.shards[i].m)
+		cache.shards[i].mu.RUnlock()
+	}
+	if total > cacheShards {
+		t.Fatalf("bounded cache holds %d entries, cap %d", total, cacheShards)
+	}
+}
+
 func TestPredictionCacheConcurrent(t *testing.T) {
 	params := cacheTestParams()
 	cache := NewPredictionCache()

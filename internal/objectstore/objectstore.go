@@ -28,6 +28,7 @@ import (
 
 	"astra/internal/pricing"
 	"astra/internal/simtime"
+	"astra/internal/telemetry"
 )
 
 // Errors returned by store operations.
@@ -167,6 +168,7 @@ type Store struct {
 	buckets map[string]*bucket
 	metrics Metrics
 	fault   FaultFunc
+	tel     *telemetry.Registry
 }
 
 // New creates a store bound to the scheduler's virtual clock.
@@ -183,6 +185,36 @@ func New(sched *simtime.Scheduler, cfg Config) *Store {
 
 // SetFault installs (or clears, with nil) a fault-injection hook.
 func (s *Store) SetFault(f FaultFunc) { s.fault = f }
+
+// SetTelemetry attaches a registry that mirrors the store's request and
+// byte counters (telemetry.MStore*). Observe-only; nil detaches.
+func (s *Store) SetTelemetry(reg *telemetry.Registry) { s.tel = reg }
+
+// observe mirrors one request into the attached registry.
+func (s *Store) observe(op Op, bytesIn, bytesOut int64) {
+	tel := s.tel
+	if tel == nil {
+		return
+	}
+	switch op {
+	case OpGet:
+		tel.Counter(telemetry.MStoreGets).Inc()
+	case OpPut:
+		tel.Counter(telemetry.MStorePuts).Inc()
+	case OpList:
+		tel.Counter(telemetry.MStoreLists).Inc()
+	case OpHead:
+		tel.Counter(telemetry.MStoreHeads).Inc()
+	case OpDelete:
+		tel.Counter(telemetry.MStoreDeletes).Inc()
+	}
+	if bytesIn > 0 {
+		tel.Counter(telemetry.MStoreBytesIn).Add(bytesIn)
+	}
+	if bytesOut > 0 {
+		tel.Counter(telemetry.MStoreBytesOut).Add(bytesOut)
+	}
+}
 
 // Metrics returns the store-wide counter snapshot.
 func (s *Store) Metrics() Metrics { return s.metrics }
@@ -315,6 +347,7 @@ func (s *Store) put(p *simtime.Proc, bucketName, key string, obj *Object) error 
 	s.metrics.BytesIn += obj.Size
 	b.metrics.Puts++
 	b.metrics.BytesIn += obj.Size
+	s.observe(OpPut, obj.Size, 0)
 	b.accrue(s.sched.Now())
 	if old, ok := b.objects[key]; ok {
 		b.curBytes -= old.Size
@@ -343,6 +376,7 @@ func (s *Store) Get(p *simtime.Proc, bucketName, key string) (*Object, error) {
 	s.metrics.BytesOut += obj.Size
 	b.metrics.Gets++
 	b.metrics.BytesOut += obj.Size
+	s.observe(OpGet, 0, obj.Size)
 	return obj, nil
 }
 
@@ -365,6 +399,7 @@ func (s *Store) Head(p *simtime.Proc, bucketName, key string) (*Object, error) {
 	}
 	s.metrics.Heads++
 	b.metrics.Heads++
+	s.observe(OpHead, 0, 0)
 	meta := *obj
 	meta.Data = nil
 	return &meta, nil
@@ -385,6 +420,7 @@ func (s *Store) List(p *simtime.Proc, bucketName, prefix string) ([]string, erro
 	}
 	s.metrics.Lists++
 	b.metrics.Lists++
+	s.observe(OpList, 0, 0)
 	var keys []string
 	for k := range b.objects {
 		if strings.HasPrefix(k, prefix) {
@@ -409,6 +445,7 @@ func (s *Store) Delete(p *simtime.Proc, bucketName, key string) error {
 	}
 	s.metrics.Deletes++
 	b.metrics.Deletes++
+	s.observe(OpDelete, 0, 0)
 	if old, ok := b.objects[key]; ok {
 		b.accrue(s.sched.Now())
 		b.curBytes -= old.Size

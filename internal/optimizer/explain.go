@@ -1,0 +1,136 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"astra/internal/telemetry"
+)
+
+// SearchStats describes how one PlanContext call found its plan. The
+// cache and calibration fields are always populated; the counter fields
+// (DAG sizes, solver rounds, relaxations, pool activity) require a
+// telemetry registry on the Planner and are zero — with Telemetry false
+// — without one.
+type SearchStats struct {
+	// Solver is the strategy that produced the plan.
+	Solver Solver
+	// Wall is the end-to-end planning time, calibration included.
+	Wall time.Duration
+	// Telemetry reports whether the counter fields below were measured
+	// (a registry was attached) or are merely absent.
+	Telemetry bool
+	// CalibrationRounds counts constraint-tightening re-solves beyond
+	// the first pass (0: the first solution already held under the
+	// exact model).
+	CalibrationRounds int64
+
+	// Prediction-cache traffic attributable to this search. Misses are
+	// fresh model evaluations, so CacheMisses is also the number of
+	// distinct (predictor, Config) evaluations this search paid for.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+
+	// DAG construction: builds this search triggered (0 when memoized
+	// builds were reused) and the graph size of the last build.
+	DAGBuilds int64
+	DAGNodes  int64
+	DAGEdges  int64
+
+	// Shortest-path work across all solver passes.
+	DijkstraRuns     int64
+	EdgesRelaxed     int64
+	Alg1Rounds       int64
+	Alg1EdgesDropped int64
+	YenRounds        int64
+	YenSpurSearches  int64
+	CSPLabelsPopped  int64
+
+	// Worker-pool activity: batches submitted, total tasks, and the
+	// peak concurrently-busy workers observed.
+	PoolBatches     int64
+	PoolTasks       int64
+	PoolWorkersPeak int64
+}
+
+// fillFromDeltas populates the counter fields from the growth between
+// two snapshots of the planner's registry (gauges are read from the
+// later snapshot directly: they describe current state, not traffic).
+func (st *SearchStats) fillFromDeltas(now, prev telemetry.Snapshot) {
+	st.DAGBuilds = now.CounterDelta(prev, telemetry.MDAGBuilds)
+	st.DAGNodes = now.Gauge(telemetry.MDAGNodes)
+	st.DAGEdges = now.Gauge(telemetry.MDAGEdges)
+	st.DijkstraRuns = now.CounterDelta(prev, telemetry.MSearchDijkstraRuns)
+	st.EdgesRelaxed = now.CounterDelta(prev, telemetry.MSearchEdgesRelaxed)
+	st.Alg1Rounds = now.CounterDelta(prev, telemetry.MAlg1Rounds)
+	st.Alg1EdgesDropped = now.CounterDelta(prev, telemetry.MAlg1EdgesRemoved)
+	st.YenRounds = now.CounterDelta(prev, telemetry.MYenRounds)
+	st.YenSpurSearches = now.CounterDelta(prev, telemetry.MYenSpurSearches)
+	st.CSPLabelsPopped = now.CounterDelta(prev, telemetry.MCSPLabelsPopped)
+	st.PoolBatches = now.CounterDelta(prev, telemetry.MPoolBatches)
+	st.PoolTasks = now.CounterDelta(prev, telemetry.MPoolTasks)
+	st.PoolWorkersPeak = now.Gauge(telemetry.MPoolWorkersPeak)
+}
+
+// ConfigsEvaluated is the number of fresh model evaluations the search
+// paid for (cache misses; hits were free).
+func (st SearchStats) ConfigsEvaluated() int64 { return st.CacheMisses }
+
+// CacheHitRate is hits/(hits+misses), 0 when the cache was untouched.
+func (st SearchStats) CacheHitRate() float64 {
+	total := st.CacheHits + st.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(total)
+}
+
+// Explain renders a human-readable plan report: the chosen
+// configuration, both model predictions, and how the search found it.
+// It is the optimizer-side analogue of a database EXPLAIN.
+func (p Plan) Explain() string {
+	var b strings.Builder
+	line := func(format string, args ...any) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+	line("execution plan")
+	line("  config:             %s", p.Config)
+	switch p.Objective.Goal {
+	case MinCostUnderDeadline:
+		line("  objective:          %s (deadline %v)", p.Objective.Goal, p.Objective.Deadline)
+	default:
+		line("  objective:          %s (budget %v)", p.Objective.Goal, p.Objective.Budget)
+	}
+	line("  solver:             %s", p.Solver)
+	line("  predicted (exact):  JCT %v, cost %v",
+		p.Exact.JCT().Round(time.Millisecond), p.Exact.TotalCost())
+	line("  predicted (paper):  JCT %v, cost %v",
+		p.Paper.JCT().Round(time.Millisecond), p.Paper.TotalCost())
+	st := p.Search
+	line("search")
+	line("  wall time:          %v", st.Wall.Round(time.Microsecond))
+	line("  calibration rounds: %d", st.CalibrationRounds)
+	line("  configs evaluated:  %d", st.ConfigsEvaluated())
+	line("  prediction cache:   %d hits / %d misses / %d evictions (%.1f%% hit rate)",
+		st.CacheHits, st.CacheMisses, st.CacheEvictions, 100*st.CacheHitRate())
+	if !st.Telemetry {
+		line("  counters:           disabled (attach a telemetry registry for search counters)")
+		return b.String()
+	}
+	line("  dag:                %d build(s), %d nodes, %d edges", st.DAGBuilds, st.DAGNodes, st.DAGEdges)
+	line("  dijkstra:           %d run(s), %d edges relaxed", st.DijkstraRuns, st.EdgesRelaxed)
+	if st.Alg1Rounds > 0 {
+		line("  algorithm1:         %d round(s), %d edge(s) removed", st.Alg1Rounds, st.Alg1EdgesDropped)
+	}
+	if st.YenRounds > 0 {
+		line("  yen:                %d round(s), %d spur search(es)", st.YenRounds, st.YenSpurSearches)
+	}
+	if st.CSPLabelsPopped > 0 {
+		line("  csp:                %d label(s) popped", st.CSPLabelsPopped)
+	}
+	line("  pool:               %d batch(es), %d task(s), peak %d worker(s)",
+		st.PoolBatches, st.PoolTasks, st.PoolWorkersPeak)
+	return b.String()
+}

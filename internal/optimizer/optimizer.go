@@ -39,6 +39,7 @@ import (
 	"astra/internal/model"
 	"astra/internal/parallel"
 	"astra/internal/pricing"
+	"astra/internal/telemetry"
 )
 
 // Goal selects the optimization problem.
@@ -148,6 +149,10 @@ type Plan struct {
 	// Exact is the engine-faithful estimate; this is what execution will
 	// measure.
 	Exact model.Prediction
+	// Search describes how the plan was found (see SearchStats); the
+	// cache and calibration fields are always populated, the search
+	// counters only when the Planner carried a telemetry registry.
+	Search SearchStats
 }
 
 // Summary renders the plan like a Table III column.
@@ -184,6 +189,12 @@ type Planner struct {
 	// reduce-phase charging instead of the per-step default — the model
 	// the paper wrote down verbatim, kept for the A3 planning ablation.
 	AggregateModel bool
+	// Tel, when non-nil, receives spans and counters for every search
+	// phase (DAG builds, solver rounds, pool batches, cache traffic).
+	// Telemetry is observe-only: the chosen plan is bit-identical with
+	// Tel set or nil. Left nil, instrumentation costs one context lookup
+	// per phase.
+	Tel *telemetry.Registry
 
 	// mu guards the lazily-built memoization state below.
 	mu       sync.Mutex
@@ -309,6 +320,18 @@ func (pl *Planner) PlanContext(ctx context.Context, obj Objective) (*Plan, error
 	if err := obj.Validate(); err != nil {
 		return nil, err
 	}
+	tel := pl.Tel
+	ctx = telemetry.NewContext(ctx, tel)
+	planSpan := tel.StartSpan("plan")
+	defer planSpan.End()
+	start := time.Now()
+	cache := pl.cache()
+	hits0, misses0 := cache.Stats()
+	evict0 := cache.Evictions()
+	var snap0 telemetry.Snapshot
+	if tel != nil {
+		snap0 = tel.Snapshot()
+	}
 	solve := func(o Objective) (mapreduce.Config, error) {
 		switch pl.Solver {
 		case Brute:
@@ -322,6 +345,33 @@ func (pl *Planner) PlanContext(ctx context.Context, obj Objective) (*Plan, error
 	// Brute and Rerank already enforce the constraint under the exact
 	// model; no calibration needed.
 	needCalibration := pl.Solver != Brute && pl.Solver != Rerank
+
+	// attach stamps the plan with this search's statistics: the cache
+	// and calibration fields come from always-on counters, the search
+	// counters from registry deltas when telemetry is attached.
+	attach := func(plan *Plan, iter int) *Plan {
+		st := SearchStats{
+			Solver:            pl.Solver,
+			Wall:              time.Since(start),
+			CalibrationRounds: int64(iter),
+		}
+		h1, m1 := cache.Stats()
+		st.CacheHits = int64(h1 - hits0)
+		st.CacheMisses = int64(m1 - misses0)
+		st.CacheEvictions = int64(cache.Evictions() - evict0)
+		if tel != nil {
+			tel.Counter(telemetry.MPlanSolves).Inc()
+			tel.Counter(telemetry.MPlanCalibrations).Add(int64(iter))
+			tel.Counter(telemetry.MPlanCacheHits).Add(st.CacheHits)
+			tel.Counter(telemetry.MPlanCacheMisses).Add(st.CacheMisses)
+			tel.Counter(telemetry.MPlanCacheEvictions).Add(st.CacheEvictions)
+			snap1 := tel.Snapshot()
+			st.fillFromDeltas(snap1, snap0)
+			st.Telemetry = true
+		}
+		plan.Search = st
+		return plan
+	}
 
 	internal := obj
 	const maxCalibrations = 8
@@ -338,19 +388,19 @@ func (pl *Planner) PlanContext(ctx context.Context, obj Objective) (*Plan, error
 			return nil, err
 		}
 		if !needCalibration || iter >= maxCalibrations {
-			return plan, nil
+			return attach(plan, iter), nil
 		}
 		switch obj.Goal {
 		case MinTimeUnderBudget:
 			actual := plan.Exact.TotalCost()
 			if actual <= obj.Budget {
-				return plan, nil
+				return attach(plan, iter), nil
 			}
 			internal.Budget = pricing.USD(float64(internal.Budget) * float64(obj.Budget) / float64(actual) * 0.995)
 		case MinCostUnderDeadline:
 			actual := plan.Exact.JCT()
 			if actual <= obj.Deadline {
-				return plan, nil
+				return attach(plan, iter), nil
 			}
 			scale := obj.Deadline.Seconds() / actual.Seconds() * 0.995
 			internal.Deadline = time.Duration(float64(internal.Deadline) * scale)
@@ -415,27 +465,38 @@ func (pl *Planner) dagSolve(ctx context.Context, obj Objective) (mapreduce.Confi
 	if maxPaths <= 0 {
 		maxPaths = 200
 	}
+	tel := telemetry.FromContext(ctx)
 	var path graph.Path
 	switch pl.Solver {
 	case Yen:
+		sp := tel.StartSpan("plan/solve/yen")
 		path, err = d.G.YenUntilCtx(ctx, d.Src, d.Dst, obj.sideBudget(), maxPaths, pl.Parallelism)
+		sp.End()
 	case CSP:
+		sp := tel.StartSpan("plan/solve/csp")
 		path, err = d.G.ConstrainedShortestPathCtx(ctx, d.Src, d.Dst, obj.sideBudget())
+		sp.End()
 	case Auto:
 		// Algorithm 1 mutates the graph; run it on a clone so the exact
 		// label-setting fallback (and later calibration rounds) reuse the
 		// pristine memoized build.
 		work := d.WithGraph(d.G.Clone())
+		sp := tel.StartSpan("plan/solve/algorithm1")
 		path, err = work.G.Algorithm1Ctx(ctx, work.Src, work.Dst, obj.sideBudget())
+		sp.End()
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return mapreduce.Config{}, cerr
 			}
+			sp := tel.StartSpan("plan/solve/csp")
 			path, err = d.G.ConstrainedShortestPathCtx(ctx, d.Src, d.Dst, obj.sideBudget())
+			sp.End()
 		}
 	default:
 		work := d.WithGraph(d.G.Clone())
+		sp := tel.StartSpan("plan/solve/algorithm1")
 		path, err = work.G.Algorithm1Ctx(ctx, work.Src, work.Dst, obj.sideBudget())
+		sp.End()
 	}
 	if err != nil {
 		return mapreduce.Config{}, searchErr(ctx, err)
@@ -456,6 +517,8 @@ func (pl *Planner) rerankSolve(ctx context.Context, obj Objective) (mapreduce.Co
 	if k <= 0 {
 		k = 50
 	}
+	sp := telemetry.FromContext(ctx).StartSpan("plan/solve/rerank")
+	defer sp.End()
 	paths, err := d.G.YenKSPCtx(ctx, d.Src, d.Dst, k, pl.Parallelism)
 	if err != nil {
 		return mapreduce.Config{}, err
@@ -560,6 +623,8 @@ func (pl *Planner) bruteSolve(ctx context.Context, obj Objective) (mapreduce.Con
 			"optimizer: brute force over %d configurations exceeds the work limit %d; restrict DAGOptions",
 			combos, limit)
 	}
+	sp := telemetry.FromContext(ctx).StartSpan("plan/solve/brute")
+	defer sp.End()
 	exact := pl.exactPredictor()
 	pairs := make([]bruteCandidate, maxKM*maxKR)
 	if err := parallel.ForEach(ctx, len(pairs), pl.Parallelism, func(pi int) {

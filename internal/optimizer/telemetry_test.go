@@ -1,0 +1,167 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"astra/internal/telemetry"
+)
+
+// TestTelemetryDoesNotPerturbPlans is the observe-only guarantee:
+// attaching a registry must leave every solver's plan bit-identical,
+// serial and parallel alike.
+func TestTelemetryDoesNotPerturbPlans(t *testing.T) {
+	objectives := []Objective{
+		unconstrainedTime(),
+		{Goal: MinTimeUnderBudget, Budget: 0.002},
+		{Goal: MinCostUnderDeadline, Deadline: 2 * time.Minute},
+	}
+	for _, s := range []Solver{Algorithm1, Yen, CSP, Rerank, Brute, Auto} {
+		for oi, obj := range objectives {
+			bare := planner(s)
+			bare.Parallelism = 1
+			want, werr := bare.Plan(obj)
+
+			for _, workers := range []int{1, 4} {
+				pl := planner(s)
+				pl.Parallelism = workers
+				pl.Tel = telemetry.New()
+				got, gerr := pl.Plan(obj)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("solver %v obj %d workers %d: err %v vs bare %v",
+						s, oi, workers, gerr, werr)
+				}
+				if werr != nil {
+					continue
+				}
+				if got.Config != want.Config {
+					t.Fatalf("solver %v obj %d workers %d: telemetry changed the plan: %v vs %v",
+						s, oi, workers, got.Config, want.Config)
+				}
+				if got.Exact.JCT() != want.Exact.JCT() || got.Exact.TotalCost() != want.Exact.TotalCost() ||
+					got.Paper.JCT() != want.Paper.JCT() || got.Paper.TotalCost() != want.Paper.TotalCost() {
+					t.Fatalf("solver %v obj %d workers %d: telemetry changed predictions",
+						s, oi, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchStatsWithRegistry checks that a plan carried out under a
+// registry reports its search counters and leaves spans behind.
+func TestSearchStatsWithRegistry(t *testing.T) {
+	reg := telemetry.New()
+	pl := planner(Auto)
+	pl.Tel = reg
+	plan, err := pl.Plan(unconstrainedTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := plan.Search
+	if !st.Telemetry {
+		t.Fatal("SearchStats.Telemetry = false with a registry attached")
+	}
+	if st.Solver != Auto || st.Wall <= 0 {
+		t.Fatalf("solver/wall = %v/%v", st.Solver, st.Wall)
+	}
+	if st.DAGBuilds < 1 || st.DAGNodes == 0 || st.DAGEdges == 0 {
+		t.Fatalf("DAG stats empty: %+v", st)
+	}
+	if st.DijkstraRuns == 0 || st.EdgesRelaxed == 0 {
+		t.Fatalf("no shortest-path work recorded: %+v", st)
+	}
+	if st.CacheMisses == 0 {
+		t.Fatalf("cold plan reported no model evaluations: %+v", st)
+	}
+	if st.ConfigsEvaluated() != st.CacheMisses {
+		t.Fatalf("ConfigsEvaluated = %d, want %d", st.ConfigsEvaluated(), st.CacheMisses)
+	}
+
+	snap := reg.Snapshot()
+	if n := len(snap.SpansUnder("plan")); n == 0 {
+		t.Fatal("no plan spans recorded")
+	}
+	if snap.Counter(telemetry.MPlanSolves) != 1 {
+		t.Fatalf("plan solves = %d, want 1", snap.Counter(telemetry.MPlanSolves))
+	}
+}
+
+// TestSearchStatsWithoutRegistry: the always-available fields (wall
+// time, calibration, cache traffic) still populate, with Telemetry
+// false so "zero" is distinguishable from "not measured".
+func TestSearchStatsWithoutRegistry(t *testing.T) {
+	plan, err := planner(Auto).Plan(unconstrainedTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := plan.Search
+	if st.Telemetry {
+		t.Fatal("Telemetry = true without a registry")
+	}
+	if st.Wall <= 0 || st.CacheMisses == 0 {
+		t.Fatalf("always-available stats missing: %+v", st)
+	}
+	if st.DAGBuilds != 0 || st.DijkstraRuns != 0 {
+		t.Fatalf("counter fields populated without a registry: %+v", st)
+	}
+}
+
+func TestExplainReport(t *testing.T) {
+	pl := planner(Auto)
+	pl.Tel = telemetry.New()
+	plan, err := pl.Plan(unconstrainedTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.Explain()
+	for _, want := range []string{
+		"execution plan", "config:", "solver:", "predicted (exact)",
+		"predicted (paper)", "search", "wall time:", "configs evaluated:",
+		"prediction cache:", "dag:", "dijkstra:", "pool:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "counters:           disabled") {
+		t.Fatalf("explain reports counters disabled despite registry:\n%s", out)
+	}
+
+	// Without a registry the report must say the counters are absent
+	// rather than print zeros as if measured.
+	bare, err := planner(Auto).Plan(unconstrainedTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := bare.Explain(); !strings.Contains(out, "disabled") {
+		t.Fatalf("bare explain should flag disabled counters:\n%s", out)
+	}
+}
+
+// TestPlanSnapshotDeltasAreScoped: two consecutive plans on one planner
+// must each report only their own search's cache traffic, not the
+// registry's running totals.
+func TestPlanSnapshotDeltasAreScoped(t *testing.T) {
+	pl := planner(Auto)
+	pl.Tel = telemetry.New()
+	first, err := pl.Plan(unconstrainedTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := pl.Plan(unconstrainedTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second plan reuses the memoized DAG and warm cache: it must not
+	// re-report the first search's misses.
+	if second.Search.CacheMisses >= first.Search.CacheMisses {
+		t.Fatalf("second search misses %d not below first %d — deltas unscoped?",
+			second.Search.CacheMisses, first.Search.CacheMisses)
+	}
+	if second.Search.DAGBuilds != 0 {
+		t.Fatalf("second search rebuilt the DAG %d times, want 0 (memoized)",
+			second.Search.DAGBuilds)
+	}
+}

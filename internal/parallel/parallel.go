@@ -4,6 +4,10 @@
 // deterministic regardless of scheduling, and cancellation is observed
 // between work items so a cancelled search returns promptly without
 // leaking goroutines.
+//
+// When the context carries a telemetry registry, each ForEach batch
+// reports its size, worker count and peak in-flight workers; with no
+// registry attached the pool is byte-for-byte the uninstrumented loop.
 package parallel
 
 import (
@@ -11,6 +15,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"astra/internal/telemetry"
 )
 
 // Workers resolves a requested parallelism degree: values <= 0 mean "use
@@ -37,6 +43,13 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
+	if tel := telemetry.FromContext(ctx); tel != nil {
+		tel.Counter(telemetry.MPoolBatches).Inc()
+		tel.Counter(telemetry.MPoolTasks).Add(int64(n))
+		tel.Gauge(telemetry.MPoolWorkersPeak).SetMax(int64(workers))
+		tel.Gauge(telemetry.MPoolQueueDepthPeak).SetMax(int64(n))
+		tel.Histogram(telemetry.MPoolBatchSize, telemetry.SizeBuckets).Observe(float64(n))
+	}
 	if workers == 1 {
 		// Serial fast path: no goroutines, identical iteration order.
 		for i := 0; i < n; i++ {
@@ -47,6 +60,8 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 		}
 		return nil
 	}
+	busyPeak := telemetry.FromContext(ctx).Gauge(telemetry.MPoolBusyWorkersPeak)
+	var busy atomic.Int64
 	var next int64
 	var wg sync.WaitGroup
 	done := ctx.Done()
@@ -64,7 +79,13 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 				if i >= n {
 					return
 				}
+				if busyPeak != nil {
+					busyPeak.SetMax(busy.Add(1))
+				}
 				fn(i)
+				if busyPeak != nil {
+					busy.Add(-1)
+				}
 			}
 		}()
 	}

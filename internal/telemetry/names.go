@@ -1,0 +1,49 @@
+package telemetry
+
+// Canonical metric names. Instrumented packages and readers (the explain
+// report, the exporter tests) share these constants so a rename cannot
+// silently desynchronize producer and consumer.
+const (
+	// Planner / search engine.
+	MPlanSolves          = "astra_plan_solves_total"
+	MPlanCalibrations    = "astra_plan_calibration_rounds_total"
+	MPlanCacheHits       = "astra_plan_cache_hits_total"
+	MPlanCacheMisses     = "astra_plan_cache_misses_total"
+	MPlanCacheEvictions  = "astra_plan_cache_evictions_total"
+	MDAGBuilds           = "astra_dag_builds_total"
+	MDAGNodes            = "astra_dag_nodes"
+	MDAGEdges            = "astra_dag_edges"
+	MSearchDijkstraRuns  = "astra_search_dijkstra_runs_total"
+	MSearchEdgesRelaxed  = "astra_search_edges_relaxed_total"
+	MAlg1Rounds          = "astra_algorithm1_rounds_total"
+	MAlg1EdgesRemoved    = "astra_algorithm1_edges_removed_total"
+	MYenRounds           = "astra_yen_rounds_total"
+	MYenSpurSearches     = "astra_yen_spur_searches_total"
+	MCSPLabelsPopped     = "astra_csp_labels_popped_total"
+	MPoolBatches         = "astra_pool_batches_total"
+	MPoolTasks           = "astra_pool_tasks_total"
+	MPoolWorkersPeak     = "astra_pool_workers_peak"
+	MPoolBatchSize       = "astra_pool_batch_size"
+	MPoolQueueDepthPeak  = "astra_pool_queue_depth_peak"
+	MPoolBusyWorkersPeak = "astra_pool_busy_workers_peak"
+
+	// Platform: lambda control plane.
+	MLambdaInvocations     = "astra_lambda_invocations_total"
+	MLambdaColdStarts      = "astra_lambda_cold_starts_total"
+	MLambdaTimeouts        = "astra_lambda_timeouts_total"
+	MLambdaErrors          = "astra_lambda_errors_total"
+	MLambdaThrottles       = "astra_lambda_throttles_total"
+	MLambdaRetries         = "astra_lambda_retries_total"
+	MLambdaDurationSeconds = "astra_lambda_duration_seconds"
+	MLambdaQueuedSeconds   = "astra_lambda_queued_seconds"
+	MLambdaConcurrencyPeak = "astra_lambda_concurrency_peak"
+
+	// Platform: object store.
+	MStoreGets     = "astra_store_get_total"
+	MStorePuts     = "astra_store_put_total"
+	MStoreLists    = "astra_store_list_total"
+	MStoreHeads    = "astra_store_head_total"
+	MStoreDeletes  = "astra_store_delete_total"
+	MStoreBytesIn  = "astra_store_bytes_in_total"
+	MStoreBytesOut = "astra_store_bytes_out_total"
+)

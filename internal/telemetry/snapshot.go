@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HistogramSnapshot is one histogram's frozen state. Counts are
+// per-bucket (non-cumulative); the last entry counts observations above
+// every bound (+Inf).
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry: safe to read, diff and
+// export while the live registry keeps moving.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Spans      []SpanRecord                 `json:"spans"`
+	SpanDrops  int64                        `json:"span_drops"`
+}
+
+// Snapshot freezes the registry's current state. On a nil registry it
+// returns an empty (but usable) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Sum:    math.Float64frombits(h.sumBits.Load()),
+			Count:  h.count.Load(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	r.mu.RUnlock()
+	r.spanMu.Lock()
+	s.Spans = append([]SpanRecord(nil), r.spans...)
+	s.SpanDrops = r.spanDrops
+	r.spanMu.Unlock()
+	return s
+}
+
+// Counter reads one counter from the snapshot (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge reads one gauge from the snapshot (0 when absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// CounterDelta reports how much a counter grew since an earlier
+// snapshot of the same registry.
+func (s Snapshot) CounterDelta(prev Snapshot, name string) int64 {
+	return s.Counters[name] - prev.Counters[name]
+}
+
+// SpansUnder returns the snapshot's spans whose path equals prefix or
+// lives beneath it, in completion order.
+func (s Snapshot) SpansUnder(prefix string) []SpanRecord {
+	var out []SpanRecord
+	for _, sp := range s.Spans {
+		if sp.Path == prefix || strings.HasPrefix(sp.Path, prefix+"/") {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// sortedKeys returns map keys in lexicographic order so exports are
+// deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promFloat renders a float the way Prometheus text exposition expects.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders the snapshot's counters, gauges and histograms
+// in the Prometheus text exposition format (version 0.0.4): one TYPE
+// comment per family, cumulative le-labelled buckets plus _sum and
+// _count for histograms. Span records are not exported here — they are
+// trace data, available via WriteJSON and the Gantt renderer.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, c := range h.Counts {
+			cum += c
+			bound := math.Inf(1)
+			if i < len(h.Bounds) {
+				bound = h.Bounds[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the full snapshot — metrics and span records — as an
+// indented JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

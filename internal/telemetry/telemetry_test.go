@@ -1,0 +1,321 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilNoOp exercises every method on nil receivers: the disabled
+// path must never panic and never allocate registry state.
+func TestNilNoOp(t *testing.T) {
+	var reg *Registry
+	reg.Counter("c").Add(3)
+	reg.Counter("c").Inc()
+	reg.Gauge("g").Set(7)
+	reg.Gauge("g").SetMax(9)
+	reg.Gauge("g").Add(-1)
+	reg.Histogram("h", nil).Observe(1.5)
+	sp := reg.StartSpan("plan")
+	sp.Child("solve").End()
+	sp.SetVirtual(0, time.Second)
+	sp.End()
+	reg.RecordVirtual("run", 0, time.Second)
+	reg.SetSpanCap(4)
+
+	if v := reg.Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter value = %d, want 0", v)
+	}
+	if v := reg.Gauge("g").Value(); v != 0 {
+		t.Errorf("nil gauge value = %d, want 0", v)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Spans) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", snap)
+	}
+
+	ctx := context.Background()
+	if got := NewContext(ctx, nil); got != ctx {
+		t.Error("NewContext(nil) should return ctx unchanged")
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Errorf("FromContext(bare ctx) = %v, want nil", got)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	reg := New()
+	ctx := NewContext(context.Background(), reg)
+	if got := FromContext(ctx); got != reg {
+		t.Fatalf("FromContext = %p, want %p", got, reg)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := New()
+	reg.Counter("c").Add(5)
+	reg.Counter("c").Inc()
+	if v := reg.Counter("c").Value(); v != 6 {
+		t.Errorf("counter = %d, want 6", v)
+	}
+
+	g := reg.Gauge("g")
+	g.Set(10)
+	g.SetMax(4) // lower: ignored
+	if v := g.Value(); v != 10 {
+		t.Errorf("gauge after SetMax(4) = %d, want 10", v)
+	}
+	g.SetMax(15)
+	if v := g.Value(); v != 15 {
+		t.Errorf("gauge after SetMax(15) = %d, want 15", v)
+	}
+
+	h := reg.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	hs := snap.Histograms["h"]
+	want := []int64{1, 1, 1, 1}
+	if len(hs.Counts) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(hs.Counts), len(want))
+	}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, hs.Counts[i], w)
+		}
+	}
+	if hs.Count != 4 || hs.Sum != 555.5 {
+		t.Errorf("count/sum = %d/%v, want 4/555.5", hs.Count, hs.Sum)
+	}
+}
+
+func TestSpanPathsAndVirtualTime(t *testing.T) {
+	reg := New()
+	root := reg.StartSpan("plan")
+	child := root.Child("solve").Child("yen")
+	child.End()
+	root.End()
+	reg.RecordVirtual("run/map", 2*time.Second, 5*time.Second)
+
+	snap := reg.Snapshot()
+	if n := len(snap.Spans); n != 3 {
+		t.Fatalf("span count = %d, want 3", n)
+	}
+	if snap.Spans[0].Path != "plan/solve/yen" {
+		t.Errorf("first completed span = %q, want plan/solve/yen", snap.Spans[0].Path)
+	}
+	under := snap.SpansUnder("plan")
+	if len(under) != 2 {
+		t.Errorf("SpansUnder(plan) = %d spans, want 2", len(under))
+	}
+	virt := snap.Spans[2]
+	if !virt.HasVirtual || virt.Virt != 3*time.Second || virt.VirtStart != 2*time.Second {
+		t.Errorf("virtual span = %+v, want 2s..5s", virt)
+	}
+	// Seq orders completions.
+	for i, sp := range snap.Spans {
+		if sp.Seq != int64(i+1) {
+			t.Errorf("span[%d].Seq = %d, want %d", i, sp.Seq, i+1)
+		}
+	}
+}
+
+func TestSpanCapDrops(t *testing.T) {
+	reg := New()
+	reg.SetSpanCap(2)
+	for i := 0; i < 5; i++ {
+		reg.StartSpan("s").End()
+	}
+	snap := reg.Snapshot()
+	if len(snap.Spans) != 2 {
+		t.Errorf("stored spans = %d, want 2", len(snap.Spans))
+	}
+	if snap.SpanDrops != 3 {
+		t.Errorf("span drops = %d, want 3", snap.SpanDrops)
+	}
+}
+
+// TestConcurrentHammer drives one registry from many goroutines — every
+// metric kind plus spans — while other goroutines snapshot and export
+// it. Run under -race, this is the subsystem's thread-safety proof; the
+// final counts also verify no update was lost.
+func TestConcurrentHammer(t *testing.T) {
+	reg := New()
+	reg.SetSpanCap(64)
+	const goroutines = 16
+	const perG = 500
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				reg.Counter("hits").Inc()
+				reg.Counter("bytes").Add(8)
+				reg.Gauge("depth").SetMax(int64(id*perG + i))
+				reg.Histogram("lat", DurationBuckets).Observe(float64(i) * 1e-4)
+				sp := reg.StartSpan("hammer")
+				sp.Child("inner").End()
+				sp.End()
+			}
+		}(g)
+	}
+	// Concurrent readers: snapshots and exports must not race with the
+	// writers above.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := reg.Snapshot()
+				var buf bytes.Buffer
+				if err := snap.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("hits"); got != goroutines*perG {
+		t.Errorf("hits = %d, want %d", got, goroutines*perG)
+	}
+	if got := snap.Counter("bytes"); got != goroutines*perG*8 {
+		t.Errorf("bytes = %d, want %d", got, goroutines*perG*8)
+	}
+	if got := snap.Gauge("depth"); got != goroutines*perG-1 {
+		t.Errorf("depth max = %d, want %d", got, goroutines*perG-1)
+	}
+	if got := snap.Histograms["lat"].Count; got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	if got := len(snap.Spans) + int(snap.SpanDrops); got != goroutines*perG*2 {
+		t.Errorf("spans stored+dropped = %d, want %d", got, goroutines*perG*2)
+	}
+}
+
+// TestWritePrometheusParseBack renders the exposition format and parses
+// it back line by line: every sample line must be "name value" (with an
+// optional {le=...} label), histogram buckets must be cumulative, and
+// the counter values must round-trip.
+func TestWritePrometheusParseBack(t *testing.T) {
+	reg := New()
+	reg.Counter("astra_test_total").Add(42)
+	reg.Gauge("astra_test_peak").Set(7)
+	h := reg.Histogram("astra_test_seconds", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.HasSuffix(text, "\n") {
+		t.Error("exposition must end with a newline")
+	}
+
+	values := map[string]float64{}
+	var bucketCum []float64
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if strings.HasPrefix(name, "astra_test_seconds_bucket{") {
+			bucketCum = append(bucketCum, v)
+			continue
+		}
+		values[name] = v
+	}
+	if values["astra_test_total"] != 42 {
+		t.Errorf("counter round-trip = %v, want 42", values["astra_test_total"])
+	}
+	if values["astra_test_peak"] != 7 {
+		t.Errorf("gauge round-trip = %v, want 7", values["astra_test_peak"])
+	}
+	if values["astra_test_seconds_count"] != 3 || values["astra_test_seconds_sum"] != 101 {
+		t.Errorf("histogram sum/count = %v/%v, want 101/3",
+			values["astra_test_seconds_sum"], values["astra_test_seconds_count"])
+	}
+	wantCum := []float64{1, 2, 3} // le=1, le=2, le=+Inf
+	if len(bucketCum) != len(wantCum) {
+		t.Fatalf("bucket lines = %d, want %d", len(bucketCum), len(wantCum))
+	}
+	for i, w := range wantCum {
+		if bucketCum[i] != w {
+			t.Errorf("cumulative bucket[%d] = %v, want %v", i, bucketCum[i], w)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	reg := New()
+	reg.Counter("c").Add(3)
+	reg.Gauge("g").Set(-2)
+	reg.Histogram("h", []float64{1}).Observe(0.5)
+	reg.StartSpan("plan").End()
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if back.Counters["c"] != 3 || back.Gauges["g"] != -2 {
+		t.Errorf("scalar round-trip = %+v", back)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Path != "plan" {
+		t.Errorf("span round-trip = %+v", back.Spans)
+	}
+	if back.Histograms["h"].Count != 1 {
+		t.Errorf("histogram round-trip = %+v", back.Histograms["h"])
+	}
+}
+
+func TestCounterDelta(t *testing.T) {
+	reg := New()
+	reg.Counter("c").Add(5)
+	before := reg.Snapshot()
+	reg.Counter("c").Add(7)
+	after := reg.Snapshot()
+	if d := after.CounterDelta(before, "c"); d != 7 {
+		t.Errorf("delta = %d, want 7", d)
+	}
+	if d := after.CounterDelta(before, "absent"); d != 0 {
+		t.Errorf("absent delta = %d, want 0", d)
+	}
+}

@@ -7,11 +7,13 @@ import (
 	"io"
 )
 
-// WriteCSV exports the timeline as CSV with one row per lambda:
-// label, start_seconds, end_seconds, duration_seconds.
+// WriteCSV exports the timeline as CSV with one row per lambda. The
+// first four columns (label, start_s, end_s, duration_s) keep their
+// historical order; the memory tier, cold-start flag and billed cost are
+// appended after them so existing column-indexed consumers keep working.
 func (tl Timeline) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"label", "start_s", "end_s", "duration_s"}); err != nil {
+	if err := cw.Write([]string{"label", "start_s", "end_s", "duration_s", "mem_mb", "cold", "cost_usd"}); err != nil {
 		return err
 	}
 	for _, r := range tl.Rows {
@@ -20,6 +22,9 @@ func (tl Timeline) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.6f", r.Start.Seconds()),
 			fmt.Sprintf("%.6f", r.End.Seconds()),
 			fmt.Sprintf("%.6f", (r.End - r.Start).Seconds()),
+			fmt.Sprintf("%d", r.MemoryMB),
+			fmt.Sprintf("%t", r.Cold),
+			fmt.Sprintf("%.9f", float64(r.Cost)),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -35,6 +40,10 @@ type jsonRow struct {
 	StartSec  float64 `json:"start_s"`
 	EndSec    float64 `json:"end_s"`
 	DurationS float64 `json:"duration_s"`
+	Function  string  `json:"function,omitempty"`
+	MemoryMB  int     `json:"mem_mb,omitempty"`
+	Cold      bool    `json:"cold,omitempty"`
+	CostUSD   float64 `json:"cost_usd,omitempty"`
 }
 
 // jsonTimeline is the JSON export schema.
@@ -53,6 +62,10 @@ func (tl Timeline) WriteJSON(w io.Writer) error {
 			StartSec:  r.Start.Seconds(),
 			EndSec:    r.End.Seconds(),
 			DurationS: (r.End - r.Start).Seconds(),
+			Function:  r.Function,
+			MemoryMB:  r.MemoryMB,
+			Cold:      r.Cold,
+			CostUSD:   float64(r.Cost),
 		})
 	}
 	enc := json.NewEncoder(w)

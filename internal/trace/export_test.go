@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"astra/internal/lambda"
 )
 
 func TestWriteCSV(t *testing.T) {
@@ -66,6 +70,64 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "coordinator") {
 		t.Fatal("missing coordinator row")
+	}
+}
+
+// TestWriteCSVExtendedColumns pins the export schema: the historical
+// four columns stay first (column-indexed consumers), with mem_mb,
+// cold and cost_usd appended.
+func TestWriteCSVExtendedColumns(t *testing.T) {
+	tl := FromRecords([]lambda.Record{{
+		Function: "sort-mapper", Label: "map-0", MemoryMB: 1792, Cold: true,
+		Start: 0, End: 2 * time.Second, Cost: 0.000125,
+	}})
+	var buf bytes.Buffer
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := []string{"label", "start_s", "end_s", "duration_s", "mem_mb", "cold", "cost_usd"}
+	for i, w := range wantHeader {
+		if rows[0][i] != w {
+			t.Fatalf("header[%d] = %q, want %q (full header %v)", i, rows[0][i], w, rows[0])
+		}
+	}
+	r := rows[1]
+	if r[4] != "1792" || r[5] != "true" {
+		t.Fatalf("mem/cold = %q/%q, want 1792/true", r[4], r[5])
+	}
+	cost, err := strconv.ParseFloat(r[6], 64)
+	if err != nil || cost != 0.000125 {
+		t.Fatalf("cost_usd = %q (%v), want 0.000125", r[6], err)
+	}
+}
+
+func TestWriteJSONExtendedFields(t *testing.T) {
+	tl := FromRecords([]lambda.Record{{
+		Function: "sort-mapper", Label: "map-0", MemoryMB: 512, Cold: true,
+		Start: 0, End: time.Second, Cost: 0.5,
+	}})
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows []struct {
+			Function string  `json:"function"`
+			MemoryMB int     `json:"mem_mb"`
+			Cold     bool    `json:"cold"`
+			CostUSD  float64 `json:"cost_usd"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	r := doc.Rows[0]
+	if r.Function != "sort-mapper" || r.MemoryMB != 512 || !r.Cold || r.CostUSD != 0.5 {
+		t.Fatalf("json row = %+v", r)
 	}
 }
 

@@ -11,13 +11,23 @@ import (
 	"time"
 
 	"astra/internal/lambda"
+	"astra/internal/pricing"
 )
 
-// Row is one lambda's rendered interval.
+// Row is one lambda's rendered interval, carrying enough of the
+// invocation record for cost-annotated exports.
 type Row struct {
 	Label string
 	Start time.Duration
 	End   time.Duration
+	// Function is the registered function name behind the label.
+	Function string
+	// MemoryMB is the lambda's memory tier.
+	MemoryMB int
+	// Cold reports whether the invocation paid a cold start.
+	Cold bool
+	// Cost is the invocation's billed cost (duration + invocation fee).
+	Cost pricing.USD
 }
 
 // Timeline is an ordered set of rows with a common origin.
@@ -49,13 +59,29 @@ func FromRecords(records []lambda.Record) Timeline {
 		if label == "" {
 			label = r.Function
 		}
-		tl.Rows = append(tl.Rows, Row{Label: label, Start: r.Start - origin, End: r.End - origin})
+		tl.Rows = append(tl.Rows, Row{
+			Label:    label,
+			Start:    r.Start - origin,
+			End:      r.End - origin,
+			Function: r.Function,
+			MemoryMB: r.MemoryMB,
+			Cold:     r.Cold,
+			Cost:     r.Cost,
+		})
 	}
+	// Order by (Start, Label, Function). The Function tiebreak matters
+	// when two jobs on one platform reuse a label (e.g. "map-0"): with
+	// only (Start, Label) the relative order of the colliding rows would
+	// depend on record interleaving, making exports nondeterministic.
 	sort.SliceStable(tl.Rows, func(i, j int) bool {
-		if tl.Rows[i].Start != tl.Rows[j].Start {
-			return tl.Rows[i].Start < tl.Rows[j].Start
+		a, b := tl.Rows[i], tl.Rows[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
 		}
-		return tl.Rows[i].Label < tl.Rows[j].Label
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.Function < b.Function
 	})
 	return tl
 }

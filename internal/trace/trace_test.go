@@ -83,6 +83,44 @@ func TestRenderWidthClamp(t *testing.T) {
 	}
 }
 
+// TestSortIsDeterministicAcrossLabelCollisions is the regression test
+// for the (Start, Label, Function) tiebreak: two jobs sharing one
+// platform reuse the label "map-0" at the same start time, and the
+// timeline must come out identical however the records are interleaved.
+func TestSortIsDeterministicAcrossLabelCollisions(t *testing.T) {
+	recs := []lambda.Record{
+		{Function: "jobB-mapper", Label: "map-0", Start: 0, End: 3 * time.Second},
+		{Function: "jobA-mapper", Label: "map-0", Start: 0, End: 5 * time.Second},
+		{Function: "jobA-mapper", Label: "map-1", Start: 0, End: 4 * time.Second},
+	}
+	want := FromRecords(recs)
+	if want.Rows[0].Function != "jobA-mapper" || want.Rows[1].Function != "jobB-mapper" {
+		t.Fatalf("colliding labels not ordered by function: %+v", want.Rows)
+	}
+	// Every permutation of the input must produce the same row order.
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, p := range perms {
+		shuffled := []lambda.Record{recs[p[0]], recs[p[1]], recs[p[2]]}
+		got := FromRecords(shuffled)
+		for i := range want.Rows {
+			if got.Rows[i] != want.Rows[i] {
+				t.Fatalf("permutation %v: row %d = %+v, want %+v", p, i, got.Rows[i], want.Rows[i])
+			}
+		}
+	}
+}
+
+func TestFromRecordsCarriesInvocationDetails(t *testing.T) {
+	tl := FromRecords([]lambda.Record{{
+		Function: "sort-mapper", Label: "map-0", MemoryMB: 1792, Cold: true,
+		Start: 0, End: time.Second, Cost: 0.00123,
+	}})
+	r := tl.Rows[0]
+	if r.Function != "sort-mapper" || r.MemoryMB != 1792 || !r.Cold || r.Cost != 0.00123 {
+		t.Fatalf("row missing record details: %+v", r)
+	}
+}
+
 func TestFallbackLabelIsFunctionName(t *testing.T) {
 	tl := FromRecords([]lambda.Record{{Function: "job1-mapper", Start: 0, End: time.Second}})
 	if tl.Rows[0].Label != "job1-mapper" {
