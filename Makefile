@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench bench-all race vet
+.PHONY: build test verify bench bench-all benchdiff race vet
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ verify: vet race
 # are diffable across commits.
 bench:
 	$(GO) run ./cmd/astra-microbench -out BENCH_plan.json
+
+# Perf-regression gate: re-run the microbenchmarks (without rewriting the
+# baseline) and fail when ns/op regresses >5% or allocs/op >10% against
+# the checked-in BENCH_plan.json. CI runs this as a soft gate — shared
+# runners are noisy — so a red benchdiff flags a PR for a look rather
+# than blocking it.
+benchdiff:
+	$(GO) run ./cmd/astra-microbench -out "" -diff BENCH_plan.json
 
 # The full `go test -bench` sweep the JSON summary is distilled from.
 bench-all:

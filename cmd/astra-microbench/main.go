@@ -4,6 +4,11 @@
 // operation for cold planning, warm re-planning and one simulated
 // execution, plus the warm planner's prediction-cache hit rate. It backs
 // `make bench` so perf regressions are diffable across commits.
+//
+// With -diff <baseline.json> it additionally compares the fresh run
+// against a checked-in baseline and exits non-zero when any benchmark
+// regresses beyond the tolerances (-ns-tolerance, -allocs-tolerance) —
+// the `make benchdiff` soft gate in CI.
 package main
 
 import (
@@ -54,7 +59,10 @@ func main() {
 }
 
 func run() error {
-	outPath := flag.String("out", "BENCH_plan.json", "write the JSON report to this file")
+	outPath := flag.String("out", "BENCH_plan.json", "write the JSON report to this file (empty: skip)")
+	diffPath := flag.String("diff", "", "compare against this baseline JSON and exit 1 on regression")
+	nsTol := flag.Float64("ns-tolerance", 0.05, "allowed ns/op regression vs the -diff baseline (fraction)")
+	allocsTol := flag.Float64("allocs-tolerance", 0.10, "allowed allocs/op regression vs the -diff baseline (fraction)")
 	flag.Parse()
 
 	params := model.DefaultParams(workload.Sort100GB())
@@ -145,15 +153,20 @@ func run() error {
 		}
 	}))
 
-	f, err := os.Create(*outPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		return err
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	for _, b := range rep.Benchmarks {
 		fmt.Printf("%-28s %10d ns/op %10d B/op %8d allocs/op (n=%d, %s)\n",
@@ -162,6 +175,57 @@ func run() error {
 	}
 	fmt.Printf("warm cache hit rate: %.1f%% (%d hits / %d misses)\n",
 		100*rep.CacheHitRate, rep.CacheHits, rep.CacheMisses)
-	fmt.Printf("wrote %s\n", *outPath)
+	if *outPath != "" {
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	if *diffPath != "" {
+		return diffReport(rep, *diffPath, *nsTol, *allocsTol)
+	}
+	return nil
+}
+
+// diffReport prints per-benchmark deltas against a baseline report and
+// returns an error (non-zero exit) when any benchmark's ns/op or
+// allocs/op regresses beyond its tolerance. Benchmarks absent from the
+// baseline are reported but never gate.
+func diffReport(rep report, path string, nsTol, allocsTol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	pct := func(now, was int64) float64 {
+		if was == 0 {
+			return 0
+		}
+		return 100 * (float64(now) - float64(was)) / float64(was)
+	}
+	fmt.Printf("\ndiff vs %s (gate: ns/op +%.0f%%, allocs/op +%.0f%%)\n", path, 100*nsTol, 100*allocsTol)
+	var regressed []string
+	for _, b := range rep.Benchmarks {
+		was, ok := baseline[b.Name]
+		if !ok {
+			fmt.Printf("%-28s (no baseline entry)\n", b.Name)
+			continue
+		}
+		dNs, dAllocs, dBytes := pct(b.NsPerOp, was.NsPerOp), pct(b.AllocsPerOp, was.AllocsPerOp), pct(b.BytesPerOp, was.BytesPerOp)
+		verdict := "ok"
+		if dNs > 100*nsTol || dAllocs > 100*allocsTol {
+			verdict = "REGRESSED"
+			regressed = append(regressed, b.Name)
+		}
+		fmt.Printf("%-28s ns/op %+7.1f%%  allocs/op %+7.1f%%  B/op %+7.1f%%  %s\n",
+			b.Name, dNs, dAllocs, dBytes, verdict)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("perf regression beyond tolerance in: %v", regressed)
+	}
 	return nil
 }

@@ -174,7 +174,7 @@ func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) 
 		row := mapperRow{feasible: true, t: make([]float64, L), c: make([]float64, L)}
 		for ti, mem := range tiers {
 			row.t[ti] = m.MapperTime(mem, kM)
-			row.c[ti] = m.MapperCost(mem, kM)
+			row.c[ti] = m.MapperCostFor(orch, mem, kM)
 		}
 		mapRows[kM] = row
 	}); err != nil {
@@ -196,16 +196,12 @@ func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) 
 	if err := parallel.ForEach(ctx, len(feasKM), workers, func(i int) {
 		kM := feasKM[i]
 		row := make([]pairW, maxKR)
+		var e model.RowEval // orchestration + shapes bound once per kR
 		for kR := 1; kR <= maxKR; kR++ {
-			tt, err := m.TransferTime(kM, kR)
-			if err != nil {
+			if err := m.BindRowFor(&e, kM, kR); err != nil {
 				continue
 			}
-			gc, err := m.GlueCost(kM, kR)
-			if err != nil {
-				continue
-			}
-			row[kR-1] = pairW{ok: true, t: tt, c: gc}
+			row[kR-1] = pairW{ok: true, t: e.TransferTime(), c: e.GlueCost(kR)}
 		}
 		transfer[kM] = row
 	}); err != nil {
@@ -217,12 +213,11 @@ func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) 
 	if err := parallel.ForEach(ctx, maxKR, workers, func(i int) {
 		kR := i + 1
 		row := make([]pairW, L)
-		for ta, mem := range tiers {
-			cc, err := m.CoordCost(mem, kR)
-			if err != nil {
-				continue
+		var e model.RowEval
+		if err := m.BindRowHat(&e, kR); err == nil {
+			for ta, mem := range tiers {
+				row[ta] = pairW{ok: true, t: m.CoordCompute(mem), c: e.CoordCost(mem)}
 			}
-			row[ta] = pairW{ok: true, t: m.CoordCompute(mem), c: cc}
 		}
 		coord[i] = row
 	}); err != nil {
@@ -235,13 +230,11 @@ func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) 
 	if err := parallel.ForEach(ctx, maxKR, workers, func(i int) {
 		kR := i + 1
 		row := make([]pairW, L)
-		for ts, mem := range tiers {
-			rc, err1 := m.ReduceCompute(mem, kR)
-			cc, err2 := m.ReduceCost(mem, kR)
-			if err1 != nil || err2 != nil {
-				continue
+		var e model.RowEval
+		if err := m.BindRowHat(&e, kR); err == nil {
+			for ts, mem := range tiers {
+				row[ts] = pairW{ok: true, t: e.ReduceCompute(mem), c: e.ReduceCost(mem)}
 			}
-			row[ts] = pairW{ok: true, t: rc, c: cc}
 		}
 		reduce[i] = row
 	}); err != nil {

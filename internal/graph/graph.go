@@ -8,13 +8,22 @@
 // search, and Side, the constrained resource accumulated along the path.
 // For the paper's performance optimization (Eq. 16) W is phase time and
 // Side is phase cost; for cost minimization (Eq. 20) the roles swap.
+//
+// Storage is compressed sparse row (CSR): AddEdge appends to a flat
+// arrival-order log, and the first search freezes the log into off/to/
+// w/side arrays so every solver walks contiguous memory. Removal
+// (Algorithm 1) flips a bit in a per-graph bitset instead of mutating
+// the arrays, which also makes Clone O(m/64): clones share the frozen
+// arrays and copy only the bitset. See DESIGN.md, "Memory layout of the
+// search core".
 package graph
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by the solvers.
@@ -28,16 +37,34 @@ type Edge struct {
 	To   int
 	W    float64
 	Side float64
-	// removed supports Algorithm 1's destructive edge deletion without
-	// reallocating adjacency lists.
-	removed bool
 }
 
 // Graph is a directed graph over nodes 0..N-1.
+//
+// Mutating methods (AddEdge, removeEdge, the destructive Algorithm 1)
+// require external synchronization; read-only searches may run
+// concurrently on one graph.
 type Graph struct {
-	n   int
-	adj [][]Edge
-	m   int
+	n int
+	m int // live (non-removed) edge count
+
+	// Builder log in arrival order; dropped once frozen into CSR form,
+	// reconstructed (live edges only) if AddEdge is called afterwards.
+	lu, lv []int32
+	lw, ls []float64
+	deg    []int32 // per-node log edge counts, for the counted freeze pass
+
+	// Frozen CSR: node u's outgoing edges are indices off[u]..off[u+1]
+	// of the parallel to/w/side arrays, in per-node insertion order.
+	// The arrays are immutable once built and may be shared by clones;
+	// removed is the per-graph deletion bitset over edge indices.
+	off     []int32
+	to      []int32
+	w, side []float64
+	removed bitset
+
+	frozen atomic.Bool
+	mu     sync.Mutex // serializes the lazy freeze among concurrent readers
 }
 
 // New creates a graph with n nodes and no edges.
@@ -45,7 +72,10 @@ func New(n int) *Graph {
 	if n <= 0 {
 		panic("graph: node count must be positive")
 	}
-	return &Graph{n: n, adj: make([][]Edge, n)}
+	if int64(n) > math.MaxInt32 {
+		panic("graph: node count exceeds int32 range")
+	}
+	return &Graph{n: n}
 }
 
 // NumNodes reports the node count.
@@ -53,22 +83,6 @@ func (g *Graph) NumNodes() int { return g.n }
 
 // NumEdges reports the live (non-removed) edge count.
 func (g *Graph) NumEdges() int { return g.m }
-
-// EdgesFrom returns a copy of u's live outgoing edges in insertion order.
-// It lets callers compare graphs structurally (e.g. a parallel build
-// against a serial one) without touching the adjacency storage.
-func (g *Graph) EdgesFrom(u int) []Edge {
-	if u < 0 || u >= g.n {
-		return nil
-	}
-	var out []Edge
-	for _, e := range g.adj[u] {
-		if !e.removed {
-			out = append(out, e)
-		}
-	}
-	return out
-}
 
 // AddEdge inserts a directed edge. Negative objective weights are
 // rejected: every solver here assumes non-negativity.
@@ -79,8 +93,106 @@ func (g *Graph) AddEdge(u, v int, w, side float64) {
 	if w < 0 || math.IsNaN(w) {
 		panic(fmt.Sprintf("graph: invalid weight %v on edge (%d,%d)", w, u, v))
 	}
-	g.adj[u] = append(g.adj[u], Edge{To: v, W: w, Side: side})
+	if g.frozen.Load() {
+		g.thaw()
+	}
+	if g.deg == nil {
+		g.deg = make([]int32, g.n)
+	}
+	g.lu = append(g.lu, int32(u))
+	g.lv = append(g.lv, int32(v))
+	g.lw = append(g.lw, w)
+	g.ls = append(g.ls, side)
+	g.deg[u]++
 	g.m++
+}
+
+// freeze builds the CSR arrays from the log in one counted pass and
+// drops the log. It is idempotent and safe to call from concurrent
+// readers: the first caller builds, the rest observe the published
+// arrays through the atomic flag.
+func (g *Graph) freeze() {
+	if g.frozen.Load() {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.frozen.Load() {
+		return
+	}
+	off := make([]int32, g.n+1)
+	for u := 0; u < g.n && g.deg != nil; u++ {
+		off[u+1] = off[u] + g.deg[u]
+	}
+	total := len(g.lu)
+	to := make([]int32, total)
+	w := make([]float64, total)
+	side := make([]float64, total)
+	pos := make([]int32, g.n)
+	copy(pos, off[:g.n])
+	for i, u := range g.lu {
+		p := pos[u]
+		pos[u] = p + 1
+		to[p] = g.lv[i]
+		w[p] = g.lw[i]
+		side[p] = g.ls[i]
+	}
+	g.off, g.to, g.w, g.side = off, to, w, side
+	g.removed = newBitset(total)
+	g.lu, g.lv, g.lw, g.ls, g.deg = nil, nil, nil, nil, nil
+	g.frozen.Store(true)
+}
+
+// thaw reconstructs the builder log from the frozen CSR (live edges
+// only, in CSR order) so AddEdge can extend a graph that has already
+// been searched. Removed edges are dropped for good. Callers must hold
+// exclusive access (AddEdge is a mutating method).
+func (g *Graph) thaw() {
+	g.lu = make([]int32, 0, g.m)
+	g.lv = make([]int32, 0, g.m)
+	g.lw = make([]float64, 0, g.m)
+	g.ls = make([]float64, 0, g.m)
+	g.deg = make([]int32, g.n)
+	for u := 0; u < g.n; u++ {
+		for ei := g.off[u]; ei < g.off[u+1]; ei++ {
+			if g.removed.get(ei) {
+				continue
+			}
+			g.lu = append(g.lu, int32(u))
+			g.lv = append(g.lv, g.to[ei])
+			g.lw = append(g.lw, g.w[ei])
+			g.ls = append(g.ls, g.side[ei])
+			g.deg[u]++
+		}
+	}
+	g.off, g.to, g.w, g.side, g.removed = nil, nil, nil, nil, nil
+	g.frozen.Store(false)
+}
+
+// EdgesFrom returns a copy of u's live outgoing edges in insertion order.
+// It lets callers compare graphs structurally (e.g. a parallel build
+// against a serial one) without touching the adjacency storage.
+func (g *Graph) EdgesFrom(u int) []Edge {
+	if u < 0 || u >= g.n {
+		return nil
+	}
+	g.freeze()
+	live := 0
+	for ei := g.off[u]; ei < g.off[u+1]; ei++ {
+		if !g.removed.get(ei) {
+			live++
+		}
+	}
+	if live == 0 {
+		return nil
+	}
+	out := make([]Edge, 0, live)
+	for ei := g.off[u]; ei < g.off[u+1]; ei++ {
+		if !g.removed.get(ei) {
+			out = append(out, Edge{To: int(g.to[ei]), W: g.w[ei], Side: g.side[ei]})
+		}
+	}
+	return out
 }
 
 // Path is a walk through the graph with its accumulated weights.
@@ -90,11 +202,12 @@ type Path struct {
 	Side  float64
 }
 
-// edgeAt returns the index of the live edge u->v, or -1.
-func (g *Graph) edgeAt(u, v int) int {
-	for i := range g.adj[u] {
-		if !g.adj[u][i].removed && g.adj[u][i].To == v {
-			return i
+// edgeAt returns the CSR index of the first live edge u->v, or -1.
+func (g *Graph) edgeAt(u, v int) int32 {
+	g.freeze()
+	for ei := g.off[u]; ei < g.off[u+1]; ei++ {
+		if !g.removed.get(ei) && g.to[ei] == int32(v) {
+			return ei
 		}
 	}
 	return -1
@@ -102,106 +215,96 @@ func (g *Graph) edgeAt(u, v int) int {
 
 // removeEdge marks the edge u->v removed, reporting whether it existed.
 func (g *Graph) removeEdge(u, v int) bool {
-	if i := g.edgeAt(u, v); i >= 0 {
-		g.adj[u][i].removed = true
+	if ei := g.edgeAt(u, v); ei >= 0 {
+		g.removed.set(ei)
 		g.m--
 		return true
 	}
 	return false
 }
 
-// pqItem is a priority-queue entry for Dijkstra.
-type pqItem struct {
-	node int
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
-// dijkstra computes shortest distances from src, honoring banned nodes
-// and banned edges (both may be nil). It returns dist and predecessor
-// arrays plus the number of successful edge relaxations — the search
-// engine's basic unit of work, surfaced through telemetry.
-func (g *Graph) dijkstra(src int, bannedNode []bool, bannedEdge map[[2]int]bool) ([]float64, []int, int64) {
-	dist := make([]float64, g.n)
-	prev := make([]int, g.n)
-	done := make([]bool, g.n)
+// dijkstra computes shortest distances from src into the scratch's
+// dist/prev buffers, honoring banned nodes and banned edges (both may be
+// nil). It returns the number of successful edge relaxations — the
+// search engine's basic unit of work, surfaced through telemetry.
+func (g *Graph) dijkstra(sc *searchScratch, src int, bannedNode []bool, bannedEdge bitset) int64 {
+	g.freeze()
+	dist, prev, done := sc.dist, sc.prev, sc.done
 	for i := range dist {
 		dist[i] = math.Inf(1)
+	}
+	for i := range prev {
 		prev[i] = -1
 	}
-	if bannedNode != nil && bannedNode[src] {
-		return dist, prev, 0
+	for i := range done {
+		done[i] = false
 	}
+	if bannedNode != nil && bannedNode[src] {
+		return 0
+	}
+	off, to, ew, removed := g.off, g.to, g.w, g.removed
 	var relaxed int64
 	dist[src] = 0
-	q := &pq{{node: src}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		u := it.node
+	h := &sc.heap
+	h.reset()
+	h.push(int32(src), 0)
+	for h.len() > 0 {
+		u, _ := h.pop()
 		if done[u] {
 			continue
 		}
 		done[u] = true
-		for _, e := range g.adj[u] {
-			if e.removed {
+		du := dist[u]
+		for ei := off[u]; ei < off[u+1]; ei++ {
+			if removed.get(ei) {
 				continue
 			}
-			v := e.To
+			v := to[ei]
 			if bannedNode != nil && bannedNode[v] {
 				continue
 			}
-			if bannedEdge != nil && bannedEdge[[2]int{u, v}] {
+			if bannedEdge != nil && bannedEdge.get(ei) {
 				continue
 			}
-			if nd := dist[u] + e.W; nd < dist[v] {
+			if nd := du + ew[ei]; nd < dist[v] {
 				dist[v] = nd
 				prev[v] = u
 				relaxed++
-				heap.Push(q, pqItem{node: v, dist: nd})
+				h.push(v, nd)
 			}
 		}
 	}
-	return dist, prev, relaxed
+	return relaxed
 }
 
 // assemble reconstructs the path to dst from a predecessor array,
-// accumulating both weights.
-func (g *Graph) assemble(src, dst int, prev []int) (Path, bool) {
+// accumulating both weights. The returned node slice is freshly
+// allocated (it outlives the scratch the prev array came from).
+func (g *Graph) assemble(src, dst int, prev []int32) (Path, bool) {
 	if src == dst {
 		return Path{Nodes: []int{src}}, true
 	}
-	var rev []int
-	for at := dst; at != -1; at = prev[at] {
-		rev = append(rev, at)
+	hops := 1
+	for at := dst; at != src; hops++ {
+		p := prev[at]
+		if p < 0 {
+			return Path{}, false
+		}
+		at = int(p)
+	}
+	nodes := make([]int, hops)
+	for at, i := dst, hops-1; ; i-- {
+		nodes[i] = at
 		if at == src {
 			break
 		}
-	}
-	if len(rev) == 0 || rev[len(rev)-1] != src {
-		return Path{}, false
-	}
-	nodes := make([]int, len(rev))
-	for i := range rev {
-		nodes[i] = rev[len(rev)-1-i]
+		at = int(prev[at])
 	}
 	p := Path{Nodes: nodes}
 	for i := 0; i+1 < len(nodes); i++ {
-		e := g.adj[nodes[i]][g.edgeAt(nodes[i], nodes[i+1])]
-		p.W += e.W
-		p.Side += e.Side
+		ei := g.edgeAt(nodes[i], nodes[i+1])
+		p.W += g.w[ei]
+		p.Side += g.side[ei]
 	}
 	return p, true
 }
@@ -215,8 +318,10 @@ func (g *Graph) ShortestPath(src, dst int) (Path, error) {
 // shortestPathStats is ShortestPath plus the relaxation count, for
 // instrumented callers.
 func (g *Graph) shortestPathStats(src, dst int) (Path, int64, error) {
-	_, prev, relaxed := g.dijkstra(src, nil, nil)
-	p, ok := g.assemble(src, dst, prev)
+	sc := g.getScratch(nil)
+	defer putScratch(sc)
+	relaxed := g.dijkstra(sc, src, nil, nil)
+	p, ok := g.assemble(src, dst, sc.prev)
 	if !ok {
 		return Path{}, relaxed, ErrNoPath
 	}

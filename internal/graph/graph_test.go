@@ -237,10 +237,7 @@ func bruteBest(g *Graph, src, dst int, budget float64) (Path, bool) {
 			}
 			return
 		}
-		for _, e := range g.adj[at] {
-			if e.removed {
-				continue
-			}
+		for _, e := range g.EdgesFrom(at) {
 			walk(e.To, append(nodes, e.To), w+e.W, side+e.Side)
 		}
 	}

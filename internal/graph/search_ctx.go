@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"context"
 
 	"astra/internal/telemetry"
@@ -12,18 +11,25 @@ import (
 // observed within microseconds, rare enough to stay off the profile.
 const ctxCheckEvery = 1024
 
-// Clone returns a deep copy of the graph: same nodes, same adjacency
-// order, independent edge storage. It is how the planner reuses one
-// memoized DAG build across searches that mutate the graph (Algorithm 1's
-// destructive edge removal) without re-deriving every edge weight.
+// Clone returns a copy of the graph that searches identically but may be
+// mutated independently. The frozen CSR arrays are immutable and shared;
+// only the removal bitset is copied, so cloning for Algorithm 1's
+// destructive rounds costs O(m/64) instead of duplicating every
+// adjacency list. It is how the planner reuses one memoized DAG build
+// across searches that mutate the graph without re-deriving every edge
+// weight.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{n: g.n, m: g.m, adj: make([][]Edge, g.n)}
-	for u, edges := range g.adj {
-		if len(edges) == 0 {
-			continue
-		}
-		c.adj[u] = append([]Edge(nil), edges...)
+	g.freeze()
+	c := &Graph{
+		n:       g.n,
+		m:       g.m,
+		off:     g.off,
+		to:      g.to,
+		w:       g.w,
+		side:    g.side,
+		removed: g.removed.clone(),
 	}
+	c.frozen.Store(true)
 	return c
 }
 
@@ -32,27 +38,31 @@ func (g *Graph) Clone() *Graph {
 // edge in the worst case), and ctx.Err() is returned if it fires. The
 // receiver is still mutated by the rounds that did run.
 //
-// When the context carries a telemetry registry, each edge-removal round
-// is recorded as a span and the round/removal/relaxation counts are
-// accumulated; with no registry attached the loop is identical to the
-// uninstrumented original.
+// One pooled scratch carries the dist/prev/heap buffers across every
+// destructive round, so the per-round cost is the search itself, not
+// allocation. When the context carries a telemetry registry, each
+// edge-removal round is recorded as a span and the round/removal/
+// relaxation counts are accumulated; with no registry attached the loop
+// is identical to the uninstrumented original.
 func (g *Graph) Algorithm1Ctx(ctx context.Context, src, dst int, budget float64) (Path, error) {
 	tel := telemetry.FromContext(ctx)
 	rounds := tel.Counter(telemetry.MAlg1Rounds)
 	removals := tel.Counter(telemetry.MAlg1EdgesRemoved)
 	runs := tel.Counter(telemetry.MSearchDijkstraRuns)
 	relaxations := tel.Counter(telemetry.MSearchEdgesRelaxed)
+	sc := g.getScratch(tel)
+	defer putScratch(sc)
 	maxIter := g.m + 1
 	for iter := 0; iter < maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return Path{}, err
 		}
 		sp := tel.StartSpan("plan/solve/algorithm1/round")
-		_, prev, relaxed := g.dijkstra(src, nil, nil)
+		relaxed := g.dijkstra(sc, src, nil, nil)
 		rounds.Inc()
 		runs.Inc()
 		relaxations.Add(relaxed)
-		p, ok := g.assemble(src, dst, prev)
+		p, ok := g.assemble(src, dst, sc.prev)
 		if !ok {
 			sp.End()
 			return Path{}, ErrInfeasible
@@ -60,11 +70,11 @@ func (g *Graph) Algorithm1Ctx(ctx context.Context, src, dst int, budget float64)
 		side := 0.0
 		violated := false
 		for i := 0; i+1 < len(p.Nodes); i++ {
-			u, v := p.Nodes[i], p.Nodes[i+1]
-			e := g.adj[u][g.edgeAt(u, v)]
-			side += e.Side
+			ei := g.edgeAt(p.Nodes[i], p.Nodes[i+1])
+			side += g.side[ei]
 			if side > budget {
-				g.removeEdge(u, v)
+				g.removed.set(ei)
+				g.m--
 				removals.Inc()
 				violated = true
 				break
@@ -81,6 +91,11 @@ func (g *Graph) Algorithm1Ctx(ctx context.Context, src, dst int, budget float64)
 // ConstrainedShortestPathCtx is ConstrainedShortestPath with cancellation:
 // the label-setting loop checks the context every ctxCheckEvery pops and
 // returns ctx.Err() when it fires. The graph is not mutated.
+//
+// Labels live in the scratch's slab arena and each node's Pareto front
+// is a w-sorted list of arena indices, so dominance tests are two O(1)
+// probes around a binary search and stale labels are skipped by an
+// evicted flag instead of an identity scan.
 func (g *Graph) ConstrainedShortestPathCtx(ctx context.Context, src, dst int, budget float64) (Path, error) {
 	if err := ctx.Err(); err != nil {
 		return Path{}, err
@@ -91,46 +106,64 @@ func (g *Graph) ConstrainedShortestPathCtx(ctx context.Context, src, dst int, bu
 	tel := telemetry.FromContext(ctx)
 	popped := tel.Counter(telemetry.MCSPLabelsPopped)
 	relaxations := tel.Counter(telemetry.MSearchEdgesRelaxed)
-	sets := make([][]*label, g.n)
-	start := &label{node: src}
-	sets[src] = []*label{start}
-	q := &labelPQ{start}
+	allocated := tel.Counter(telemetry.MCSPLabelsAllocated)
+	sc := g.getScratch(tel)
+	defer putScratch(sc)
+	labels := sc.labels[:0]
+	fronts := sc.fronts
+	for i := range fronts {
+		fronts[i] = fronts[i][:0]
+	}
+	h := &sc.lheap
+	h.reset()
+	labels = append(labels, csLabel{node: int32(src), prev: -1})
+	fronts[src] = append(fronts[src], 0)
+	h.push(0, 0)
 	pops := 0
 	var relaxed int64
 	defer func() {
+		sc.labels = labels // hand the grown arena back to the pool
 		popped.Add(int64(pops))
 		relaxations.Add(relaxed)
+		allocated.Add(int64(len(labels)))
 	}()
-	for q.Len() > 0 {
+	off, to, ew, es, removed := g.off, g.to, g.w, g.side, g.removed
+	dst32 := int32(dst)
+	for h.len() > 0 {
 		if pops++; pops%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return Path{}, err
 			}
 		}
-		l := heap.Pop(q).(*label)
-		if l.node == dst {
-			return g.pathFromLabel(l), nil
+		li, _ := h.pop()
+		l := labels[li]
+		if l.node == dst32 {
+			return pathFromArena(labels, li), nil
 		}
 		// A label is stale if a later insertion evicted it from its
-		// node's Pareto set.
-		if !contains(sets[l.node], l) {
+		// node's Pareto front.
+		if l.evicted {
 			continue
 		}
-		for _, e := range g.adj[l.node] {
-			if e.removed {
+		for ei := off[l.node]; ei < off[l.node+1]; ei++ {
+			if removed.get(ei) {
 				continue
 			}
-			nw, ns := l.w+e.W, l.side+e.Side
+			v := to[ei]
+			nw, ns := l.w+ew[ei], l.side+es[ei]
 			if ns > budget {
 				continue
 			}
-			if dominated(sets[e.To], nw, ns) {
+			front := fronts[v]
+			lo := frontFloor(labels, front, nw)
+			if frontDominated(labels, front, lo, nw, ns) {
 				continue
 			}
-			nl := &label{node: e.To, w: nw, side: ns, prev: l}
-			sets[e.To] = insertLabel(sets[e.To], nl)
+			nidx := int32(len(labels))
+			labels = append(labels, csLabel{w: nw, side: ns, node: v, prev: li})
+			fronts[v] = frontInsert(labels, front, lo, nidx, ns)
 			relaxed++
-			heap.Push(q, nl)
+			h.push(nidx, nw)
 		}
 	}
 	if err := ctx.Err(); err != nil {

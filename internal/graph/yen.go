@@ -26,6 +26,10 @@ func (g *Graph) YenKSP(src, dst, k int) []Path {
 // the returned paths are identical to the serial enumeration regardless
 // of parallelism. On cancellation the paths found so far are returned
 // alongside ctx.Err().
+//
+// Each spur search borrows a pooled scratch: banned root nodes live in
+// the scratch's node flags and banned edges in its CSR-indexed bitset
+// (set and unset by index, so no per-spur map or slice is built).
 func (g *Graph) YenKSPCtx(ctx context.Context, src, dst, k, workers int) ([]Path, error) {
 	if k <= 0 {
 		return nil, ctx.Err()
@@ -63,22 +67,26 @@ func (g *Graph) YenKSPCtx(ctx context.Context, src, dst, k, workers int) ([]Path
 			spurNode := prevPath[i]
 			rootNodes := prevPath[:i+1]
 
+			sc := g.getScratch(tel)
+			defer putScratch(sc)
+
 			// Ban edges used by already-found paths sharing this root,
 			// and ban root nodes (except the spur) to keep paths simple.
-			bannedEdge := make(map[[2]int]bool)
 			for _, p := range paths {
 				if len(p.Nodes) > i && equalPrefix(p.Nodes, rootNodes) {
-					bannedEdge[[2]int{p.Nodes[i], p.Nodes[i+1]}] = true
+					sc.banEdges(g, p.Nodes[i], p.Nodes[i+1])
 				}
 			}
-			bannedNode := make([]bool, g.n)
+			banned := sc.bannedNode
+			for j := range banned {
+				banned[j] = false
+			}
 			for _, n := range rootNodes[:len(rootNodes)-1] {
-				bannedNode[n] = true
+				banned[n] = true
 			}
 
-			_, prev, relaxed := g.dijkstra(spurNode, bannedNode, bannedEdge)
-			spurRelaxed[i] = relaxed
-			spur, ok := g.assemble(spurNode, dst, prev)
+			spurRelaxed[i] = g.dijkstra(sc, spurNode, banned, sc.bannedEdge)
+			spur, ok := g.assemble(spurNode, dst, sc.prev)
 			if !ok {
 				return
 			}
@@ -148,13 +156,12 @@ func (g *Graph) YenUntilCtx(ctx context.Context, src, dst int, budget float64, m
 func (g *Graph) weigh(nodes []int) (Path, bool) {
 	p := Path{Nodes: nodes}
 	for i := 0; i+1 < len(nodes); i++ {
-		idx := g.edgeAt(nodes[i], nodes[i+1])
-		if idx < 0 {
+		ei := g.edgeAt(nodes[i], nodes[i+1])
+		if ei < 0 {
 			return Path{}, false
 		}
-		e := g.adj[nodes[i]][idx]
-		p.W += e.W
-		p.Side += e.Side
+		p.W += g.w[ei]
+		p.Side += g.side[ei]
 	}
 	return p, true
 }

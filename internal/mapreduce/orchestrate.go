@@ -76,7 +76,7 @@ func (o Orchestration) TotalLambdas() int { return o.Mappers() + 1 + o.Reducers(
 // the last worker — the skewed tail distribution the paper describes in
 // Sec. II-C (e.g. 10 objects at k=7 gives loads (7,3)).
 func splitGreedy(n, k int) []int {
-	var loads []int
+	loads := make([]int, 0, (n+k-1)/k)
 	for n > 0 {
 		take := k
 		if take > n {

@@ -73,28 +73,10 @@ type stepShape struct {
 // reduceShape derives the per-step shapes for an orchestration: the
 // aggregate sizes follow the geometric q recurrence, and the busiest
 // reducer of step p carries maxLoad_p objects of the step's average size.
+// The loop body lives in reduceShapeInto so RowEval can fill a reused
+// buffer with the same arithmetic.
 func (m *Paper) reduceShape(orch mapreduce.Orchestration) []stepShape {
-	q := float64(m.P.Job.TotalBytes()) * m.P.Job.Profile.MapOutputRatio
-	beta := m.P.Job.Profile.ReduceOutputRatio
-	shapes := make([]stepShape, orch.NumSteps())
-	for p, step := range orch.Steps {
-		maxLoad := 0
-		for _, l := range step.Loads {
-			if l > maxLoad {
-				maxLoad = l
-			}
-		}
-		perObj := q / float64(step.Objects())
-		shapes[p] = stepShape{
-			totalIn:  q,
-			totalOut: q * beta,
-			busyIn:   perObj * float64(maxLoad),
-			busyLoad: maxLoad,
-			reducers: step.Reducers(),
-		}
-		q *= beta
-	}
-	return shapes
+	return m.reduceShapeInto(make([]stepShape, 0, orch.NumSteps()), orch)
 }
 
 // qTotals sums Q (total reduce input) and R (total reduce output) over
@@ -182,17 +164,11 @@ func (m *Paper) MapperTime(memMB, kM int) float64 {
 // writes (d2) plus the reducing phase's data movement and request
 // latencies (d3).
 func (m *Paper) TransferTime(kM, kR int) (float64, error) {
-	orch, err := m.orchFor(kM, kR)
-	if err != nil {
+	var e RowEval
+	if err := m.BindRowFor(&e, kM, kR); err != nil {
 		return 0, err
 	}
-	shapes := m.reduceShape(orch)
-	d2 := float64(orch.NumSteps()) * (m.P.latSec() + m.P.xferSec(m.P.StateObjectBytes))
-	d3 := 0.0
-	for _, s := range shapes {
-		d3 += m.stepTransfer(s)
-	}
-	return d2 + d3, nil
+	return e.TransferTime(), nil
 }
 
 // CoordCompute is the third edge set: c2 for the estimated mapper count,
@@ -204,34 +180,22 @@ func (m *Paper) CoordCompute(memMB int) float64 {
 // ReduceCompute is the fourth edge set: the reducing phase's compute time
 // for the estimated mapper count, with kR fixing the cascade.
 func (m *Paper) ReduceCompute(memMB, kR int) (float64, error) {
-	orch, err := m.orchHat(kR)
-	if err != nil {
+	var e RowEval
+	if err := m.BindRowHat(&e, kR); err != nil {
 		return 0, err
 	}
-	total := 0.0
-	for _, s := range m.reduceShape(orch) {
-		total += m.stepCompute(s, memMB)
-	}
-	return total, nil
+	return e.ReduceCompute(memMB), nil
 }
 
 // --- Cost components (Fig. 5 edge weights, cost mode) ---
 
 // MapperCost is the first cost edge set: U1 + V1 + W1 for (i, j).
 func (m *Paper) MapperCost(memMB, kM int) float64 {
-	st := m.P.Sheet.Store
-	l := m.P.Sheet.Lambda
 	orch, err := m.orchFor(kM, 2) // reducer shape irrelevant to mapper terms
 	if err != nil {
 		return math.Inf(1)
 	}
-	j := orch.Mappers()
-	t1 := m.MapperTime(memMB, kM)
-	u1 := float64(st.RequestCost(int64(kM)*int64(j), int64(j)))
-	v1 := float64(st.StorageCost(float64(m.P.Job.TotalBytes()) * t1))
-	w1 := m.mapperBillSec(orch, memMB)*float64(l.PerSecond(memMB)) +
-		float64(l.InvocationCost(j))
-	return u1 + v1 + w1
+	return m.MapperCostFor(orch, memMB, kM)
 }
 
 // mapperBillSec sums the mapping phase's billable seconds: each mapper is
@@ -266,64 +230,30 @@ func (m *Paper) reducerBillSec(orch mapreduce.Orchestration, shapes []stepShape,
 // GlueCost is the second cost edge set: the coordinator's and reducers'
 // request charges plus their invocation fees (U2 + UP + I2 + I3).
 func (m *Paper) GlueCost(kM, kR int) (float64, error) {
-	orch, err := m.orchFor(kM, kR)
-	if err != nil {
+	var e RowEval
+	if err := m.BindRowFor(&e, kM, kR); err != nil {
 		return 0, err
 	}
-	st := m.P.Sheet.Store
-	l := m.P.Sheet.Lambda
-	g := orch.Reducers()
-	u2 := float64(st.RequestCost(0, int64(orch.NumSteps())))
-	up := float64(st.RequestCost(int64(g)*int64(kR), int64(g)))
-	return u2 + up + float64(l.InvocationCost(1)) + float64(l.InvocationCost(g)), nil
+	return e.GlueCost(kR), nil
 }
 
 // CoordCost is the third cost edge set: the coordinator's storage term V2
 // plus its own compute bill (its waiting bill uses the SHat estimator).
 func (m *Paper) CoordCost(memMB, kR int) (float64, error) {
-	orch, err := m.orchHat(kR)
-	if err != nil {
+	var e RowEval
+	if err := m.BindRowHat(&e, kR); err != nil {
 		return 0, err
 	}
-	st := m.P.Sheet.Store
-	l := m.P.Sheet.Lambda
-	shapes := m.reduceShape(orch)
-	Q, _ := qTotals(shapes)
-	t2 := m.P.dispSec() + m.P.coordComputeSec(m.jHat(), memMB) +
-		float64(orch.NumSteps())*(m.P.latSec()+m.P.xferSec(m.P.StateObjectBytes))
-	held := float64(m.P.Job.TotalBytes()) + float64(m.P.Job.TotalBytes())*m.P.Job.Profile.MapOutputRatio + Q
-	v2 := float64(st.StorageCost(t2 * held))
-	waiting := 0.0
-	for p := 0; p < len(shapes)-1; p++ {
-		waiting += m.stepTime(shapes[p], m.sHat())
-	}
-	w2 := float64(l.PerSecond(memMB)) * (t2 + waiting)
-	return v2 + w2, nil
+	return e.CoordCost(memMB), nil
 }
 
 // ReduceCost is the fourth cost edge set: VP + WP for (kR, s).
 func (m *Paper) ReduceCost(memMB, kR int) (float64, error) {
-	orch, err := m.orchHat(kR)
-	if err != nil {
+	var e RowEval
+	if err := m.BindRowHat(&e, kR); err != nil {
 		return 0, err
 	}
-	return m.reduceCostFor(orch, memMB), nil
-}
-
-func (m *Paper) reduceCostFor(orch mapreduce.Orchestration, memMB int) float64 {
-	st := m.P.Sheet.Store
-	l := m.P.Sheet.Lambda
-	shapes := m.reduceShape(orch)
-	_, R := qTotals(shapes)
-	tp := 0.0
-	for _, s := range shapes {
-		tp += m.stepTime(s, memMB)
-	}
-	wp := m.reducerBillSec(orch, shapes, memMB) * float64(l.PerSecond(memMB))
-	S := float64(m.P.Job.TotalBytes()) * m.P.Job.Profile.MapOutputRatio
-	held := float64(m.P.Job.TotalBytes()) + S + R
-	vp := float64(st.StorageCost(tp * held))
-	return vp + wp
+	return e.ReduceCost(memMB), nil
 }
 
 // Predict evaluates the full model for a configuration. Unlike the DAG

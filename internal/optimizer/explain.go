@@ -48,6 +48,11 @@ type SearchStats struct {
 	YenSpurSearches  int64
 	CSPLabelsPopped  int64
 
+	// Search-memory recycling: pooled scratch reuses (vs fresh
+	// allocations) and constrained-search labels drawn from the arena.
+	ScratchReuse       int64
+	CSPLabelsAllocated int64
+
 	// Worker-pool activity: batches submitted, total tasks, and the
 	// peak concurrently-busy workers observed.
 	PoolBatches     int64
@@ -69,6 +74,8 @@ func (st *SearchStats) fillFromDeltas(now, prev telemetry.Snapshot) {
 	st.YenRounds = now.CounterDelta(prev, telemetry.MYenRounds)
 	st.YenSpurSearches = now.CounterDelta(prev, telemetry.MYenSpurSearches)
 	st.CSPLabelsPopped = now.CounterDelta(prev, telemetry.MCSPLabelsPopped)
+	st.ScratchReuse = now.CounterDelta(prev, telemetry.MSearchScratchReuse)
+	st.CSPLabelsAllocated = now.CounterDelta(prev, telemetry.MCSPLabelsAllocated)
 	st.PoolBatches = now.CounterDelta(prev, telemetry.MPoolBatches)
 	st.PoolTasks = now.CounterDelta(prev, telemetry.MPoolTasks)
 	st.PoolWorkersPeak = now.Gauge(telemetry.MPoolWorkersPeak)
@@ -128,8 +135,9 @@ func (p Plan) Explain() string {
 		line("  yen:                %d round(s), %d spur search(es)", st.YenRounds, st.YenSpurSearches)
 	}
 	if st.CSPLabelsPopped > 0 {
-		line("  csp:                %d label(s) popped", st.CSPLabelsPopped)
+		line("  csp:                %d label(s) popped, %d allocated from arena", st.CSPLabelsPopped, st.CSPLabelsAllocated)
 	}
+	line("  scratch reuse:      %d pooled search buffer(s) recycled", st.ScratchReuse)
 	line("  pool:               %d batch(es), %d task(s), peak %d worker(s)",
 		st.PoolBatches, st.PoolTasks, st.PoolWorkersPeak)
 	return b.String()

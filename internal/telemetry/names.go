@@ -20,6 +20,8 @@ const (
 	MYenRounds           = "astra_yen_rounds_total"
 	MYenSpurSearches     = "astra_yen_spur_searches_total"
 	MCSPLabelsPopped     = "astra_csp_labels_popped_total"
+	MCSPLabelsAllocated  = "astra_csp_labels_allocated_total"
+	MSearchScratchReuse  = "astra_search_scratch_reuse_total"
 	MPoolBatches         = "astra_pool_batches_total"
 	MPoolTasks           = "astra_pool_tasks_total"
 	MPoolWorkersPeak     = "astra_pool_workers_peak"
