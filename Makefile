@@ -4,10 +4,16 @@
 
 GO ?= go
 
-.PHONY: build test verify bench bench-all benchdiff race vet
+.PHONY: build test verify bench bench-all benchdiff race vet examples
 
 build:
 	$(GO) build ./...
+
+# The examples are user-facing documentation that must keep compiling;
+# `go build ./...` covers them too, but a dedicated target lets verify
+# name them explicitly (and fails fast with a focused error).
+examples:
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...
@@ -22,7 +28,7 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-verify: vet race
+verify: vet race examples
 
 # Planning-engine micro-benchmarks at the Sort100GB scale, written as
 # machine-readable JSON (ns/op, allocs/op, warm-cache hit rate) so runs

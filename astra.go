@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"astra/internal/dag"
+	"astra/internal/flight"
 	"astra/internal/lambda"
 	"astra/internal/mapreduce"
 	"astra/internal/model"
@@ -266,6 +267,30 @@ func WithCacheIntermediates() RunOption {
 	return func(s *mapreduce.JobSpec) { s.IntermediateClass = &cache }
 }
 
+// FlightRecorder is a bounded, deterministic event recorder for one run:
+// every invocation lifecycle transition (scheduled, queued, cold start,
+// running, done/timeout/retry/throttle), every object-store operation, and
+// the driver's phase barriers are captured as structured virtual-time
+// events. Attach one with WithFlightRecorder; the run's Report then
+// carries the event stream (Report.Events), supports Report.Audit(), and
+// the events export as deterministic JSONL (flight.WriteJSONL) or an
+// OTLP-flavored span tree (flight.WriteOTLP). Recording is observe-only:
+// the simulated outcome is bit-identical with or without a recorder, and a
+// nil *FlightRecorder costs nothing.
+type FlightRecorder = flight.Recorder
+
+// NewFlightRecorder creates a recorder with the default ring capacity
+// (events beyond it overwrite the oldest; see flight.NewWithCapacity).
+func NewFlightRecorder() *FlightRecorder { return flight.New() }
+
+// WithFlightRecorder attaches a flight recorder to the execution and
+// arranges for the report to carry the recorded event stream plus the
+// model's per-stage predicted breakdown for the executed configuration
+// (enabling the predicted-vs-measured audit).
+func WithFlightRecorder(rec *FlightRecorder) RunOption {
+	return func(s *mapreduce.JobSpec) { s.Recorder = rec }
+}
+
 // WithRunTelemetry attaches a registry to the execution: lambda
 // invocations, cold starts, throttles, object-store traffic and
 // virtual-time phase spans are recorded. The simulated outcome is
@@ -337,6 +362,7 @@ type world struct {
 	store  *objectstore.Store
 	plt    *lambda.Platform
 	driver *mapreduce.Driver
+	params Params
 }
 
 func newWorld(params Params, concrete bool, seed int64) (*world, []string, error) {
@@ -365,7 +391,7 @@ func newWorld(params Params, concrete bool, seed int64) (*world, []string, error
 	if err != nil {
 		return nil, nil, err
 	}
-	return &world{sched: sched, store: store, plt: plt, driver: mapreduce.NewDriver(plt)}, keys, nil
+	return &world{sched: sched, store: store, plt: plt, driver: mapreduce.NewDriver(plt), params: params}, keys, nil
 }
 
 // run executes one job on the world; the world's scheduler is consumed.
@@ -396,6 +422,15 @@ func (w *world) runThen(ctx context.Context, job Job, keys []string, cfg Config,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if runErr == nil && spec.Recorder != nil {
+		// Attach the planner's per-stage breakdown for the executed
+		// configuration so Report.Audit() can diff prediction against the
+		// recording. Purely additive: the measured outcome is unchanged,
+		// and a prediction failure only yields a measurement-only audit.
+		if bd, perr := model.NewExact(w.params).PredictBreakdown(cfg); perr == nil {
+			rep.Predicted = bd
+		}
 	}
 	return rep, runErr
 }

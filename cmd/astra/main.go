@@ -15,15 +15,18 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"strings"
 	"time"
 
 	"astra"
 
+	"astra/internal/flight"
 	"astra/internal/mapreduce"
 	"astra/internal/model"
 	"astra/internal/optimizer"
@@ -51,11 +54,14 @@ type options struct {
 	specPath   string
 	traceOut   string
 	metricsOut string
+	eventsOut  string
 	explain    bool
 	doRun      bool
 	baselines  bool
 	timeline   bool
 	jsonOut    bool
+	audit      bool
+	force      bool
 
 	parallelism int
 	planTimeout time.Duration
@@ -83,6 +89,11 @@ func parseFlags(args []string) (*options, error) {
 		"write the execution timeline to this file (.csv, .json, or .txt for a Gantt chart; implies -run)")
 	fs.StringVar(&o.metricsOut, "metrics-out", "",
 		"write planning/run telemetry to this file (.json for JSON, anything else for Prometheus text)")
+	fs.StringVar(&o.eventsOut, "events-out", "",
+		"write the run's flight-recorder event stream to this file as JSONL (implies -run)")
+	fs.BoolVar(&o.audit, "audit", false,
+		"record the run and print the critical-path / model-accuracy audit (implies -run)")
+	fs.BoolVar(&o.force, "f", false, "overwrite existing output files")
 	fs.BoolVar(&o.explain, "explain", false, "print the plan's search report (explain-plan)")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON")
 	fs.IntVar(&o.parallelism, "parallelism", 0,
@@ -92,10 +103,61 @@ func parseFlags(args []string) (*options, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if o.timeline || o.traceOut != "" {
+	if o.timeline || o.traceOut != "" || o.eventsOut != "" || o.audit {
 		o.doRun = true
 	}
 	return o, nil
+}
+
+// createOutput opens an export file for writing. Without -f it refuses to
+// clobber an existing file, so a stale artifact is never silently
+// replaced; any other open failure (unwritable directory, permission)
+// surfaces immediately — before planning starts — as a non-zero exit.
+func createOutput(path string, force bool) (*os.File, error) {
+	if force {
+		return os.Create(path)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if errors.Is(err, fs.ErrExist) {
+		return nil, fmt.Errorf("%s exists; pass -f to overwrite", path)
+	}
+	return f, err
+}
+
+// outputs holds the pre-opened export files (nil when the flag is unset).
+type outputs struct {
+	trace, metrics, events *os.File
+}
+
+func (of *outputs) closeAll() {
+	for _, f := range []*os.File{of.trace, of.metrics, of.events} {
+		if f != nil {
+			f.Close()
+		}
+	}
+}
+
+// openOutputs opens every requested export file up front, so path
+// problems fail the command before any planning or simulation work.
+func openOutputs(o *options) (*outputs, error) {
+	of := &outputs{}
+	var err error
+	open := func(path string) *os.File {
+		if err != nil || path == "" {
+			return nil
+		}
+		var f *os.File
+		f, err = createOutput(path, o.force)
+		return f
+	}
+	of.trace = open(o.traceOut)
+	of.metrics = open(o.metricsOut)
+	of.events = open(o.eventsOut)
+	if err != nil {
+		of.closeAll()
+		return nil, err
+	}
+	return of, nil
 }
 
 func solverByName(name string) (optimizer.Solver, error) {
@@ -126,6 +188,7 @@ type result struct {
 	Measured  *measurementJSON  `json:"measured,omitempty"`
 	Baselines []measurementJSON `json:"baselines,omitempty"`
 	Explain   string            `json:"explain,omitempty"`
+	Audit     *flight.Audit     `json:"audit,omitempty"`
 }
 
 type predictionJSON struct {
@@ -144,6 +207,11 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	files, err := openOutputs(o)
+	if err != nil {
+		return err
+	}
+	defer files.closeAll()
 
 	var job workload.Job
 	var obj optimizer.Objective
@@ -261,7 +329,16 @@ func run(args []string, out io.Writer) error {
 
 	var runReport *mapreduce.Report
 	if o.doRun {
-		runReport, err = astra.RunWith(params, plan.Config, runOpts...)
+		// The flight recorder observes only the main (planned) run —
+		// baselines stay unrecorded so the exported stream describes
+		// exactly one execution.
+		mainOpts := runOpts
+		if o.audit || o.eventsOut != "" {
+			rec := astra.NewFlightRecorder()
+			mainOpts = append(append([]astra.RunOption{}, runOpts...),
+				astra.WithFlightRecorder(rec))
+		}
+		runReport, err = astra.RunWith(params, plan.Config, mainOpts...)
 		if err != nil {
 			return err
 		}
@@ -294,19 +371,37 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if o.audit && runReport != nil {
+		aud, err := runReport.Audit()
+		if err != nil {
+			return err
+		}
+		aud.Publish(tel)
+		res.Audit = aud
+		if !o.jsonOut {
+			fmt.Fprintln(out)
+			fmt.Fprint(out, aud.Render())
+		}
+	}
+
 	if o.timeline && runReport != nil {
 		tl := trace.FromRecords(runReport.Records)
 		fmt.Fprintln(out)
 		fmt.Fprint(out, tl.PhaseSummary())
 	}
-	if o.traceOut != "" && runReport != nil {
-		if err := writeTrace(o.traceOut, trace.FromRecords(runReport.Records)); err != nil {
+	if files.trace != nil && runReport != nil {
+		if err := writeTrace(files.trace, o.traceOut, trace.FromRecords(runReport.Records)); err != nil {
+			return err
+		}
+	}
+	if files.events != nil && runReport != nil {
+		if err := flight.WriteJSONL(files.events, runReport.Events); err != nil {
 			return err
 		}
 	}
 
-	if o.metricsOut != "" && tel != nil {
-		if err := writeMetrics(o.metricsOut, tel); err != nil {
+	if files.metrics != nil && tel != nil {
+		if err := writeMetrics(files.metrics, o.metricsOut, tel); err != nil {
 			return err
 		}
 	}
@@ -319,15 +414,10 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// writeMetrics exports a telemetry snapshot, picking the format from the
-// file extension: .json gets the full JSON document (spans included),
-// anything else the Prometheus text exposition.
-func writeMetrics(path string, tel *astra.Telemetry) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+// writeMetrics exports a telemetry snapshot to a pre-opened file, picking
+// the format from the path's extension: .json gets the full JSON document
+// (spans included), anything else the Prometheus text exposition.
+func writeMetrics(f io.Writer, path string, tel *astra.Telemetry) error {
 	snap := tel.Snapshot()
 	if strings.HasSuffix(path, ".json") {
 		return snap.WriteJSON(f)
@@ -335,14 +425,10 @@ func writeMetrics(path string, tel *astra.Telemetry) error {
 	return snap.WritePrometheus(f)
 }
 
-// writeTrace exports a timeline to disk, picking the format from the
-// file extension: .json, .txt (ASCII Gantt chart), or CSV otherwise.
-func writeTrace(path string, tl trace.Timeline) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+// writeTrace exports a timeline to a pre-opened file, picking the format
+// from the path's extension: .json, .txt (ASCII Gantt chart), or CSV
+// otherwise.
+func writeTrace(f io.Writer, path string, tl trace.Timeline) error {
 	switch {
 	case strings.HasSuffix(path, ".json"):
 		return tl.WriteJSON(f)

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -292,5 +293,130 @@ func TestRunPlanTimeoutExpired(t *testing.T) {
 	}, &out)
 	if err == nil {
 		t.Fatal("expired -plan-timeout should abort planning")
+	}
+}
+
+// TestRunAuditAndEventsOut drives the flight-recorder surface: -audit
+// prints the critical-path and model-accuracy report, and -events-out
+// writes a JSONL stream that is byte-identical across two identical runs.
+func TestRunAuditAndEventsOut(t *testing.T) {
+	dir := t.TempDir()
+	args := func(path string) []string {
+		return []string{
+			"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
+			"-objective", "time", "-budget", "0.01",
+			"-audit", "-events-out", path,
+		}
+	}
+	var out bytes.Buffer
+	p1 := filepath.Join(dir, "e1.jsonl")
+	if err := run(args(p1), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"flight audit", "critical path", "blocking chain:", "model accuracy", "overall stage MAPE"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("audit output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "measured:") {
+		t.Fatal("-audit must imply -run")
+	}
+	p2 := filepath.Join(dir, "e2.jsonl")
+	if err := run(args(p2), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) == 0 || !bytes.Equal(b1, b2) {
+		t.Fatal("-events-out streams differ across identical runs")
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(b1)), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("events file line %q is not JSON: %v", line, err)
+		}
+	}
+}
+
+// TestRunAuditJSON: with -json the audit is embedded in the result
+// document instead of rendered as text.
+func TestRunAuditJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
+		"-objective", "time", "-budget", "0.01",
+		"-audit", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if res.Audit == nil || len(res.Audit.Path.Stages) == 0 {
+		t.Fatalf("result.Audit missing or empty: %+v", res.Audit)
+	}
+	if res.Audit.JCTPredicted <= 0 {
+		t.Fatalf("audit lacks a prediction: %+v", res.Audit)
+	}
+}
+
+// TestRunRefusesToOverwriteOutputs: every -*-out flag must refuse to
+// clobber an existing file unless -f is passed, and the refusal must
+// happen before any planning work.
+func TestRunRefusesToOverwriteOutputs(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{
+		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
+		"-objective", "time", "-budget", "0.01",
+	}
+	for _, flagName := range []string{"-trace-out", "-metrics-out", "-events-out"} {
+		path := filepath.Join(dir, strings.TrimPrefix(flagName, "-"))
+		if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		err := run(append(append([]string{}, base...), flagName, path), &out)
+		if err == nil || !strings.Contains(err.Error(), "pass -f to overwrite") {
+			t.Fatalf("%s over an existing file: err = %v, want overwrite refusal", flagName, err)
+		}
+		if got, _ := os.ReadFile(path); string(got) != "precious" {
+			t.Fatalf("%s clobbered the existing file", flagName)
+		}
+		// With -f the same invocation must succeed and replace the file.
+		if err := run(append(append([]string{}, base...), flagName, path, "-f"), io.Discard); err != nil {
+			t.Fatalf("%s with -f: %v", flagName, err)
+		}
+		if got, _ := os.ReadFile(path); string(got) == "precious" {
+			t.Fatalf("%s -f did not overwrite", flagName)
+		}
+	}
+}
+
+// TestRunFailsFastOnUnwritableOutputs: an output path in a nonexistent
+// directory must fail the command (non-zero exit via main) up front.
+func TestRunFailsFastOnUnwritableOutputs(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "no", "such", "dir", "out.file")
+	base := []string{
+		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
+		"-objective", "time", "-budget", "0.01",
+	}
+	for _, flagName := range []string{"-trace-out", "-metrics-out", "-events-out"} {
+		var out bytes.Buffer
+		if err := run(append(append([]string{}, base...), flagName, bad), &out); err == nil {
+			t.Fatalf("%s to an unwritable path must fail", flagName)
+		}
+		if out.Len() != 0 {
+			t.Fatalf("%s: output written before the path check:\n%s", flagName, out.String())
+		}
 	}
 }

@@ -68,6 +68,23 @@ func main() {
 	fmt.Printf("\nastra's pick: %s -> JCT %.2fs, cost %s\n",
 		plan.Config, plan.Exact.TotalSec(), plan.Exact.TotalCost())
 
+	// Audit the pick: re-run it with a flight recorder attached, then ask
+	// the report for the critical path (which lambda blocked each stage,
+	// and where its time went: startup, compute, S3 I/O, waiting) and the
+	// per-term model-accuracy table. The recorder is observe-only — this
+	// run is bit-identical to an unrecorded one.
+	rec := astra.NewFlightRecorder()
+	audited, err := astra.Run(job, plan.Config, astra.WithFlightRecorder(rec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	aud, err := audited.Audit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(aud.Render())
+
 	// The whole Pareto frontier in one call: every point is undominated.
 	front, err := astra.Frontier(job, 12)
 	if err != nil {

@@ -1,0 +1,257 @@
+package astra
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"astra/internal/flight"
+	"astra/internal/mapreduce"
+)
+
+// auditJob is the examples/wordcount corpus: 12 objects of 64 KiB.
+func auditJob() Job { return NewJob(WordCount, 12, 12*64<<10) }
+
+// TestFlightRecorderObserveOnly is the tentpole's core contract: attaching
+// a recorder must not change the simulated outcome in any way. The whole
+// report — timing, cost, records, stats — must be bit-identical with and
+// without a recorder, whichever search engine produced the plan.
+func TestFlightRecorderObserveOnly(t *testing.T) {
+	job := auditJob()
+	for _, par := range []struct {
+		name string
+		n    int
+	}{{"serial", 1}, {"parallel", 0}} {
+		t.Run(par.name, func(t *testing.T) {
+			plan, err := Plan(job, MinTime(1), WithParallelism(par.n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bare, err := Run(job, plan.Config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := NewFlightRecorder()
+			recorded, err := Run(job, plan.Config, WithFlightRecorder(rec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recorded.Events) == 0 || recorded.Predicted == nil {
+				t.Fatal("recorded run must carry events and a predicted breakdown")
+			}
+			// Strip the recorder-only fields; everything else must match
+			// bit for bit.
+			recorded.Events = nil
+			recorded.Predicted = nil
+			if !reflect.DeepEqual(bare, recorded) {
+				t.Fatalf("recording changed the simulated outcome:\nbare:     %+v\nrecorded: %+v", bare, recorded)
+			}
+		})
+	}
+}
+
+// TestFlightJSONLByteIdentical: two identical recorded runs must export
+// byte-identical JSONL streams (the determinism acceptance criterion).
+func TestFlightJSONLByteIdentical(t *testing.T) {
+	job := auditJob()
+	cfg := Config{MapperMemMB: 1024, CoordMemMB: 512, ReducerMemMB: 1024, ObjsPerMapper: 3, ObjsPerReducer: 2}
+	export := func() []byte {
+		rec := NewFlightRecorder()
+		rep, err := Run(job, cfg, WithFlightRecorder(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := flight.WriteJSONL(&buf, rep.Events); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if len(a) == 0 {
+		t.Fatal("no events exported")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical runs exported different JSONL streams")
+	}
+}
+
+// TestAuditStageSumsToJCT: the critical-path decomposition must be exact —
+// stage durations sum to the measured JCT and each stage's four terms sum
+// to the stage duration, both within one virtual-time tick.
+func TestAuditStageSumsToJCT(t *testing.T) {
+	job := auditJob()
+	cfg := Config{MapperMemMB: 1024, CoordMemMB: 512, ReducerMemMB: 512, ObjsPerMapper: 2, ObjsPerReducer: 2}
+	rec := NewFlightRecorder()
+	rep, err := Run(job, cfg, WithFlightRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud, err := rep.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aud.JCTMeasured != rep.JCT {
+		t.Fatalf("audit JCT %v != report JCT %v", aud.JCTMeasured, rep.JCT)
+	}
+	var sum time.Duration
+	for _, st := range aud.Path.Stages {
+		sum += st.Duration
+		if got := st.Terms.Total(); got != st.Duration {
+			t.Errorf("stage %s: terms sum to %v, duration is %v", st.Name, got, st.Duration)
+		}
+	}
+	if d := sum - rep.JCT; d < -time.Nanosecond || d > time.Nanosecond {
+		t.Fatalf("stages sum to %v, JCT is %v", sum, rep.JCT)
+	}
+	if len(aud.Path.Chain) == 0 {
+		t.Fatal("audit must report a blocking chain")
+	}
+}
+
+// TestAuditPredictedMatchesPlan: the audit's predicted headline numbers
+// must equal the planner's own predictions for the executed configuration.
+func TestAuditPredictedMatchesPlan(t *testing.T) {
+	job := auditJob()
+	plan, err := Plan(job, MinTime(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewFlightRecorder()
+	rep, err := Run(job, plan.Config, WithFlightRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud, err := rep.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aud.JCTPredicted != plan.Exact.JCT() {
+		t.Fatalf("audit predicted JCT %v != plan %v", aud.JCTPredicted, plan.Exact.JCT())
+	}
+	if aud.CostPredicted != plan.Exact.TotalCost() {
+		t.Fatalf("audit predicted cost %v != plan %v", aud.CostPredicted, plan.Exact.TotalCost())
+	}
+	// The predicted stage list must mirror the measured one positionally.
+	if len(aud.Predicted.Stages) != len(aud.Path.Stages) {
+		t.Fatalf("predicted %d stages, measured %d", len(aud.Predicted.Stages), len(aud.Path.Stages))
+	}
+}
+
+// TestAuditWithoutRecorder: a report from an unrecorded run must refuse to
+// audit with the sentinel error.
+func TestAuditWithoutRecorder(t *testing.T) {
+	rep, err := Run(auditJob(), Config{MapperMemMB: 512, CoordMemMB: 512, ReducerMemMB: 512, ObjsPerMapper: 3, ObjsPerReducer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.Audit(); !errors.Is(err, flight.ErrNoEvents) {
+		t.Fatalf("Audit without recorder = %v, want flight.ErrNoEvents", err)
+	}
+}
+
+// TestRecordSeqInvariant: Record.Seq must be assigned to every record,
+// strictly increasing in completion order, with or without a recorder
+// attached (it is platform bookkeeping, not an observability feature).
+func TestRecordSeqInvariant(t *testing.T) {
+	job := auditJob()
+	cfg := Config{MapperMemMB: 512, CoordMemMB: 512, ReducerMemMB: 512, ObjsPerMapper: 3, ObjsPerReducer: 2}
+	for _, recorded := range []bool{false, true} {
+		var opts []RunOption
+		if recorded {
+			opts = append(opts, WithFlightRecorder(NewFlightRecorder()))
+		}
+		rep, err := Run(job, cfg, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Records) == 0 {
+			t.Fatal("no records")
+		}
+		prev := int64(0)
+		for _, r := range rep.Records {
+			if r.Seq <= prev {
+				t.Fatalf("recorded=%v: Seq %d after %d (must be strictly increasing)", recorded, r.Seq, prev)
+			}
+			prev = r.Seq
+		}
+	}
+}
+
+// TestRunStatsStoreCounters checks the report's store counters against a
+// hand-computed workload: 4 input objects of 1 MiB, 2 objects per mapper
+// and 2 per reducer gives 2 mappers (4 gets, 2 puts), one coordinator
+// state write, and 1 reducer (2 gets, 1 put).
+func TestRunStatsStoreCounters(t *testing.T) {
+	const objSize = int64(1 << 20)
+	job := NewJob(WordCount, 4, 4*objSize)
+	cfg := Config{MapperMemMB: 512, CoordMemMB: 512, ReducerMemMB: 512, ObjsPerMapper: 2, ObjsPerReducer: 2}
+	rep, err := Run(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Stats
+
+	if st.StoreGets != 6 {
+		t.Errorf("StoreGets = %d, want 6 (4 mapper input reads + 2 reducer shuffle reads)", st.StoreGets)
+	}
+	if st.StorePuts != 4 {
+		t.Errorf("StorePuts = %d, want 4 (2 map outputs + 1 state object + 1 reduce output)", st.StorePuts)
+	}
+
+	// Object sizes follow the profile ratios with the driver's exact
+	// truncating arithmetic.
+	mapOut := int64(float64(2*objSize) * WordCount.MapOutputRatio)
+	redOut := int64(float64(2*mapOut) * WordCount.ReduceOutputRatio)
+	wantIn := 2*mapOut + mapreduce.StateObjectBytes + redOut // bytes written
+	wantOut := 4*objSize + 2*mapOut                          // bytes read
+	if st.StoreBytesIn != wantIn {
+		t.Errorf("StoreBytesIn = %d, want %d", st.StoreBytesIn, wantIn)
+	}
+	if st.StoreBytesOut != wantOut {
+		t.Errorf("StoreBytesOut = %d, want %d", st.StoreBytesOut, wantOut)
+	}
+}
+
+// TestWordCountAuditGolden locks the full audit render for the
+// examples/wordcount job: the critical path, the per-term accuracy table
+// and the MAPE summaries. Regenerate with UPDATE_GOLDEN=1 go test -run
+// TestWordCountAuditGolden.
+func TestWordCountAuditGolden(t *testing.T) {
+	job := auditJob()
+	plan, err := Plan(job, MinTime(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewFlightRecorder()
+	rep, err := Run(job, plan.Config, WithFlightRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud, err := rep.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := aud.Render()
+
+	golden := filepath.Join("testdata", "wordcount_audit.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("audit render drifted from golden file (UPDATE_GOLDEN=1 to regenerate):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

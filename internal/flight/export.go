@@ -1,0 +1,208 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteJSONL writes one JSON object per event, in emission order. The
+// output is deterministic — field order follows the Event struct, values
+// are virtual times only — so two identical runs export byte-identical
+// streams.
+func WriteJSONL(w io.Writer, events []Event) error {
+	for _, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceID is the constant trace identity for a single exported run. The
+// simulation has no randomness source; determinism matters more than
+// global uniqueness here.
+const traceID = "0000000000000000000000000000a57a"
+
+type otlpKV struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	StringValue string `json:"stringValue,omitempty"`
+	IntValue    string `json:"intValue,omitempty"`
+	BoolValue   bool   `json:"boolValue,omitempty"`
+}
+
+type otlpSpan struct {
+	TraceID      string   `json:"traceId"`
+	SpanID       string   `json:"spanId"`
+	ParentSpanID string   `json:"parentSpanId,omitempty"`
+	Name         string   `json:"name"`
+	StartNano    string   `json:"startTimeUnixNano"`
+	EndNano      string   `json:"endTimeUnixNano"`
+	Attributes   []otlpKV `json:"attributes,omitempty"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKV `json:"attributes"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpDoc struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+func spanID(seq int64) string { return fmt.Sprintf("%016x", uint64(seq)) }
+
+// phaseForLabel maps an invocation label to its owning phase name, using
+// the driver's labeling scheme (map-N, red-P-R, coordinator).
+func phaseForLabel(label string) string {
+	switch {
+	case strings.HasPrefix(label, "map-"):
+		return "map"
+	case label == "coordinator":
+		return "coordinator"
+	case strings.HasPrefix(label, "red-"):
+		rest := strings.TrimPrefix(label, "red-")
+		if i := strings.IndexByte(rest, '-'); i > 0 {
+			if step, err := strconv.Atoi(rest[:i]); err == nil {
+				return fmt.Sprintf("step-%02d", step)
+			}
+		}
+	}
+	return "run"
+}
+
+// WriteOTLP renders the event stream as an OTLP-flavored JSON span tree:
+// the run phase is the root span, driver phases are its children,
+// invocations nest under their phase, and each invocation's lifecycle,
+// store, compute and wait events nest under the invocation. Virtual time
+// is written as nanoseconds since epoch zero. Deterministic: span IDs are
+// event sequence numbers and the trace ID is fixed.
+func WriteOTLP(w io.Writer, events []Event) error {
+	phaseSpans := map[string]string{} // phase name -> spanId
+	invSpans := map[int64]string{}    // invocation -> spanId of its done-class event
+	runSpan := ""
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindPhase:
+			phaseSpans[ev.Name] = spanID(ev.Seq)
+			if ev.Name == "run" {
+				runSpan = spanID(ev.Seq)
+			}
+		case KindInvokeDone, KindInvokeTimeout, KindInvokeError:
+			invSpans[ev.Inv] = spanID(ev.Seq)
+		}
+	}
+	parentOf := func(ev Event) string {
+		switch ev.Kind {
+		case KindPhase:
+			if ev.Name == "run" {
+				return ""
+			}
+			return runSpan
+		case KindInvokeDone, KindInvokeTimeout, KindInvokeError:
+			if ps, ok := phaseSpans[phaseForLabel(ev.Label)]; ok {
+				return ps
+			}
+			return runSpan
+		default:
+			if ev.Inv != 0 {
+				if is, ok := invSpans[ev.Inv]; ok {
+					return is
+				}
+			}
+			return runSpan
+		}
+	}
+
+	spans := make([]otlpSpan, 0, len(events))
+	for _, ev := range events {
+		start := ev.Start
+		if start == 0 && ev.Kind != KindPhase {
+			start = ev.Time
+		}
+		name := string(ev.Kind)
+		switch {
+		case ev.Kind == KindPhase:
+			name = ev.Name
+		case ev.Kind == KindInvokeDone || ev.Kind == KindInvokeTimeout || ev.Kind == KindInvokeError:
+			// The done-class span is the invocation's span in the tree —
+			// name it by the invocation, not the closing transition.
+			if ev.Label != "" {
+				name = ev.Label
+			} else if ev.Function != "" {
+				name = ev.Function
+			}
+		case ev.Label != "":
+			name = ev.Label + " " + string(ev.Kind)
+		}
+		sp := otlpSpan{
+			TraceID:      traceID,
+			SpanID:       spanID(ev.Seq),
+			ParentSpanID: parentOf(ev),
+			Name:         name,
+			StartNano:    strconv.FormatInt(int64(start), 10),
+			EndNano:      strconv.FormatInt(int64(ev.Time), 10),
+		}
+		attr := func(k string, v otlpValue) { sp.Attributes = append(sp.Attributes, otlpKV{Key: k, Value: v}) }
+		attr("astra.kind", otlpValue{StringValue: string(ev.Kind)})
+		if ev.Inv != 0 {
+			attr("astra.inv", otlpValue{IntValue: strconv.FormatInt(ev.Inv, 10)})
+		}
+		if ev.Function != "" {
+			attr("faas.name", otlpValue{StringValue: ev.Function})
+		}
+		if ev.MemoryMB != 0 {
+			attr("faas.max_memory", otlpValue{IntValue: strconv.Itoa(ev.MemoryMB)})
+		}
+		if ev.Cold {
+			attr("faas.coldstart", otlpValue{BoolValue: true})
+		}
+		if ev.Bucket != "" {
+			attr("astra.bucket", otlpValue{StringValue: ev.Bucket})
+			attr("astra.key", otlpValue{StringValue: ev.Key})
+			attr("astra.bytes", otlpValue{IntValue: strconv.FormatInt(ev.Bytes, 10)})
+		}
+		if ev.Err != "" {
+			attr("error.message", otlpValue{StringValue: ev.Err})
+		}
+		spans = append(spans, sp)
+	}
+
+	doc := otlpDoc{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpKV{
+			{Key: "service.name", Value: otlpValue{StringValue: "astra-sim"}},
+		}},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "astra/flight"},
+			Spans: spans,
+		}},
+	}}}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -3,6 +3,7 @@ package lambda
 import (
 	"time"
 
+	"astra/internal/flight"
 	"astra/internal/objectstore"
 	"astra/internal/simtime"
 )
@@ -49,7 +50,11 @@ func (c *Ctx) Work(refSeconds float64) {
 		return
 	}
 	scaled := refSeconds * c.platform.cfg.Speed.Factor(c.fn.MemoryMB)
+	t0 := c.proc.Now()
 	c.proc.Sleep(time.Duration(scaled * float64(time.Second)))
+	if rec := c.platform.rec; rec != nil {
+		rec.Interval(c.proc, flight.KindCompute, t0, c.proc.Now())
+	}
 	c.checkDeadline()
 }
 
@@ -110,7 +115,13 @@ func (c *Ctx) InvokeAsync(name, label string, payload []byte) *Invocation {
 // Wait blocks the handler until an async invocation completes.
 func (c *Ctx) Wait(iv *Invocation) ([]byte, error) {
 	c.checkDeadline()
+	t0 := c.proc.Now()
 	resp, err := iv.Wait(c.proc)
+	if rec := c.platform.rec; rec != nil {
+		if now := c.proc.Now(); now > t0 {
+			rec.Interval(c.proc, flight.KindWait, t0, now)
+		}
+	}
 	c.checkDeadline()
 	return resp, err
 }

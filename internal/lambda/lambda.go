@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"astra/internal/flight"
 	"astra/internal/objectstore"
 	"astra/internal/pricing"
 	"astra/internal/simtime"
@@ -141,6 +142,11 @@ type Function struct {
 
 // Record describes one completed (or failed) invocation.
 type Record struct {
+	// Seq is a stable, monotonically-assigned completion sequence number
+	// (1-based): records append in completion order, so Seq is strictly
+	// increasing across Records() and gives exports a deterministic
+	// tiebreak beyond (Start, Label, Function).
+	Seq      int64
 	Function string
 	Label    string
 	MemoryMB int
@@ -165,9 +171,11 @@ type Platform struct {
 	concurrency *simtime.Semaphore
 	funcs       map[string]*Function
 	records     []Record
+	recSeq      int64
 	throttles   int
 	retries     int
 	tel         *telemetry.Registry
+	rec         *flight.Recorder
 }
 
 // New creates a platform bound to the scheduler and object store.
@@ -231,6 +239,12 @@ func (pl *Platform) Retries() int { return pl.retries }
 // or without it. A nil registry detaches.
 func (pl *Platform) SetTelemetry(reg *telemetry.Registry) { pl.tel = reg }
 
+// SetFlightRecorder attaches a flight recorder that receives every
+// invocation lifecycle transition as a structured virtual-time event.
+// Like telemetry, recording is observe-only: the simulation's results are
+// bit-identical with or without it. A nil recorder detaches.
+func (pl *Platform) SetFlightRecorder(rec *flight.Recorder) { pl.rec = rec }
+
 // PeakConcurrency reports the high-water mark of simultaneous executions.
 func (pl *Platform) PeakConcurrency() int { return pl.concurrency.PeakInUse() }
 
@@ -266,15 +280,33 @@ func (pl *Platform) Invoke(p *simtime.Proc, name string, payload []byte) ([]byte
 
 // InvokeLabeled is Invoke with a label recorded for tracing.
 func (pl *Platform) InvokeLabeled(p *simtime.Proc, name, label string, payload []byte) ([]byte, error) {
+	dispStart := pl.sched.Now()
 	if pl.cfg.DispatchLatency > 0 {
 		p.Sleep(pl.cfg.DispatchLatency)
 	}
-	return pl.invokeDispatched(p, name, label, payload)
+	return pl.invokeDispatched(p, name, label, payload, pl.recordScheduled(p, name, label, dispStart))
+}
+
+// recordScheduled allocates an invocation identity and emits the
+// scheduled event covering the dispatch round trip. Returns 0 (no
+// identity) without a recorder.
+func (pl *Platform) recordScheduled(p *simtime.Proc, name, label string, dispStart simtime.Time) int64 {
+	rec := pl.rec
+	if rec == nil {
+		return 0
+	}
+	inv := rec.NextInvocation()
+	rec.Emit(flight.Event{
+		Kind: flight.KindInvokeScheduled, Time: pl.sched.Now(), Start: dispStart,
+		Inv: inv, By: rec.InvocationOf(p), Function: name, Label: label,
+	})
+	return inv
 }
 
 // invokeDispatched runs an invocation whose dispatch latency has already
-// been paid by the caller.
-func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payload []byte) ([]byte, error) {
+// been paid by the caller; inv is its flight-recorder identity (0 without
+// a recorder).
+func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payload []byte, inv int64) ([]byte, error) {
 	f, ok := pl.funcs[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, name)
@@ -292,9 +324,17 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 			}
 			pl.throttles++
 			pl.tel.Counter(telemetry.MLambdaThrottles).Inc()
+			if rec := pl.rec; rec != nil {
+				rec.Emit(flight.Event{Kind: flight.KindInvokeThrottled, Time: pl.sched.Now(),
+					Inv: inv, Function: f.Name, Label: label})
+			}
 			if attempt < pl.cfg.MaxRetries {
 				pl.retries++
 				pl.tel.Counter(telemetry.MLambdaRetries).Inc()
+				if rec := pl.rec; rec != nil {
+					rec.Emit(flight.Event{Kind: flight.KindInvokeRetry, Time: pl.sched.Now(),
+						Inv: inv, Function: f.Name, Label: label})
+				}
 				p.Sleep(time.Duration(attempt+1) * pl.cfg.RetryBackoff)
 			}
 		}
@@ -304,10 +344,23 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 	}
 	defer pl.concurrency.Release(1)
 	queued := pl.sched.Now() - enqueue
+	if queued > 0 {
+		if rec := pl.rec; rec != nil {
+			rec.Emit(flight.Event{Kind: flight.KindInvokeQueued, Time: enqueue + queued,
+				Start: enqueue, Inv: inv, Function: f.Name, Label: label})
+		}
+	}
 
 	cold := !pl.takeWarm(f)
-	if cold && pl.cfg.ColdStart > 0 {
-		p.Sleep(pl.cfg.ColdStart)
+	if cold {
+		coldFrom := pl.sched.Now()
+		if pl.cfg.ColdStart > 0 {
+			p.Sleep(pl.cfg.ColdStart)
+		}
+		if rec := pl.rec; rec != nil {
+			rec.Emit(flight.Event{Kind: flight.KindInvokeColdStart, Time: pl.sched.Now(),
+				Start: coldFrom, Inv: inv, Function: f.Name, Label: label})
+		}
 	}
 
 	start := pl.sched.Now()
@@ -318,7 +371,13 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 		payload:  payload,
 		deadline: start + f.Timeout,
 	}
+	if rec := pl.rec; rec != nil {
+		rec.Emit(flight.Event{Kind: flight.KindInvokeRunning, Time: start,
+			Inv: inv, Function: f.Name, Label: label, MemoryMB: f.MemoryMB, Cold: cold})
+		rec.SetScope(p, inv)
+	}
 	resp, err := pl.runHandler(ctx)
+	pl.rec.ClearScope(p)
 	end := pl.sched.Now()
 	if errors.Is(err, ErrTimeout) {
 		// The platform kills the sandbox at the deadline; bill exactly the
@@ -329,7 +388,9 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 
 	l := pl.cfg.Sheet.Lambda
 	billed := l.BilledDuration(end - start)
-	rec := Record{
+	pl.recSeq++
+	record := Record{
+		Seq:      pl.recSeq,
 		Function: f.Name,
 		Label:    label,
 		MemoryMB: f.MemoryMB,
@@ -341,7 +402,23 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 		Cost:     l.DurationCost(f.MemoryMB, end-start) + l.InvocationCost(1),
 		Err:      err,
 	}
-	pl.records = append(pl.records, rec)
+	pl.records = append(pl.records, record)
+
+	if rec := pl.rec; rec != nil {
+		kind := flight.KindInvokeDone
+		errMsg := ""
+		switch {
+		case errors.Is(err, ErrTimeout):
+			kind = flight.KindInvokeTimeout
+			errMsg = err.Error()
+		case err != nil:
+			kind = flight.KindInvokeError
+			errMsg = err.Error()
+		}
+		rec.Emit(flight.Event{Kind: kind, Time: end, Start: start,
+			Inv: inv, Rec: record.Seq, Function: f.Name, Label: label,
+			MemoryMB: f.MemoryMB, Cold: cold, Err: errMsg})
+	}
 
 	if tel := pl.tel; tel != nil {
 		tel.Counter(telemetry.MLambdaInvocations).Inc()
@@ -398,12 +475,14 @@ func (iv *Invocation) Wait(p *simtime.Proc) ([]byte, error) {
 // serialize dispatch, like real invoke-API loops); the execution itself
 // runs concurrently.
 func (pl *Platform) InvokeAsync(p *simtime.Proc, name, label string, payload []byte) *Invocation {
+	dispStart := pl.sched.Now()
 	if pl.cfg.DispatchLatency > 0 {
 		p.Sleep(pl.cfg.DispatchLatency)
 	}
+	inv := pl.recordScheduled(p, name, label, dispStart)
 	iv := &Invocation{done: pl.sched.NewLatch(), label: label}
 	p.Spawn("invoke:"+name, func(q *simtime.Proc) {
-		iv.resp, iv.err = pl.invokeDispatched(q, name, label, payload)
+		iv.resp, iv.err = pl.invokeDispatched(q, name, label, payload, inv)
 		iv.done.Done()
 	})
 	return iv

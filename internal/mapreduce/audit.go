@@ -1,0 +1,20 @@
+package mapreduce
+
+import (
+	"astra/internal/flight"
+)
+
+// Audit analyzes the run's recorded event stream: it reconstructs the
+// critical path (stage durations sum exactly to JCT, each decomposed into
+// startup/compute/IO/waiting) and — when a predicted breakdown is attached
+// to the report — diffs the model's per-term predictions against the
+// recorded actuals. It requires a flight recorder to have been attached to
+// the run (JobSpec.Recorder / astra.WithFlightRecorder); otherwise it
+// returns flight.ErrNoEvents.
+func (r *Report) Audit() (*flight.Audit, error) {
+	path, err := flight.Analyze(r.Events)
+	if err != nil {
+		return nil, err
+	}
+	return flight.BuildAudit(path, r.Predicted, r.Cost.Total()), nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"astra/internal/flight"
 	"astra/internal/lambda"
 	"astra/internal/objectstore"
 	"astra/internal/pricing"
@@ -82,6 +83,11 @@ type JobSpec struct {
 	// Observe-only: the simulated results are identical with or without
 	// it.
 	Telemetry *telemetry.Registry
+	// Recorder, if set, captures the run's full event stream — every
+	// invocation lifecycle transition, store request, compute interval
+	// and phase window — for export and critical-path analysis (see
+	// internal/flight). Observe-only, like Telemetry.
+	Recorder *flight.Recorder
 }
 
 // PhaseTimes decomposes the job completion time the way Fig. 3 does.
@@ -155,8 +161,17 @@ type Report struct {
 	OutputKeys []string
 	// InterBucket is where intermediate and output objects live.
 	InterBucket string
-	// Records are the job's lambda invocation records, completion-ordered.
+	// Records are the job's lambda invocation records, completion-ordered
+	// (Record.Seq is strictly increasing; the driver asserts this
+	// invariant).
 	Records []lambda.Record
+	// Events is the flight recorder's event stream for this run (nil when
+	// no Recorder was attached to the JobSpec).
+	Events []flight.Event
+	// Predicted, when set, is the model's per-term stage breakdown for
+	// Config — the astra layer attaches it to recorded runs so Audit can
+	// diff prediction against measurement.
+	Predicted *flight.Breakdown
 	// PeakConcurrency is the job's high-water mark of simultaneous
 	// lambdas.
 	PeakConcurrency int
@@ -262,9 +277,12 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 
 	store := d.pl.Store()
 	// The registry (or nil, detaching any previous job's) observes the
-	// platform for the duration of this run.
+	// platform for the duration of this run; likewise the flight recorder.
 	d.pl.SetTelemetry(spec.Telemetry)
 	store.SetTelemetry(spec.Telemetry)
+	d.pl.SetFlightRecorder(spec.Recorder)
+	store.SetFlightRecorder(spec.Recorder)
+	evBase := spec.Recorder.Seq()
 	recBase := len(d.pl.Records())
 	bill0 := store.Bill()
 	store0 := store.Metrics()
@@ -359,6 +377,16 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 	rep.Phases.CoordExclusive = coordExclusive
 
 	recs := d.pl.Records()[recBase:]
+	// Completion-order invariant: records append as invocations finish,
+	// so their Seq numbers must be strictly increasing. A violation means
+	// platform bookkeeping broke — fail loudly rather than export a
+	// nondeterministic trace.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq <= recs[i-1].Seq {
+			return nil, fmt.Errorf("mapreduce: internal: records out of completion order (seq %d after %d)",
+				recs[i].Seq, recs[i-1].Seq)
+		}
+	}
 	rep.Records = append(rep.Records, recs...)
 	var lambdaCost pricing.USD
 	for _, r := range recs {
@@ -410,6 +438,21 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 		for i, s := range run.stepSpans {
 			tel.RecordVirtual(fmt.Sprintf("run/step-%02d", i), s.start, s.end)
 		}
+	}
+	if rec := spec.Recorder; rec != nil {
+		// Phase markers anchor the critical-path analyzer; emitted at run
+		// end (in a fixed order) so the windows are final.
+		rec.Emit(flight.Event{Kind: flight.KindPhase, Name: "map", Start: t0, Time: mapEnd})
+		if spec.Orchestrator == CoordinatorLambda {
+			rec.Emit(flight.Event{Kind: flight.KindPhase, Name: "coordinator",
+				Start: coordSpan.start, Time: coordSpan.end})
+		}
+		for i, s := range run.stepSpans {
+			rec.Emit(flight.Event{Kind: flight.KindPhase,
+				Name: fmt.Sprintf("step-%02d", i), Start: s.start, Time: s.end})
+		}
+		rec.Emit(flight.Event{Kind: flight.KindPhase, Name: "run", Start: t0, Time: end})
+		rep.Events = rec.EventsSince(evBase)
 	}
 	return rep, nil
 }

@@ -1,8 +1,10 @@
 package model
 
 import (
+	"fmt"
 	"time"
 
+	"astra/internal/flight"
 	"astra/internal/mapreduce"
 	"astra/internal/pricing"
 )
@@ -97,6 +99,55 @@ func (m *Exact) billedSec(sec float64) float64 {
 
 // Predict replays the driver's timeline for the configuration.
 func (m *Exact) Predict(cfg mapreduce.Config) (Prediction, error) {
+	return m.predict(cfg, nil)
+}
+
+// PredictBreakdown replays the timeline and additionally decomposes each
+// predicted stage into the paper's per-stage terms (startup, compute, I/O,
+// waiting), in the same shape the flight recorder's critical-path analyzer
+// produces for measured runs — so a run can be audited term-by-term
+// against the plan. The breakdown's headline JCT and cost equal Predict's
+// exactly (same arithmetic, one code path).
+func (m *Exact) PredictBreakdown(cfg mapreduce.Config) (*Breakdown, error) {
+	bd := &Breakdown{}
+	pr, err := m.predict(cfg, bd)
+	if err != nil {
+		return nil, err
+	}
+	bd.JCT = pr.JCT()
+	bd.CostUSD = pr.TotalCost()
+	return bd, nil
+}
+
+// Breakdown is the per-stage prediction shape shared with the flight
+// recorder's analyzer.
+type Breakdown = flight.Breakdown
+
+// secDur converts model seconds to a virtual duration.
+func secDur(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}
+
+// stageTerms assembles a predicted stage whose waiting term is the
+// residual against the stage duration, mirroring how the analyzer
+// decomposes measured stages (terms always sum exactly to the duration).
+func stageTerms(name string, memMB int, durSec, startupSec, computeSec, ioSec float64, critical string) flight.Stage {
+	st := flight.Stage{
+		Name:     name,
+		MemoryMB: memMB,
+		Duration: secDur(durSec),
+		Critical: critical,
+	}
+	st.Terms.Startup = secDur(startupSec)
+	st.Terms.Compute = secDur(computeSec)
+	st.Terms.IO = secDur(ioSec)
+	st.Terms.Waiting = st.Duration - st.Terms.Startup - st.Terms.Compute - st.Terms.IO
+	return st
+}
+
+// predict is the shared replay; bd, when non-nil, collects the per-stage
+// term decomposition (the hot planning path passes nil and pays nothing).
+func (m *Exact) predict(cfg mapreduce.Config, bd *flight.Breakdown) (Prediction, error) {
 	if err := m.P.Validate(); err != nil {
 		return Prediction{}, err
 	}
@@ -141,6 +192,7 @@ func (m *Exact) Predict(cfg mapreduce.Config) (Prediction, error) {
 	}
 	mapStarts := waveStarts(mapLaunch, mapDur, cap)
 	mapEnd := 0.0
+	critMi := 0
 	for mi, load := range orch.MapperLoads {
 		end := mapStarts[mi] + mapDur[mi]
 		events = append(events, stored{at: end, size: mapOutSizes[mi]})
@@ -149,9 +201,22 @@ func (m *Exact) Predict(cfg mapreduce.Config) (Prediction, error) {
 		lambdaBill += m.billedSec(mapDur[mi]) * float64(l.PerSecond(cfg.MapperMemMB))
 		if end > mapEnd {
 			mapEnd = end
+			critMi = mi
 		}
 	}
 	pr.MapSec = mapEnd
+	if bd != nil {
+		// The critical mapper's terms, mirroring the analyzer: startup is
+		// its actual start (dispatch serialization + queueing), I/O its
+		// store round trips and transfer, compute its declared CPU work.
+		load := orch.MapperLoads[critMi]
+		in := int64(load) * m.P.Job.ObjectSize
+		io := float64(load+1)*lat + m.P.xferSec(in+mapOutSizes[critMi])
+		bd.Stages = append(bd.Stages, stageTerms(
+			"map", cfg.MapperMemMB, mapEnd,
+			mapStarts[critMi], m.P.computeSec(in, cfg.MapperMemMB), io,
+			fmt.Sprintf("map-%d", critMi)))
+	}
 
 	// --- Coordinator + reducing cascade. ---
 	now := mapEnd + disp // the coordinator's own dispatch
@@ -162,6 +227,7 @@ func (m *Exact) Predict(cfg mapreduce.Config) (Prediction, error) {
 	prevSizes := mapOutSizes
 	stateXfer := lat + m.P.xferSec(m.P.StateObjectBytes)
 	var coordEnd float64
+	var stepStages []flight.Stage
 	for pi, step := range orch.Steps {
 		// State object write.
 		now += stateXfer
@@ -176,6 +242,10 @@ func (m *Exact) Predict(cfg mapreduce.Config) (Prediction, error) {
 		outSizes := make([]int64, step.Reducers())
 		redLaunch := make([]float64, step.Reducers())
 		redDur := make([]float64, step.Reducers())
+		var inSizes []int64
+		if bd != nil {
+			inSizes = make([]int64, step.Reducers())
+		}
 		off := 0
 		for r, load := range step.Loads {
 			var in int64
@@ -183,6 +253,9 @@ func (m *Exact) Predict(cfg mapreduce.Config) (Prediction, error) {
 				in += sz
 			}
 			off += load
+			if bd != nil {
+				inSizes[r] = in
+			}
 			outSizes[r] = int64(float64(in) * beta)
 			redLaunch[r] = stepStart + float64(r+1)*disp
 			redDur[r] = float64(load+1)*lat + m.P.xferSec(in+outSizes[r]) + m.P.computeSec(in, cfg.ReducerMemMB)
@@ -201,6 +274,7 @@ func (m *Exact) Predict(cfg mapreduce.Config) (Prediction, error) {
 			redStarts = waveStarts(redLaunch, redDur, maxIntModel(cap-1, 1))
 		}
 		stepEnd := stepStart
+		critR := 0
 		for r, load := range step.Loads {
 			end := redStarts[r] + redDur[r]
 			events = append(events, stored{at: end, size: outSizes[r]})
@@ -209,7 +283,17 @@ func (m *Exact) Predict(cfg mapreduce.Config) (Prediction, error) {
 			lambdaBill += m.billedSec(redDur[r]) * float64(l.PerSecond(cfg.ReducerMemMB))
 			if end > stepEnd {
 				stepEnd = end
+				critR = r
 			}
+		}
+		if bd != nil {
+			load := step.Loads[critR]
+			in := inSizes[critR]
+			io := float64(load+1)*lat + m.P.xferSec(in+outSizes[critR])
+			stepStages = append(stepStages, stageTerms(
+				fmt.Sprintf("step-%02d", pi), cfg.ReducerMemMB, stepEnd-stepStart,
+				redStarts[critR]-stepStart, m.P.computeSec(in, cfg.ReducerMemMB), io,
+				fmt.Sprintf("red-%d-%d", pi, critR)))
 		}
 		if pi == len(orch.Steps)-1 {
 			// The coordinator returns right after dispatching the final
@@ -222,6 +306,16 @@ func (m *Exact) Predict(cfg mapreduce.Config) (Prediction, error) {
 		prevSizes = outSizes
 	}
 	pr.CoordSec = coordExclusive
+	if bd != nil {
+		// Coordinator-exclusive segment: dispatch (startup), its declared
+		// compute, and the state-object writes (I/O). Matches the
+		// analyzer's residual orchestration stage.
+		bd.Stages = append(bd.Stages, stageTerms(
+			"coordinator", cfg.CoordMemMB, coordExclusive,
+			disp, m.P.coordComputeSec(orch.Mappers(), cfg.CoordMemMB),
+			float64(len(orch.Steps))*stateXfer, "coordinator"))
+		bd.Stages = append(bd.Stages, stepStages...)
+	}
 
 	// Coordinator bill: its sandbox spans from coordStart until it
 	// launches the final step (it waits through steps 1..P-1 and the

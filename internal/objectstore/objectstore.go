@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"astra/internal/flight"
 	"astra/internal/pricing"
 	"astra/internal/simtime"
 	"astra/internal/telemetry"
@@ -169,6 +170,7 @@ type Store struct {
 	metrics Metrics
 	fault   FaultFunc
 	tel     *telemetry.Registry
+	rec     *flight.Recorder
 }
 
 // New creates a store bound to the scheduler's virtual clock.
@@ -189,6 +191,18 @@ func (s *Store) SetFault(f FaultFunc) { s.fault = f }
 // SetTelemetry attaches a registry that mirrors the store's request and
 // byte counters (telemetry.MStore*). Observe-only; nil detaches.
 func (s *Store) SetTelemetry(reg *telemetry.Registry) { s.tel = reg }
+
+// SetFlightRecorder attaches a flight recorder that receives every store
+// request as a virtual-time interval event, attributed to the invocation
+// whose handler issued it. Observe-only; nil detaches.
+func (s *Store) SetFlightRecorder(rec *flight.Recorder) { s.rec = rec }
+
+// record emits one completed request into the attached flight recorder.
+func (s *Store) record(p *simtime.Proc, kind flight.Kind, bucket, key string, n int64, start simtime.Time) {
+	if rec := s.rec; rec != nil {
+		rec.Op(p, kind, bucket, key, n, start, s.sched.Now())
+	}
+}
 
 // observe mirrors one request into the attached registry.
 func (s *Store) observe(op Op, bytesIn, bytesOut int64) {
@@ -342,12 +356,14 @@ func (s *Store) put(p *simtime.Proc, bucketName, key string, obj *Object) error 
 	if obj.Size > s.cfg.Pricing.MaxObjectBytes && s.cfg.Pricing.MaxObjectBytes > 0 {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, obj.Size)
 	}
+	t0 := s.sched.Now()
 	s.transfer(p, b, obj.Size)
 	s.metrics.Puts++
 	s.metrics.BytesIn += obj.Size
 	b.metrics.Puts++
 	b.metrics.BytesIn += obj.Size
 	s.observe(OpPut, obj.Size, 0)
+	s.record(p, flight.KindStorePut, bucketName, key, obj.Size, t0)
 	b.accrue(s.sched.Now())
 	if old, ok := b.objects[key]; ok {
 		b.curBytes -= old.Size
@@ -371,12 +387,14 @@ func (s *Store) Get(p *simtime.Proc, bucketName, key string) (*Object, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNoSuchKey, bucketName, key)
 	}
+	t0 := s.sched.Now()
 	s.transfer(p, b, obj.Size)
 	s.metrics.Gets++
 	s.metrics.BytesOut += obj.Size
 	b.metrics.Gets++
 	b.metrics.BytesOut += obj.Size
 	s.observe(OpGet, 0, obj.Size)
+	s.record(p, flight.KindStoreGet, bucketName, key, obj.Size, t0)
 	return obj, nil
 }
 
@@ -394,12 +412,14 @@ func (s *Store) Head(p *simtime.Proc, bucketName, key string) (*Object, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNoSuchKey, bucketName, key)
 	}
+	t0 := s.sched.Now()
 	if lat := s.latencyFor(b); lat > 0 {
 		p.Sleep(lat)
 	}
 	s.metrics.Heads++
 	b.metrics.Heads++
 	s.observe(OpHead, 0, 0)
+	s.record(p, flight.KindStoreHead, bucketName, key, 0, t0)
 	meta := *obj
 	meta.Data = nil
 	return &meta, nil
@@ -415,12 +435,14 @@ func (s *Store) List(p *simtime.Proc, bucketName, prefix string) ([]string, erro
 	if err != nil {
 		return nil, err
 	}
+	t0 := s.sched.Now()
 	if lat := s.latencyFor(b); lat > 0 {
 		p.Sleep(lat)
 	}
 	s.metrics.Lists++
 	b.metrics.Lists++
 	s.observe(OpList, 0, 0)
+	s.record(p, flight.KindStoreList, bucketName, prefix, 0, t0)
 	var keys []string
 	for k := range b.objects {
 		if strings.HasPrefix(k, prefix) {
@@ -440,12 +462,14 @@ func (s *Store) Delete(p *simtime.Proc, bucketName, key string) error {
 	if err != nil {
 		return err
 	}
+	t0 := s.sched.Now()
 	if lat := s.latencyFor(b); lat > 0 {
 		p.Sleep(lat)
 	}
 	s.metrics.Deletes++
 	b.metrics.Deletes++
 	s.observe(OpDelete, 0, 0)
+	s.record(p, flight.KindStoreDelete, bucketName, key, 0, t0)
 	if old, ok := b.objects[key]; ok {
 		b.accrue(s.sched.Now())
 		b.curBytes -= old.Size

@@ -40,6 +40,16 @@ const (
 	MLambdaQueuedSeconds   = "astra_lambda_queued_seconds"
 	MLambdaConcurrencyPeak = "astra_lambda_concurrency_peak"
 
+	// Flight-recorder audit (model-accuracy gauges). Gauges are int64, so
+	// percentages are exported as integer per-mille and absolute time
+	// errors as nanoseconds; per-stage gauges are derived via
+	// flight.StageGauge.
+	MAuditStages            = "astra_audit_stages"
+	MAuditJCTAbsErrorNanos  = "astra_audit_jct_abs_error_ns"
+	MAuditJCTErrorPermille  = "astra_audit_jct_error_permille"
+	MAuditCostErrorPermille = "astra_audit_cost_error_permille"
+	MAuditStageMAPEPermille = "astra_audit_stage_mape_permille"
+
 	// Platform: object store.
 	MStoreGets     = "astra_store_get_total"
 	MStorePuts     = "astra_store_put_total"

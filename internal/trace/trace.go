@@ -28,6 +28,10 @@ type Row struct {
 	Cold bool
 	// Cost is the invocation's billed cost (duration + invocation fee).
 	Cost pricing.USD
+	// Seq is the record's platform-wide completion sequence number, the
+	// final sort tiebreak: it makes row order fully deterministic even if
+	// two rows collide on (Start, Label, Function).
+	Seq int64
 }
 
 // Timeline is an ordered set of rows with a common origin.
@@ -67,12 +71,13 @@ func FromRecords(records []lambda.Record) Timeline {
 			MemoryMB: r.MemoryMB,
 			Cold:     r.Cold,
 			Cost:     r.Cost,
+			Seq:      r.Seq,
 		})
 	}
-	// Order by (Start, Label, Function). The Function tiebreak matters
-	// when two jobs on one platform reuse a label (e.g. "map-0"): with
-	// only (Start, Label) the relative order of the colliding rows would
-	// depend on record interleaving, making exports nondeterministic.
+	// Order by (Start, Label, Function, Seq). The Function tiebreak
+	// matters when two jobs on one platform reuse a label (e.g. "map-0");
+	// Seq — the platform's completion sequence — settles even full
+	// collisions, so row order never depends on record interleaving.
 	sort.SliceStable(tl.Rows, func(i, j int) bool {
 		a, b := tl.Rows[i], tl.Rows[j]
 		if a.Start != b.Start {
@@ -81,7 +86,10 @@ func FromRecords(records []lambda.Record) Timeline {
 		if a.Label != b.Label {
 			return a.Label < b.Label
 		}
-		return a.Function < b.Function
+		if a.Function != b.Function {
+			return a.Function < b.Function
+		}
+		return a.Seq < b.Seq
 	})
 	return tl
 }
