@@ -27,6 +27,7 @@ import (
 	"context"
 	"time"
 
+	"astra/internal/chaos"
 	"astra/internal/dag"
 	"astra/internal/flight"
 	"astra/internal/lambda"
@@ -291,6 +292,84 @@ func WithFlightRecorder(rec *FlightRecorder) RunOption {
 	return func(s *mapreduce.JobSpec) { s.Recorder = rec }
 }
 
+// Chaos types, re-exported from internal/chaos: a declarative fault plan
+// and the deterministic engine that compiles it into platform injectors.
+type (
+	// ChaosPlan is a seeded set of fault-injection rules (JSON-loadable;
+	// see chaos.Plan for the schema).
+	ChaosPlan = chaos.Plan
+	// ChaosRule is one fault rule: matchers plus an effect.
+	ChaosRule = chaos.Rule
+	// ChaosEngine compiles a plan into the platform's injector
+	// interfaces. Engines are single-run: build a fresh one per Run so
+	// rule fire-counters start from zero.
+	ChaosEngine = chaos.Engine
+	// ChaosStats summarizes what an engine injected during a run.
+	ChaosStats = chaos.Stats
+	// SpeculationPolicy configures driver-side straggler mitigation
+	// (speculative backups, first-finisher-wins).
+	SpeculationPolicy = mapreduce.SpeculationPolicy
+	// Resilience is the Report section attributing a run's fault and
+	// recovery costs.
+	Resilience = mapreduce.Resilience
+)
+
+// LoadChaosPlan reads and validates a JSON chaos profile from a file.
+// Unknown fields and structurally invalid rules are rejected.
+func LoadChaosPlan(path string) (*ChaosPlan, error) { return chaos.Load(path) }
+
+// ParseChaosPlan parses and validates a JSON chaos profile from memory.
+func ParseChaosPlan(data []byte) (*ChaosPlan, error) { return chaos.ParseBytes(data) }
+
+// NewChaosEngine validates a plan and builds a single-run injection
+// engine. Injection is deterministic: every probabilistic decision is a
+// pure function of (plan seed, rule, invocation identity), so the same
+// seeded plan produces the same faults — and byte-identical flight
+// recordings — under serial and parallel planning alike.
+func NewChaosEngine(p *ChaosPlan) (*ChaosEngine, error) { return chaos.NewEngine(p) }
+
+// WithChaos subjects the execution to a fault-injection engine: lambda
+// attempts can be failed (before start or mid-flight, both billed),
+// straggled, forced cold, or throttled, and object-store requests can
+// return transient errors, all per the engine's plan. The Report's
+// Resilience section attributes what was injected and what recovery cost.
+func WithChaos(e *ChaosEngine) RunOption {
+	return func(s *mapreduce.JobSpec) {
+		s.Injector = e
+		s.StoreInjector = e
+	}
+}
+
+// WithSpeculation enables speculative backups for straggling tasks: when
+// a task runs past multiplier times its model-predicted duration, the
+// driver launches a duplicate and the first finisher wins (losers are
+// cancelled but billed). Pass multiplier <= 0 for the default threshold
+// (1.5x). Predicted durations are filled from the planner's per-stage
+// breakdown for the executed configuration.
+func WithSpeculation(multiplier float64) RunOption {
+	return func(s *mapreduce.JobSpec) {
+		s.Speculation = &mapreduce.SpeculationPolicy{Multiplier: multiplier}
+	}
+}
+
+// WithTaskRetries sets how many times a failed mapper or reducer task is
+// re-invoked before the job fails (default 0: any task failure fails the
+// job). Retried attempts stay billed; set this when running under a
+// chaos profile with failure effects.
+func WithTaskRetries(n int) RunOption {
+	return func(s *mapreduce.JobSpec) { s.TaskRetries = n }
+}
+
+// WithSpeculationPolicy is WithSpeculation with the full policy exposed:
+// explicit backup budget and per-phase predicted durations. Zero-valued
+// predictions are filled from the model.
+func WithSpeculationPolicy(p SpeculationPolicy) RunOption {
+	return func(s *mapreduce.JobSpec) {
+		pol := p
+		s.Speculation = &pol
+	}
+}
+
 // WithRunTelemetry attaches a registry to the execution: lambda
 // invocations, cold starts, throttles, object-store traffic and
 // virtual-time phase spans are recorded. The simulated outcome is
@@ -380,6 +459,10 @@ func newWorld(params Params, concrete bool, seed int64) (*world, []string, error
 		Speed:           params.Speed,
 		DispatchLatency: params.DispatchLatency,
 		DisableTimeout:  !concrete,
+		// Consulted only for injected 429 windows (capacity throttling
+		// queues FIFO in the default mode): retry with backoff the way a
+		// real SDK would, instead of failing on the first rejection.
+		MaxRetries: 8,
 	})
 	var keys []string
 	var err error
@@ -411,6 +494,15 @@ func (w *world) runThen(ctx context.Context, job Job, keys []string, cfg Config,
 	}
 	for _, opt := range opts {
 		opt(&spec)
+	}
+	if pol := spec.Speculation; pol != nil && pol.MapTask == 0 && len(pol.StepTasks) == 0 {
+		// Speculation needs per-task predicted durations to recognize a
+		// straggler; fill them from the planner's breakdown for this
+		// configuration. If prediction fails the run proceeds with
+		// speculation effectively disabled (no deadline, no backups).
+		if bd, perr := model.NewExact(w.params).PredictBreakdown(cfg); perr == nil {
+			pol.FromBreakdown(bd)
+		}
 	}
 	var rep *Report
 	var runErr error

@@ -1,0 +1,137 @@
+package astra
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"astra/internal/flight"
+)
+
+func chaosJob() Job { return NewJob(WordCount, 12, 96<<20) }
+
+var chaosCfg = Config{MapperMemMB: 1024, CoordMemMB: 512, ReducerMemMB: 1024,
+	ObjsPerMapper: 2, ObjsPerReducer: 2}
+
+func chaosTestPlan() *ChaosPlan {
+	return &ChaosPlan{Seed: 21, Rules: []ChaosRule{
+		{Name: "slow-map", Target: "lambda", Effect: "straggle", Phase: "map",
+			Probability: 0.3, Factor: 6},
+		{Name: "kill", Target: "lambda", Effect: "fail_mid_flight", Phase: "reduce",
+			Probability: 0.15},
+		{Name: "flaky-get", Target: "store", Effect: "store_error",
+			Ops: []string{"GET"}, Probability: 0.03, Repeat: 1},
+	}}
+}
+
+// TestChaosDeterminism is the subsystem's headline invariant: the same
+// seeded plan yields byte-identical flight-recorder exports run to run,
+// whether the preceding planning search ran serial or fully parallel.
+func TestChaosDeterminism(t *testing.T) {
+	job := chaosJob()
+	export := func(parallelism int) []byte {
+		// Plan first (exercising the requested engine parallelism), then
+		// run under chaos with a recorder.
+		if _, err := Plan(job, MinTime(1), WithParallelism(parallelism)); err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewChaosEngine(chaosTestPlan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := NewFlightRecorder()
+		rep, err := Run(job, chaosCfg, WithChaos(eng), WithTaskRetries(3),
+			WithSpeculation(1.5), WithFlightRecorder(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Resilience.LambdaFaults+int(rep.Resilience.StoreFaults) == 0 {
+			t.Fatal("plan injected nothing; test is vacuous")
+		}
+		var buf bytes.Buffer
+		if err := flight.WriteJSONL(&buf, rep.Events); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, again, parallel := export(1), export(1), export(0)
+	if len(serial) == 0 {
+		t.Fatal("no events exported")
+	}
+	if !bytes.Equal(serial, again) {
+		t.Fatal("same seeded chaos plan exported different JSONL streams across runs")
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("parallel planning changed the chaos run's JSONL export")
+	}
+}
+
+// TestEmptyChaosPlanIsObserveOnly: an engine with no rules must leave the
+// report bit-identical to a run with no injector attached.
+func TestEmptyChaosPlanIsObserveOnly(t *testing.T) {
+	job := chaosJob()
+	plain, err := Run(job, chaosCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewChaosEngine(&ChaosPlan{Seed: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	under, err := Run(job, chaosCfg, WithChaos(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.JCT != under.JCT || plain.Cost != under.Cost ||
+		plain.Stats != under.Stats || len(plain.Records) != len(under.Records) {
+		t.Fatalf("empty plan perturbed the run:\nplain %+v %+v\nunder %+v %+v",
+			plain.JCT, plain.Cost, under.JCT, under.Cost)
+	}
+	if under.Resilience != plain.Resilience {
+		t.Fatalf("resilience sections differ: %+v vs %+v", under.Resilience, plain.Resilience)
+	}
+}
+
+// TestSpeculationFillsPredictionsFromModel: WithSpeculation with no
+// explicit durations gets its straggler thresholds from the planner's
+// per-stage breakdown, and a straggled mapper is recovered by a backup.
+func TestSpeculationFillsPredictionsFromModel(t *testing.T) {
+	job := chaosJob()
+	mk := func() *ChaosEngine {
+		eng, err := NewChaosEngine(&ChaosPlan{Seed: 8, Rules: []ChaosRule{
+			{Target: "lambda", Effect: "straggle", Phase: "map", Factor: 12, MaxCount: 1},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	slow, err := Run(job, chaosCfg, WithChaos(mk()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(job, chaosCfg, WithChaos(mk()), WithSpeculation(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Resilience.Speculation.BackupsLaunched == 0 {
+		t.Fatal("no backup launched: model predictions were not filled in")
+	}
+	if fast.JCT >= slow.JCT {
+		t.Fatalf("speculative JCT %v did not improve on %v", fast.JCT, slow.JCT)
+	}
+}
+
+// TestDeadlineMet: the Report answers the Eq. 20 QoS question directly.
+func TestDeadlineMet(t *testing.T) {
+	rep, err := Run(chaosJob(), chaosCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DeadlineMet(rep.JCT) || !rep.DeadlineMet(rep.JCT+time.Second) {
+		t.Fatal("deadline at or above JCT must be met")
+	}
+	if rep.DeadlineMet(rep.JCT - time.Nanosecond) {
+		t.Fatal("deadline below JCT must be missed")
+	}
+}

@@ -55,6 +55,11 @@ type options struct {
 	traceOut   string
 	metricsOut string
 	eventsOut  string
+	chaosPath  string
+	seed       int64
+	seedSet    bool
+	speculate  float64
+	retries    int
 	explain    bool
 	doRun      bool
 	baselines  bool
@@ -93,6 +98,14 @@ func parseFlags(args []string) (*options, error) {
 		"write the run's flight-recorder event stream to this file as JSONL (implies -run)")
 	fs.BoolVar(&o.audit, "audit", false,
 		"record the run and print the critical-path / model-accuracy audit (implies -run)")
+	fs.StringVar(&o.chaosPath, "chaos", "",
+		"subject the run to a JSON fault-injection profile (implies -run; see README \"Running under faults\")")
+	fs.Int64Var(&o.seed, "seed", 0,
+		"override the chaos profile's seed (same profile + same seed = same faults)")
+	fs.Float64Var(&o.speculate, "speculate", 0,
+		"launch speculative backups for tasks running past this multiple of their predicted duration (0 = off, implies -run)")
+	fs.IntVar(&o.retries, "retries", 2,
+		"re-invoke a failed mapper/reducer task up to this many times (failed attempts stay billed)")
 	fs.BoolVar(&o.force, "f", false, "overwrite existing output files")
 	fs.BoolVar(&o.explain, "explain", false, "print the plan's search report (explain-plan)")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON")
@@ -103,7 +116,22 @@ func parseFlags(args []string) (*options, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if o.timeline || o.traceOut != "" || o.eventsOut != "" || o.audit {
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			o.seedSet = true
+		}
+	})
+	if o.speculate < 0 {
+		return nil, fmt.Errorf("-speculate must be >= 0, got %v", o.speculate)
+	}
+	if o.retries < 0 {
+		return nil, fmt.Errorf("-retries must be >= 0, got %v", o.retries)
+	}
+	if o.seedSet && o.chaosPath == "" {
+		return nil, fmt.Errorf("-seed requires -chaos")
+	}
+	if o.timeline || o.traceOut != "" || o.eventsOut != "" || o.audit ||
+		o.chaosPath != "" || o.speculate > 0 {
 		o.doRun = true
 	}
 	return o, nil
@@ -189,6 +217,9 @@ type result struct {
 	Baselines []measurementJSON `json:"baselines,omitempty"`
 	Explain   string            `json:"explain,omitempty"`
 	Audit     *flight.Audit     `json:"audit,omitempty"`
+	// Resilience attributes fault-injection damage and recovery spend;
+	// present only when -chaos or -speculate is active.
+	Resilience *mapreduce.Resilience `json:"resilience,omitempty"`
 }
 
 type predictionJSON struct {
@@ -200,6 +231,9 @@ type measurementJSON struct {
 	Name       string  `json:"name"`
 	JCTSeconds float64 `json:"jct_seconds"`
 	CostUSD    float64 `json:"cost_usd"`
+	// DeadlineMet reports whether the measured JCT honored the -deadline
+	// objective (present only for -objective cost with a deadline).
+	DeadlineMet *bool `json:"deadline_met,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -212,6 +246,30 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer files.closeAll()
+
+	// Load and validate the chaos profile up front, so a malformed file
+	// (unknown field, bad rule) fails the command before planning starts.
+	var chaosPlan *astra.ChaosPlan
+	if o.chaosPath != "" {
+		if chaosPlan, err = astra.LoadChaosPlan(o.chaosPath); err != nil {
+			return err
+		}
+		if o.seedSet {
+			chaosPlan.Seed = o.seed
+		}
+	}
+	// Chaos engines are single-run (rule fire-counters); build a fresh one
+	// per execution so the main run and each baseline see identical faults.
+	withChaos := func(opts []astra.RunOption) ([]astra.RunOption, error) {
+		if chaosPlan == nil {
+			return opts, nil
+		}
+		eng, err := astra.NewChaosEngine(chaosPlan)
+		if err != nil {
+			return nil, err
+		}
+		return append(append([]astra.RunOption{}, opts...), astra.WithChaos(eng)), nil
+	}
 
 	var job workload.Job
 	var obj optimizer.Objective
@@ -296,6 +354,12 @@ func run(args []string, out io.Writer) error {
 	if tel != nil {
 		runOpts = append(runOpts, astra.WithRunTelemetry(tel))
 	}
+	if o.speculate > 0 {
+		runOpts = append(runOpts, astra.WithSpeculation(o.speculate))
+	}
+	if o.retries > 0 {
+		runOpts = append(runOpts, astra.WithTaskRetries(o.retries))
+	}
 
 	res := result{
 		Workload:  o.workload,
@@ -338,6 +402,9 @@ func run(args []string, out io.Writer) error {
 			mainOpts = append(append([]astra.RunOption{}, runOpts...),
 				astra.WithFlightRecorder(rec))
 		}
+		if mainOpts, err = withChaos(mainOpts); err != nil {
+			return err
+		}
 		runReport, err = astra.RunWith(params, plan.Config, mainOpts...)
 		if err != nil {
 			return err
@@ -347,15 +414,33 @@ func run(args []string, out io.Writer) error {
 			JCTSeconds: runReport.JCT.Seconds(),
 			CostUSD:    float64(runReport.Cost.Total()),
 		}
+		if obj.Goal == optimizer.MinCostUnderDeadline && o.deadline > 0 {
+			met := runReport.DeadlineMet(obj.Deadline)
+			res.Measured.DeadlineMet = &met
+		}
 		if !o.jsonOut {
 			fmt.Fprintf(out, "measured:  JCT %.2fs, cost %s\n",
 				runReport.JCT.Seconds(), runReport.Cost.Total())
+			if res.Measured.DeadlineMet != nil {
+				fmt.Fprintf(out, "deadline:  %v (met: %v)\n", obj.Deadline, *res.Measured.DeadlineMet)
+			}
+		}
+		if o.chaosPath != "" || o.speculate > 0 {
+			resil := runReport.Resilience
+			res.Resilience = &resil
+			if !o.jsonOut {
+				printResilience(out, &resil)
+			}
 		}
 	}
 
 	if o.baselines {
 		for i, cfg := range optimizer.Baselines(job.NumObjects) {
-			rep, err := astra.RunWith(params, cfg, runOpts...)
+			bOpts, err := withChaos(runOpts)
+			if err != nil {
+				return err
+			}
+			rep, err := astra.RunWith(params, cfg, bOpts...)
 			if err != nil {
 				return fmt.Errorf("baseline %d: %w", i+1, err)
 			}
@@ -438,6 +523,18 @@ func writeTrace(f io.Writer, path string, tl trace.Timeline) error {
 	default:
 		return tl.WriteCSV(f)
 	}
+}
+
+// printResilience renders the run's fault-and-recovery accounting.
+func printResilience(out io.Writer, r *mapreduce.Resilience) {
+	fmt.Fprintln(out, "resilience:")
+	fmt.Fprintf(out, "  lambda faults:    %d (%d pre-start, %d mid-flight, %d straggled, %d forced cold)\n",
+		r.LambdaFaults, r.FailedBeforeStart, r.FailedMidFlight, r.Straggled, r.ForcedColdStarts)
+	fmt.Fprintf(out, "  throttles/store:  %d injected throttles, %d store faults\n",
+		r.InjectedThrottles, r.StoreFaults)
+	fmt.Fprintf(out, "  recovery:         %d task retries, %d backups (%d wins, %d cancelled)\n",
+		r.TaskRetries, r.Speculation.BackupsLaunched, r.Speculation.Wins, r.Speculation.Cancelled)
+	fmt.Fprintf(out, "  wasted cost:      %s\n", r.WastedCost)
 }
 
 func describeObjective(obj optimizer.Objective) string {

@@ -1,0 +1,254 @@
+// Package chaos implements deterministic, seeded fault injection for the
+// simulated serverless platform: a Plan is a list of Rules targeting
+// lambda invocations or object-store requests, and an Engine compiles the
+// plan into the injector interfaces the platform consults
+// (lambda.Injector, objectstore.Injector).
+//
+// Determinism is the core contract. Every probabilistic decision is drawn
+// from a PRNG keyed by the plan seed plus a *stable invocation identity*
+// — (function, label, attempt) for lambdas, (op, bucket, key, occurrence)
+// for store requests — never from a shared sequential stream. The same
+// seed therefore yields the same faults whether planning ran serial or
+// parallel, whether the race detector reorders goroutine startup, and
+// regardless of how many unrelated draws happened first. Two runs of the
+// same seeded plan produce byte-identical flight-recorder exports.
+//
+// Effects model the adversity real platforms exhibit:
+//
+//   - fail_before_start: the invocation is rejected at admission (no
+//     duration billed — only the invocation fee, like an AWS sandbox
+//     init failure).
+//   - fail_mid_flight: the handler is killed partway through (at one of
+//     its platform API calls); the elapsed duration is billed, per AWS
+//     semantics for crashed functions.
+//   - straggle: the invocation's compute and store transfers run slower
+//     by Factor — the straggler model Starling's duplicate-request
+//     mitigation targets.
+//   - cold_start: the warm-container pool is bypassed, forcing the
+//     cold-start penalty.
+//   - throttle: a virtual-time window [From, From+For) during which
+//     matching invocation attempts are rejected 429-style, subject to
+//     the platform's retry policy.
+//   - store_error: a matching store request fails before any state
+//     change or time charge (transient errors; Repeat bounds how many
+//     times each key faults, so retries eventually succeed).
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Target selects what a rule injects into.
+type Target string
+
+// Rule targets.
+const (
+	// TargetLambda matches invocation attempts on the lambda platform.
+	TargetLambda Target = "lambda"
+	// TargetStore matches object-store requests.
+	TargetStore Target = "store"
+)
+
+// Effect identifies what a matched rule does.
+type Effect string
+
+// Rule effects. The first five apply to TargetLambda, StoreError to
+// TargetStore.
+const (
+	FailBeforeStart Effect = "fail_before_start"
+	FailMidFlight   Effect = "fail_mid_flight"
+	Straggle        Effect = "straggle"
+	ColdStart       Effect = "cold_start"
+	Throttle        Effect = "throttle"
+	StoreError      Effect = "store_error"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("30s", "1m30s") so plans are human-writable JSON.
+type Duration time.Duration
+
+// UnmarshalJSON accepts a duration string or a bare number of nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("chaos: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Rule is one fault-injection rule. Zero matcher fields match anything;
+// Probability 0 means 1 (always, when the other matchers hit).
+type Rule struct {
+	// Name labels the rule in events and reports.
+	Name string `json:"name,omitempty"`
+	// Target selects lambda invocations or store requests.
+	Target Target `json:"target"`
+	// Effect is what the rule injects.
+	Effect Effect `json:"effect"`
+
+	// Function matches the lambda's registered name exactly ("" = any).
+	Function string `json:"function,omitempty"`
+	// Phase matches the driver's labeling scheme: "map" (labels map-N),
+	// "reduce" (red-P-R), or "coordinator". "" matches any phase.
+	Phase string `json:"phase,omitempty"`
+	// Attempt, when set, matches only that attempt number (0 = the first
+	// dispatch of a task identity, 1 = its first retry or backup, ...).
+	Attempt *int `json:"attempt,omitempty"`
+
+	// Probability gates the rule per identity draw (0 or 1 = always).
+	Probability float64 `json:"probability,omitempty"`
+	// MaxCount bounds how many times the rule fires in total (0 = no
+	// bound).
+	MaxCount int `json:"max_count,omitempty"`
+
+	// Factor is the straggle slowdown multiplier (>1; required for the
+	// straggle effect).
+	Factor float64 `json:"factor,omitempty"`
+
+	// From/For bound a throttle window in virtual time since run start.
+	From Duration `json:"from,omitempty"`
+	For  Duration `json:"for,omitempty"`
+
+	// Ops lists the store request classes the rule matches (GET, PUT,
+	// LIST, HEAD, DELETE, COPY); empty matches every class.
+	Ops []string `json:"ops,omitempty"`
+	// Bucket matches the bucket name exactly ("" = any).
+	Bucket string `json:"bucket,omitempty"`
+	// KeyPrefix matches keys by prefix ("" = any).
+	KeyPrefix string `json:"key_prefix,omitempty"`
+	// Repeat bounds store faults per key: each afflicted key fails its
+	// first Repeat matching requests, then heals (0 = every matching
+	// request draws independently).
+	Repeat int `json:"repeat,omitempty"`
+	// Error customizes the injected error message.
+	Error string `json:"error,omitempty"`
+}
+
+// Plan is a complete fault profile: a PRNG seed plus the rule list.
+type Plan struct {
+	Seed  int64  `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// lambdaEffects and storeEffects partition the effect vocabulary for
+// validation.
+var lambdaEffects = map[Effect]bool{
+	FailBeforeStart: true, FailMidFlight: true, Straggle: true,
+	ColdStart: true, Throttle: true,
+}
+
+var validOps = map[string]bool{
+	"GET": true, "PUT": true, "LIST": true, "HEAD": true,
+	"DELETE": true, "COPY": true,
+}
+
+// Validate checks the plan's rules for structural errors: unknown
+// targets/effects/phases/ops, effect-target mismatches, and missing or
+// nonsensical effect parameters.
+func (p *Plan) Validate() error {
+	for i, r := range p.Rules {
+		where := fmt.Sprintf("chaos: rule %d (%s)", i, r.Name)
+		switch r.Target {
+		case TargetLambda:
+			if !lambdaEffects[r.Effect] {
+				return fmt.Errorf("%s: effect %q is not a lambda effect", where, r.Effect)
+			}
+			if len(r.Ops) > 0 || r.Bucket != "" || r.KeyPrefix != "" || r.Repeat != 0 {
+				return fmt.Errorf("%s: store matchers on a lambda rule", where)
+			}
+		case TargetStore:
+			if r.Effect != StoreError {
+				return fmt.Errorf("%s: effect %q is not a store effect", where, r.Effect)
+			}
+			if r.Function != "" || r.Phase != "" || r.Attempt != nil {
+				return fmt.Errorf("%s: lambda matchers on a store rule", where)
+			}
+			for _, op := range r.Ops {
+				if !validOps[op] {
+					return fmt.Errorf("%s: unknown op class %q", where, op)
+				}
+			}
+		default:
+			return fmt.Errorf("%s: unknown target %q", where, r.Target)
+		}
+		switch r.Phase {
+		case "", "map", "reduce", "coordinator":
+		default:
+			return fmt.Errorf("%s: unknown phase %q (want map, reduce or coordinator)", where, r.Phase)
+		}
+		if r.Probability < 0 || r.Probability > 1 {
+			return fmt.Errorf("%s: probability %v outside [0,1]", where, r.Probability)
+		}
+		if r.Effect == Straggle && r.Factor <= 1 {
+			return fmt.Errorf("%s: straggle needs factor > 1, got %v", where, r.Factor)
+		}
+		if r.Effect != Straggle && r.Factor != 0 {
+			return fmt.Errorf("%s: factor is only valid for straggle", where)
+		}
+		if r.Effect == Throttle && r.For <= 0 {
+			return fmt.Errorf("%s: throttle needs a positive \"for\" window", where)
+		}
+		if r.Effect != Throttle && (r.From != 0 || r.For != 0) {
+			return fmt.Errorf("%s: from/for are only valid for throttle", where)
+		}
+		if r.MaxCount < 0 || r.Repeat < 0 {
+			return fmt.Errorf("%s: negative max_count or repeat", where)
+		}
+	}
+	return nil
+}
+
+// Parse decodes a plan from JSON, rejecting unknown fields so a typo in a
+// profile fails fast instead of silently not injecting.
+func Parse(r io.Reader) (*Plan, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ParseBytes is Parse over an in-memory document.
+func ParseBytes(b []byte) (*Plan, error) { return Parse(bytes.NewReader(b)) }
+
+// Load reads and validates a plan file.
+func Load(path string) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}

@@ -145,5 +145,6 @@ func All() []Experiment {
 		{"pipeline", "Extension: global budget allocated across a multi-stage pipeline", func() (string, error) { return PipelineAllocation() }},
 		{"calibration", "Extension: declared vs profiler-measured data ratios", func() (string, error) { return Calibration() }},
 		{"emr-scaling", "Extension: VM cluster size crossover vs Astra", func() (string, error) { return EMRScaling() }},
+		{"resilience", "Extension: QoS under faults — retries vs speculative execution", func() (string, error) { return Resilience() }},
 	}
 }

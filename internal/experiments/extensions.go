@@ -135,6 +135,8 @@ func executeWithSpec(params model.Params, cfg mapreduce.Config,
 		Speed:           params.Speed,
 		DispatchLatency: params.DispatchLatency,
 		DisableTimeout:  true,
+		// Only consulted for injected 429 windows (resilience experiment).
+		MaxRetries: 8,
 	})
 	keys, err := workload.SeedProfiled(store, "in", params.Job)
 	if err != nil {

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"astra/internal/chaos"
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+	"astra/internal/pricing"
+	"astra/internal/workload"
+)
+
+// Resilience stress-tests QoS under adversity: WordCount and Sort jobs
+// run under three seeded fault profiles — straggler-heavy, throttle-storm
+// and lossy-store — with bounded retries alone, and then with speculative
+// execution added. Each row averages several seeds and reports completion
+// time and cost inflation over the clean run plus the deadline-hit rate
+// against a QoS threshold of 1.3x the clean JCT (the Eq. 20 constraint
+// re-checked under faults). Speculation buys its JCT recovery with extra
+// (billed) backup attempts, so the two modes bracket the time/cost
+// tradeoff of mitigation.
+func Resilience() (string, error) {
+	const (
+		seeds       = 5
+		retries     = 2
+		deadlineX   = 1.3
+		specX       = 1.5 // backup threshold: 1.5x predicted task time
+		specBackups = 2
+	)
+
+	type profile struct {
+		name string
+		plan func(seed int64) *chaos.Plan
+	}
+	profiles := []profile{
+		{"straggler-heavy", func(seed int64) *chaos.Plan {
+			return &chaos.Plan{Seed: seed, Rules: []chaos.Rule{
+				{Name: "slow-map", Target: chaos.TargetLambda, Effect: chaos.Straggle,
+					Phase: "map", Probability: 0.4, Factor: 10},
+				{Name: "slow-red", Target: chaos.TargetLambda, Effect: chaos.Straggle,
+					Phase: "reduce", Probability: 0.3, Factor: 8},
+			}}
+		}},
+		{"throttle-storm", func(seed int64) *chaos.Plan {
+			return &chaos.Plan{Seed: seed, Rules: []chaos.Rule{
+				{Name: "storm", Target: chaos.TargetLambda, Effect: chaos.Throttle,
+					Probability: 0.5, For: chaos.Duration(30 * time.Second)},
+				{Name: "kill", Target: chaos.TargetLambda, Effect: chaos.FailMidFlight,
+					Phase: "map", Probability: 0.05, MaxCount: 2},
+			}}
+		}},
+		{"lossy-store", func(seed int64) *chaos.Plan {
+			return &chaos.Plan{Seed: seed, Rules: []chaos.Rule{
+				{Name: "flaky-get", Target: chaos.TargetStore, Effect: chaos.StoreError,
+					Ops: []string{"GET"}, Probability: 0.05, Repeat: 2},
+			}}
+		}},
+	}
+
+	jobs := []struct {
+		name string
+		job  workload.Job
+		cfg  mapreduce.Config
+	}{
+		{"wordcount-1GB", workload.Job{Profile: workload.WordCount, NumObjects: 20, ObjectSize: 1 << 30 / 20},
+			mapreduce.Config{MapperMemMB: 1024, CoordMemMB: 512, ReducerMemMB: 1024, ObjsPerMapper: 2, ObjsPerReducer: 2}},
+		{"sort-1GB", workload.Job{Profile: workload.Sort, NumObjects: 20, ObjectSize: 1 << 30 / 20},
+			mapreduce.Config{MapperMemMB: 1024, CoordMemMB: 512, ReducerMemMB: 1792, ObjsPerMapper: 2, ObjsPerReducer: 2}},
+	}
+
+	t := &table{header: []string{"job", "profile", "mitigation", "JCT", "xclean",
+		"cost", "xclean", "deadline-hit", "faults", "backups(wins)"}}
+
+	for _, j := range jobs {
+		params := model.DefaultParams(j.job)
+		clean, err := executeWithSpec(params, j.cfg, nil)
+		if err != nil {
+			return "", err
+		}
+		deadline := time.Duration(deadlineX * float64(clean.JCT))
+		t.add(j.name, "none", "-", fmtDur(clean.JCT), "1.00x",
+			fmtUSD(clean.Cost.Total()), "1.00x", "5/5", "0", "0(0)")
+
+		// Predicted per-stage durations parameterize the straggler
+		// threshold, exactly as the CLI's -speculate path fills them.
+		bd, err := model.NewExact(params).PredictBreakdown(j.cfg)
+		if err != nil {
+			return "", err
+		}
+
+		for _, pf := range profiles {
+			for _, speculate := range []bool{false, true} {
+				var jctSum time.Duration
+				var costSum pricing.USD
+				var hits, faults, backups, wins int
+				for s := int64(1); s <= seeds; s++ {
+					eng, err := chaos.NewEngine(pf.plan(s))
+					if err != nil {
+						return "", err
+					}
+					rep, err := executeWithSpec(params, j.cfg, func(spec *mapreduce.JobSpec) {
+						spec.TaskRetries = retries
+						spec.Injector = eng
+						spec.StoreInjector = eng
+						if speculate {
+							pol := &mapreduce.SpeculationPolicy{Multiplier: specX, MaxBackups: specBackups}
+							pol.FromBreakdown(bd)
+							spec.Speculation = pol
+						}
+					})
+					if err != nil {
+						return "", fmt.Errorf("%s/%s seed %d: %w", j.name, pf.name, s, err)
+					}
+					jctSum += rep.JCT
+					costSum += rep.Cost.Total()
+					if rep.DeadlineMet(deadline) {
+						hits++
+					}
+					r := rep.Resilience
+					faults += r.LambdaFaults + int(r.StoreFaults)
+					backups += r.Speculation.BackupsLaunched
+					wins += r.Speculation.Wins
+				}
+				jct := jctSum / seeds
+				cost := costSum / seeds
+				mode := "retries"
+				if speculate {
+					mode = "retries+spec"
+				}
+				t.add(j.name, pf.name, mode, fmtDur(jct),
+					fmt.Sprintf("%.2fx", float64(jct)/float64(clean.JCT)),
+					fmtUSD(cost),
+					fmt.Sprintf("%.2fx", float64(cost)/float64(clean.Cost.Total())),
+					fmt.Sprintf("%d/%d", hits, seeds),
+					fmt.Sprintf("%d", faults),
+					fmt.Sprintf("%d(%d)", backups, wins))
+			}
+		}
+	}
+	return t.String(), nil
+}

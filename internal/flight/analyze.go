@@ -109,7 +109,7 @@ func Analyze(events []Event) (*CriticalPath, error) {
 		case KindInvokeDone, KindInvokeTimeout, KindInvokeError:
 			pi := invFor(invs, ev.Inv)
 			pi.done = ev
-		case KindStoreGet, KindStorePut, KindStoreHead, KindStoreList, KindStoreDelete:
+		case KindStoreGet, KindStorePut, KindStoreHead, KindStoreList, KindStoreDelete, KindStoreCopy:
 			invFor(invs, ev.Inv).io += ev.Time - ev.Start
 		case KindCompute:
 			invFor(invs, ev.Inv).compute += ev.Time - ev.Start

@@ -112,7 +112,7 @@ func WriteOTLP(w io.Writer, events []Event) error {
 			if ev.Name == "run" {
 				runSpan = spanID(ev.Seq)
 			}
-		case KindInvokeDone, KindInvokeTimeout, KindInvokeError:
+		case KindInvokeDone, KindInvokeTimeout, KindInvokeError, KindInvokeCanceled:
 			invSpans[ev.Inv] = spanID(ev.Seq)
 		}
 	}
@@ -123,7 +123,7 @@ func WriteOTLP(w io.Writer, events []Event) error {
 				return ""
 			}
 			return runSpan
-		case KindInvokeDone, KindInvokeTimeout, KindInvokeError:
+		case KindInvokeDone, KindInvokeTimeout, KindInvokeError, KindInvokeCanceled:
 			if ps, ok := phaseSpans[phaseForLabel(ev.Label)]; ok {
 				return ps
 			}
@@ -148,7 +148,8 @@ func WriteOTLP(w io.Writer, events []Event) error {
 		switch {
 		case ev.Kind == KindPhase:
 			name = ev.Name
-		case ev.Kind == KindInvokeDone || ev.Kind == KindInvokeTimeout || ev.Kind == KindInvokeError:
+		case ev.Kind == KindInvokeDone || ev.Kind == KindInvokeTimeout ||
+			ev.Kind == KindInvokeError || ev.Kind == KindInvokeCanceled:
 			// The done-class span is the invocation's span in the tree —
 			// name it by the invocation, not the closing transition.
 			if ev.Label != "" {

@@ -57,6 +57,9 @@ const (
 	KindInvokeDone    Kind = "invoke.done"
 	KindInvokeTimeout Kind = "invoke.timeout"
 	KindInvokeError   Kind = "invoke.error"
+	// KindInvokeCanceled closes an invocation killed by the driver — a
+	// speculative loser: cancelled, but billed for its elapsed duration.
+	KindInvokeCanceled Kind = "invoke.canceled"
 
 	// Object-store requests (read/write plus the metadata ops).
 	KindStoreGet    Kind = "store.get"
@@ -64,6 +67,20 @@ const (
 	KindStoreHead   Kind = "store.head"
 	KindStoreList   Kind = "store.list"
 	KindStoreDelete Kind = "store.delete"
+	// KindStoreCopy is a server-side duplication (S3 CopyObject): Key is
+	// the destination, Bytes the object size (no transfer through the
+	// caller).
+	KindStoreCopy Kind = "store.copy"
+
+	// KindChaosFault marks an injected fault taking effect: Name carries
+	// the effect (or the store op class for store faults), Rule the
+	// matched chaos rule.
+	KindChaosFault Kind = "chaos.fault"
+	// KindSpecLaunch marks a speculative backup launch (Name = attempt
+	// key); KindSpecWin marks the first-finisher decision (Name = winning
+	// attempt key).
+	KindSpecLaunch Kind = "spec.launch"
+	KindSpecWin    Kind = "spec.win"
 
 	// KindCompute covers a handler's declared CPU work (Ctx.Work).
 	KindCompute Kind = "compute"
@@ -106,10 +123,13 @@ type Event struct {
 	Bucket string `json:"bucket,omitempty"`
 	Key    string `json:"key,omitempty"`
 	Bytes  int64  `json:"bytes,omitempty"`
-	// Name is the phase name (phase events).
+	// Name is the phase name (phase events), the effect (chaos events) or
+	// the attempt key (speculation events).
 	Name string `json:"name,omitempty"`
-	// Err carries the failure message (error/timeout events).
+	// Err carries the failure message (error/timeout/chaos events).
 	Err string `json:"err,omitempty"`
+	// Rule names the chaos rule behind an injected fault (chaos events).
+	Rule string `json:"rule,omitempty"`
 }
 
 // Dur reports the event's interval length (zero for instants).

@@ -18,6 +18,43 @@ type Ctx struct {
 	proc     *simtime.Proc
 	payload  []byte
 	deadline simtime.Time
+
+	// Fault-injection state (set by the platform from the injector's
+	// InvokeFault; all zero on a clean invocation).
+	straggle   float64     // >1: compute and transfers run this much slower
+	failAtCall int         // kill the handler at its Nth platform API call
+	injectErr  error       // the error the kill surfaces
+	injectRule string      // rule name, for the chaos event
+	cancel     *cancelCell // cooperative cancellation request
+	calls      int         // platform API calls made so far
+}
+
+// apiCall counts one platform API call and applies cooperative kills: a
+// pending cancellation or the injected mid-flight fault fires here, the
+// way a real sandbox dies the next time it would make progress.
+func (c *Ctx) apiCall() {
+	c.calls++
+	if c.failAtCall > 0 && c.calls >= c.failAtCall {
+		c.failAtCall = 0 // fire once
+		pl := c.platform
+		pl.chaos.FailedMidFlight++
+		if rec := pl.rec; rec != nil {
+			rec.Emit(flight.Event{Kind: flight.KindChaosFault, Time: c.proc.Now(),
+				Inv: rec.InvocationOf(c.proc), Function: c.fn.Name,
+				Name: "fail_mid_flight", Rule: c.injectRule})
+		}
+		panic(c.injectErr)
+	}
+}
+
+// stretch applies the straggle factor to the store operation that ran over
+// [t0, now]: the invocation's I/O takes Straggle times as long.
+func (c *Ctx) stretch(t0 simtime.Time) {
+	if c.straggle > 1 {
+		if el := c.proc.Now() - t0; el > 0 {
+			c.proc.Sleep(time.Duration(float64(el) * (c.straggle - 1)))
+		}
+	}
 }
 
 // Payload returns the invocation payload.
@@ -32,9 +69,13 @@ func (c *Ctx) Now() simtime.Time { return c.proc.Now() }
 // Remaining reports time left before the deadline (may be negative).
 func (c *Ctx) Remaining() time.Duration { return c.deadline - c.proc.Now() }
 
-// checkDeadline panics with ErrTimeout once the deadline has passed. The
-// panic unwinds the handler; Platform.runHandler converts it to an error.
+// checkDeadline panics with ErrCanceled on a pending cancellation, or
+// ErrTimeout once the deadline has passed. The panic unwinds the handler;
+// Platform.runHandler converts it to an error.
 func (c *Ctx) checkDeadline() {
+	if c.cancel != nil && c.cancel.requested {
+		panic(ErrCanceled)
+	}
 	if c.proc.Now() >= c.deadline {
 		panic(ErrTimeout)
 	}
@@ -46,10 +87,14 @@ func (c *Ctx) checkDeadline() {
 // the speed model.
 func (c *Ctx) Work(refSeconds float64) {
 	c.checkDeadline()
+	c.apiCall()
 	if refSeconds <= 0 {
 		return
 	}
 	scaled := refSeconds * c.platform.cfg.Speed.Factor(c.fn.MemoryMB)
+	if c.straggle > 1 {
+		scaled *= c.straggle
+	}
 	t0 := c.proc.Now()
 	c.proc.Sleep(time.Duration(scaled * float64(time.Second)))
 	if rec := c.platform.rec; rec != nil {
@@ -67,7 +112,10 @@ func (c *Ctx) WorkBytes(n int64, refSecPerMB float64) {
 // Get reads an object through the store, charging transfer time.
 func (c *Ctx) Get(bucket, key string) (*objectstore.Object, error) {
 	c.checkDeadline()
+	c.apiCall()
+	t0 := c.proc.Now()
 	obj, err := c.platform.store.Get(c.proc, bucket, key)
+	c.stretch(t0)
 	c.checkDeadline()
 	return obj, err
 }
@@ -75,7 +123,10 @@ func (c *Ctx) Get(bucket, key string) (*objectstore.Object, error) {
 // Put writes concrete bytes through the store.
 func (c *Ctx) Put(bucket, key string, data []byte) error {
 	c.checkDeadline()
+	c.apiCall()
+	t0 := c.proc.Now()
 	err := c.platform.store.Put(c.proc, bucket, key, data)
+	c.stretch(t0)
 	c.checkDeadline()
 	return err
 }
@@ -83,7 +134,24 @@ func (c *Ctx) Put(bucket, key string, data []byte) error {
 // PutProfiled writes a size-only object through the store.
 func (c *Ctx) PutProfiled(bucket, key string, size int64) error {
 	c.checkDeadline()
+	c.apiCall()
+	t0 := c.proc.Now()
 	err := c.platform.store.PutProfiled(c.proc, bucket, key, size)
+	c.stretch(t0)
+	c.checkDeadline()
+	return err
+}
+
+// Copy duplicates an object server-side through the store (no transfer
+// through the function; a PUT-class request). Speculative execution uses
+// it as the commit step publishing a winner's attempt-suffixed output
+// under its final key.
+func (c *Ctx) Copy(bucket, src, dst string) error {
+	c.checkDeadline()
+	c.apiCall()
+	t0 := c.proc.Now()
+	err := c.platform.store.Copy(c.proc, bucket, src, dst)
+	c.stretch(t0)
 	c.checkDeadline()
 	return err
 }
@@ -91,7 +159,10 @@ func (c *Ctx) PutProfiled(bucket, key string, size int64) error {
 // List lists keys with a prefix through the store.
 func (c *Ctx) List(bucket, prefix string) ([]string, error) {
 	c.checkDeadline()
+	c.apiCall()
+	t0 := c.proc.Now()
 	keys, err := c.platform.store.List(c.proc, bucket, prefix)
+	c.stretch(t0)
 	c.checkDeadline()
 	return keys, err
 }
@@ -99,7 +170,10 @@ func (c *Ctx) List(bucket, prefix string) ([]string, error) {
 // Delete removes an object through the store.
 func (c *Ctx) Delete(bucket, key string) error {
 	c.checkDeadline()
+	c.apiCall()
+	t0 := c.proc.Now()
 	err := c.platform.store.Delete(c.proc, bucket, key)
+	c.stretch(t0)
 	c.checkDeadline()
 	return err
 }
@@ -109,12 +183,14 @@ func (c *Ctx) Delete(bucket, key string) error {
 // caller's clock does not advance.
 func (c *Ctx) InvokeAsync(name, label string, payload []byte) *Invocation {
 	c.checkDeadline()
+	c.apiCall()
 	return c.platform.InvokeAsync(c.proc, name, label, payload)
 }
 
 // Wait blocks the handler until an async invocation completes.
 func (c *Ctx) Wait(iv *Invocation) ([]byte, error) {
 	c.checkDeadline()
+	c.apiCall()
 	t0 := c.proc.Now()
 	resp, err := iv.Wait(c.proc)
 	if rec := c.platform.rec; rec != nil {
@@ -124,4 +200,29 @@ func (c *Ctx) Wait(iv *Invocation) ([]byte, error) {
 	}
 	c.checkDeadline()
 	return resp, err
+}
+
+// WaitAny blocks the handler until one of the invocations completes or the
+// timeout elapses, returning the lowest completed index or -1 on timeout
+// (negative timeout = wait indefinitely). This is the racing primitive for
+// speculative backups launched by a coordinator.
+func (c *Ctx) WaitAny(invs []*Invocation, timeout time.Duration) int {
+	c.checkDeadline()
+	c.apiCall()
+	t0 := c.proc.Now()
+	idx := c.platform.WaitAny(c.proc, invs, timeout)
+	if rec := c.platform.rec; rec != nil {
+		if now := c.proc.Now(); now > t0 {
+			rec.Interval(c.proc, flight.KindWait, t0, now)
+		}
+	}
+	c.checkDeadline()
+	return idx
+}
+
+// Cancel requests cancellation of an in-flight invocation this handler
+// launched (first-finisher-wins losers). The loser is killed at its next
+// platform API call and stays billed.
+func (c *Ctx) Cancel(iv *Invocation) {
+	c.platform.Cancel(iv)
 }

@@ -176,6 +176,10 @@ type Platform struct {
 	retries     int
 	tel         *telemetry.Registry
 	rec         *flight.Recorder
+
+	inj      Injector
+	attempts map[string]int // (function \x00 label) -> dispatches so far
+	chaos    ChaosCounters
 }
 
 // New creates a platform bound to the scheduler and object store.
@@ -187,6 +191,7 @@ func New(sched *simtime.Scheduler, store *objectstore.Store, cfg Config) *Platfo
 		cfg:         cfg,
 		concurrency: sched.NewSemaphore(cfg.Sheet.Lambda.MaxConcurrency),
 		funcs:       make(map[string]*Function),
+		attempts:    make(map[string]int),
 	}
 }
 
@@ -284,7 +289,7 @@ func (pl *Platform) InvokeLabeled(p *simtime.Proc, name, label string, payload [
 	if pl.cfg.DispatchLatency > 0 {
 		p.Sleep(pl.cfg.DispatchLatency)
 	}
-	return pl.invokeDispatched(p, name, label, payload, pl.recordScheduled(p, name, label, dispStart))
+	return pl.invokeDispatched(p, name, label, payload, pl.recordScheduled(p, name, label, dispStart), nil)
 }
 
 // recordScheduled allocates an invocation identity and emits the
@@ -303,13 +308,92 @@ func (pl *Platform) recordScheduled(p *simtime.Proc, name, label string, dispSta
 	return inv
 }
 
+// chaosEvent records one applied injector effect into the flight recorder.
+func (pl *Platform) chaosEvent(inv int64, fn, label, effect, rule string) {
+	if rec := pl.rec; rec != nil {
+		rec.Emit(flight.Event{Kind: flight.KindChaosFault, Time: pl.sched.Now(),
+			Inv: inv, Function: fn, Label: label, Name: effect, Rule: rule})
+	}
+}
+
 // invokeDispatched runs an invocation whose dispatch latency has already
 // been paid by the caller; inv is its flight-recorder identity (0 without
-// a recorder).
-func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payload []byte, inv int64) ([]byte, error) {
+// a recorder) and h the async handle carrying the cancel cell (nil for
+// synchronous invokes).
+func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payload []byte, inv int64, h *Invocation) ([]byte, error) {
 	f, ok := pl.funcs[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, name)
+	}
+
+	// Consult the fault injector under this attempt's stable identity.
+	var flt InvokeFault
+	var ref InvokeRef
+	if pl.inj != nil {
+		ak := name + "\x00" + label
+		ref = InvokeRef{Function: name, Label: label, Attempt: pl.attempts[ak]}
+		pl.attempts[ak]++
+		var faulted bool
+		if flt, faulted = pl.inj.InvokeFault(ref, pl.sched.Now()); faulted {
+			pl.chaos.Faults++
+			pl.tel.Counter(telemetry.MChaosFaults).Inc()
+			pl.tel.Counter(telemetry.MChaosLambdaFaults).Inc()
+		}
+	}
+
+	if flt.FailBeforeStart {
+		// Rejected at admission: no sandbox, no duration — only the
+		// invocation fee is billed.
+		pl.chaos.FailedBeforeStart++
+		pl.chaosEvent(inv, f.Name, label, "fail_before_start", flt.Rule)
+		err := flt.errFor("failed before start")
+		now := pl.sched.Now()
+		pl.recSeq++
+		record := Record{
+			Seq: pl.recSeq, Function: f.Name, Label: label, MemoryMB: f.MemoryMB,
+			Start: now, End: now, Cost: pl.cfg.Sheet.Lambda.InvocationCost(1), Err: err,
+		}
+		pl.records = append(pl.records, record)
+		if h != nil {
+			h.record = record
+		}
+		if rec := pl.rec; rec != nil {
+			rec.Emit(flight.Event{Kind: flight.KindInvokeError, Time: now, Start: now,
+				Inv: inv, Rec: record.Seq, Function: f.Name, Label: label,
+				MemoryMB: f.MemoryMB, Err: err.Error()})
+		}
+		if tel := pl.tel; tel != nil {
+			tel.Counter(telemetry.MLambdaInvocations).Inc()
+			tel.Counter(telemetry.MLambdaErrors).Inc()
+		}
+		return nil, err
+	}
+
+	// Injected throttle windows reject 429-style regardless of the real
+	// concurrency level, subject to the same retry policy as capacity
+	// throttles.
+	if pl.inj != nil {
+		for ta := 0; pl.inj.ThrottleInjected(ref, pl.sched.Now()); ta++ {
+			pl.throttles++
+			pl.chaos.ThrottleRejects++
+			pl.tel.Counter(telemetry.MLambdaThrottles).Inc()
+			pl.tel.Counter(telemetry.MChaosThrottleRejects).Inc()
+			pl.chaosEvent(inv, f.Name, label, "throttle", "")
+			if rec := pl.rec; rec != nil {
+				rec.Emit(flight.Event{Kind: flight.KindInvokeThrottled, Time: pl.sched.Now(),
+					Inv: inv, Function: f.Name, Label: label})
+			}
+			if ta >= pl.cfg.MaxRetries {
+				return nil, ErrThrottled
+			}
+			pl.retries++
+			pl.tel.Counter(telemetry.MLambdaRetries).Inc()
+			if rec := pl.rec; rec != nil {
+				rec.Emit(flight.Event{Kind: flight.KindInvokeRetry, Time: pl.sched.Now(),
+					Inv: inv, Function: f.Name, Label: label})
+			}
+			p.Sleep(time.Duration(ta+1) * pl.cfg.RetryBackoff)
+		}
 	}
 
 	enqueue := pl.sched.Now()
@@ -351,7 +435,15 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 		}
 	}
 
-	cold := !pl.takeWarm(f)
+	var cold bool
+	if flt.ForceCold {
+		cold = true
+		pl.chaos.ForcedColdStarts++
+		pl.tel.Counter(telemetry.MChaosForcedColdStarts).Inc()
+		pl.chaosEvent(inv, f.Name, label, "cold_start", flt.Rule)
+	} else {
+		cold = !pl.takeWarm(f)
+	}
 	if cold {
 		coldFrom := pl.sched.Now()
 		if pl.cfg.ColdStart > 0 {
@@ -371,13 +463,45 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 		payload:  payload,
 		deadline: start + f.Timeout,
 	}
+	if h != nil {
+		ctx.cancel = h.cancel
+	}
+	if flt.Straggle > 1 {
+		ctx.straggle = flt.Straggle
+		pl.chaos.Straggled++
+		pl.tel.Counter(telemetry.MChaosStraggles).Inc()
+		pl.chaosEvent(inv, f.Name, label, "straggle", flt.Rule)
+	}
+	if flt.FailMidFlight {
+		ctx.failAtCall = flt.FailAtCall
+		if ctx.failAtCall <= 0 {
+			ctx.failAtCall = 1
+		}
+		ctx.injectErr = flt.errFor("killed mid-flight")
+		ctx.injectRule = flt.Rule
+	}
 	if rec := pl.rec; rec != nil {
 		rec.Emit(flight.Event{Kind: flight.KindInvokeRunning, Time: start,
 			Inv: inv, Function: f.Name, Label: label, MemoryMB: f.MemoryMB, Cold: cold})
 		rec.SetScope(p, inv)
 	}
-	resp, err := pl.runHandler(ctx)
+	var resp []byte
+	var err error
+	if ctx.cancel != nil && ctx.cancel.requested {
+		// Canceled before the handler started: nothing ran, nothing billed
+		// beyond the fee below (end == start).
+		err = ErrCanceled
+	} else {
+		resp, err = pl.runHandler(ctx)
+	}
 	pl.rec.ClearScope(p)
+	if flt.FailMidFlight && err == nil {
+		// The handler made fewer platform calls than the injected kill
+		// point: fail it on return instead. The full duration is billed.
+		resp, err = nil, ctx.injectErr
+		pl.chaos.FailedMidFlight++
+		pl.chaosEvent(inv, f.Name, label, "fail_mid_flight", flt.Rule)
+	}
 	end := pl.sched.Now()
 	if errors.Is(err, ErrTimeout) {
 		// The platform kills the sandbox at the deadline; bill exactly the
@@ -403,6 +527,9 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 		Err:      err,
 	}
 	pl.records = append(pl.records, record)
+	if h != nil {
+		h.record = record
+	}
 
 	if rec := pl.rec; rec != nil {
 		kind := flight.KindInvokeDone
@@ -410,6 +537,9 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 		switch {
 		case errors.Is(err, ErrTimeout):
 			kind = flight.KindInvokeTimeout
+			errMsg = err.Error()
+		case errors.Is(err, ErrCanceled):
+			kind = flight.KindInvokeCanceled
 			errMsg = err.Error()
 		case err != nil:
 			kind = flight.KindInvokeError
@@ -428,6 +558,9 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 		switch {
 		case errors.Is(err, ErrTimeout):
 			tel.Counter(telemetry.MLambdaTimeouts).Inc()
+		case errors.Is(err, ErrCanceled):
+			// Intentional kills (speculative losers) are not failures;
+			// the driver counts them under astra_speculation_*.
 		case err != nil:
 			tel.Counter(telemetry.MLambdaErrors).Inc()
 		}
@@ -436,8 +569,11 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 		tel.Gauge(telemetry.MLambdaConcurrencyPeak).SetMax(int64(pl.concurrency.PeakInUse()))
 	}
 
-	// Container returns to the warm pool.
-	f.warm = append(f.warm, pl.sched.Now()+pl.cfg.KeepAlive)
+	// Container returns to the warm pool — unless it was killed by an
+	// injected fault or a cancellation, in which case the sandbox is gone.
+	if !errors.Is(err, ErrInjected) && !errors.Is(err, ErrCanceled) {
+		f.warm = append(f.warm, pl.sched.Now()+pl.cfg.KeepAlive)
+	}
 	return resp, err
 }
 
@@ -446,9 +582,18 @@ func (pl *Platform) invokeDispatched(p *simtime.Proc, name, label string, payloa
 func (pl *Platform) runHandler(ctx *Ctx) (resp []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if e, ok := r.(error); ok && errors.Is(e, ErrTimeout) {
-				err = ErrTimeout
-				return
+			if e, ok := r.(error); ok {
+				switch {
+				case errors.Is(e, ErrTimeout):
+					err, resp = ErrTimeout, nil
+					return
+				case errors.Is(e, ErrCanceled):
+					err, resp = ErrCanceled, nil
+					return
+				case errors.Is(e, ErrInjected):
+					err, resp = e, nil
+					return
+				}
 			}
 			panic(r) // simulation bugs still abort loudly
 		}
@@ -458,10 +603,12 @@ func (pl *Platform) runHandler(ctx *Ctx) (resp []byte, err error) {
 
 // Invocation is a handle to an asynchronous invocation.
 type Invocation struct {
-	done  *simtime.Latch
-	resp  []byte
-	err   error
-	label string
+	done   *simtime.Latch
+	resp   []byte
+	err    error
+	label  string
+	cancel *cancelCell
+	record Record
 }
 
 // Wait blocks until the invocation completes and returns its result.
@@ -469,6 +616,10 @@ func (iv *Invocation) Wait(p *simtime.Proc) ([]byte, error) {
 	iv.done.Wait(p)
 	return iv.resp, iv.err
 }
+
+// Record returns the invocation's billing record (zero until completion).
+// Speculative-execution accounting uses it to price losing attempts.
+func (iv *Invocation) Record() Record { return iv.record }
 
 // InvokeAsync launches the function in a child process and returns a
 // handle. The caller pays the dispatch latency (so loops of InvokeAsync
@@ -480,9 +631,9 @@ func (pl *Platform) InvokeAsync(p *simtime.Proc, name, label string, payload []b
 		p.Sleep(pl.cfg.DispatchLatency)
 	}
 	inv := pl.recordScheduled(p, name, label, dispStart)
-	iv := &Invocation{done: pl.sched.NewLatch(), label: label}
+	iv := &Invocation{done: pl.sched.NewLatch(), label: label, cancel: &cancelCell{}}
 	p.Spawn("invoke:"+name, func(q *simtime.Proc) {
-		iv.resp, iv.err = pl.invokeDispatched(q, name, label, payload, inv)
+		iv.resp, iv.err = pl.invokeDispatched(q, name, label, payload, inv, iv)
 		iv.done.Done()
 	})
 	return iv

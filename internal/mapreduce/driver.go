@@ -88,6 +88,20 @@ type JobSpec struct {
 	// and phase window — for export and critical-path analysis (see
 	// internal/flight). Observe-only, like Telemetry.
 	Recorder *flight.Recorder
+	// Injector, if set, is attached to the platform for fault injection:
+	// it is consulted on every invocation attempt (internal/chaos
+	// provides the standard implementation). Unlike Telemetry/Recorder a
+	// nil Injector leaves any previously attached injector in place, so
+	// tests driving the platform directly keep their hooks.
+	Injector lambda.Injector
+	// StoreInjector, if set, is attached to the object store for
+	// request-level fault injection. Same attach semantics as Injector.
+	StoreInjector objectstore.Injector
+	// Speculation, if set, enables straggler mitigation: tasks running
+	// past their predicted duration times the policy's multiplier get a
+	// speculative backup, first finisher wins, losers are cancelled but
+	// billed. See SpeculationPolicy.
+	Speculation *SpeculationPolicy
 }
 
 // PhaseTimes decomposes the job completion time the way Fig. 3 does.
@@ -139,6 +153,9 @@ type RunStats struct {
 	// TaskRetries counts driver- or coordinator-level re-invocations of
 	// failed mappers and reducers.
 	TaskRetries int
+	// Canceled counts invocations intentionally killed as speculative
+	// race losers (billed, but not failures).
+	Canceled int
 	// Throttles counts 429 rejections at the concurrency cap.
 	Throttles int
 	// PeakConcurrency is the high-water mark of simultaneous lambdas.
@@ -177,7 +194,14 @@ type Report struct {
 	PeakConcurrency int
 	// Stats summarizes platform activity; see RunStats.
 	Stats RunStats
+	// Resilience attributes the run's adversity: injected faults, retry
+	// and speculation activity, and the billed cost of wasted attempts.
+	Resilience Resilience
 }
+
+// DeadlineMet reports whether the run finished within a QoS deadline (the
+// Eq. 20 constraint the planner promised).
+func (r *Report) DeadlineMet(deadline time.Duration) bool { return r.JCT <= deadline }
 
 // Telemetry returns the run's platform-activity summary.
 func (r *Report) Telemetry() RunStats { return r.Stats }
@@ -219,7 +243,16 @@ type jobRun struct {
 	finalKeys     []string
 	finalLabels   []string
 	finalPayloads [][]byte
+	finalInKeys   [][]string
 	finalStart    simtime.Time
+
+	// policy is the normalized speculation policy (nil = disabled).
+	policy *SpeculationPolicy
+	// res accumulates the report's resilience section.
+	res Resilience
+	// outstanding holds cancelled race losers still running at job end;
+	// they are drained (for billing) after the JCT is captured.
+	outstanding []*lambda.Invocation
 }
 
 // Run executes the job under the given configuration and reports timing
@@ -238,6 +271,10 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 	}
 
 	run := &jobRun{spec: spec, cfg: cfg, orch: orch}
+	if spec.Speculation != nil {
+		pol := spec.Speculation.normalized()
+		run.policy = &pol
+	}
 	if spec.Mode == Concrete {
 		app, err := AppFor(spec.Workload.Profile)
 		if err != nil {
@@ -282,6 +319,14 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 	store.SetTelemetry(spec.Telemetry)
 	d.pl.SetFlightRecorder(spec.Recorder)
 	store.SetFlightRecorder(spec.Recorder)
+	if spec.Injector != nil {
+		d.pl.SetInjector(spec.Injector)
+	}
+	if spec.StoreInjector != nil {
+		store.SetInjector(spec.StoreInjector)
+	}
+	chaos0 := d.pl.ChaosCounters()
+	storeInj0 := store.InjectedFaults()
 	evBase := spec.Recorder.Seq()
 	recBase := len(d.pl.Records())
 	bill0 := store.Bill()
@@ -297,23 +342,47 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 		off := 0
 		invs := make([]*lambda.Invocation, orch.Mappers())
 		payloads := make([][]byte, orch.Mappers())
+		inKeys := make([][]string, orch.Mappers())
 		for m, load := range orch.MapperLoads {
 			run.mapOutKeys[m] = fmt.Sprintf("map/part-%05d", m)
+			out := run.mapOutKeys[m]
+			if run.policy != nil {
+				out = attemptKey(out, 0)
+			}
 			body, err := json.Marshal(mapperPayload{
 				Keys: spec.InputKeys[off : off+load],
-				Out:  run.mapOutKeys[m],
+				Out:  out,
 			})
 			if err != nil {
 				return nil, err
 			}
+			inKeys[m] = spec.InputKeys[off : off+load]
 			off += load
 			payloads[m] = body
 			invs[m] = d.pl.InvokeAsync(p, mapperFn, fmt.Sprintf("map-%d", m), body)
 		}
-		for m, iv := range invs {
-			if err := d.awaitWithRetry(p, run, iv, mapperFn,
-				fmt.Sprintf("map-%d", m), payloads[m]); err != nil {
-				return nil, fmt.Errorf("mapreduce: mapper %d: %w", m, err)
+		if run.policy != nil {
+			deadline := run.policy.deadlineFor(t0, run.policy.MapTask)
+			for m, iv := range invs {
+				m := m
+				err := d.awaitSpeculative(procRunner{d, p}, run, specTask{
+					fn: mapperFn, label: fmt.Sprintf("map-%d", m),
+					bucket: run.interBucket, finalKey: run.mapOutKeys[m],
+					payloadFor: func(outKey string) ([]byte, error) {
+						return json.Marshal(mapperPayload{Keys: inKeys[m], Out: outKey})
+					},
+					deadline: deadline, pred: run.policy.MapTask,
+				}, iv)
+				if err != nil {
+					return nil, fmt.Errorf("mapreduce: mapper %d: %w", m, err)
+				}
+			}
+		} else {
+			for m, iv := range invs {
+				if err := d.awaitWithRetry(p, run, iv, mapperFn,
+					fmt.Sprintf("map-%d", m), payloads[m]); err != nil {
+					return nil, fmt.Errorf("mapreduce: mapper %d: %w", m, err)
+				}
 			}
 		}
 	}
@@ -338,10 +407,29 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 
 		// Wait for the last step's reducers, launched asynchronously by
 		// the coordinator.
-		for i, iv := range run.finalInvs {
-			if err := d.awaitWithRetry(p, run, iv, reducerFn,
-				run.finalLabels[i], run.finalPayloads[i]); err != nil {
-				return nil, fmt.Errorf("mapreduce: final-step reducer %d: %w", i, err)
+		if run.policy != nil {
+			finalPred := run.policy.stepTask(len(run.orch.Steps) - 1)
+			deadline := run.policy.deadlineFor(run.finalStart, finalPred)
+			for i, iv := range run.finalInvs {
+				i := i
+				err := d.awaitSpeculative(procRunner{d, p}, run, specTask{
+					fn: reducerFn, label: run.finalLabels[i],
+					bucket: run.interBucket, finalKey: run.finalKeys[i],
+					payloadFor: func(outKey string) ([]byte, error) {
+						return json.Marshal(reducerPayload{Keys: run.finalInKeys[i], Out: outKey})
+					},
+					deadline: deadline, pred: finalPred,
+				}, iv)
+				if err != nil {
+					return nil, fmt.Errorf("mapreduce: final-step reducer %d: %w", i, err)
+				}
+			}
+		} else {
+			for i, iv := range run.finalInvs {
+				if err := d.awaitWithRetry(p, run, iv, reducerFn,
+					run.finalLabels[i], run.finalPayloads[i]); err != nil {
+					return nil, fmt.Errorf("mapreduce: final-step reducer %d: %w", i, err)
+				}
 			}
 		}
 		run.stepSpans = append(run.stepSpans, span{run.finalStart, p.Now()})
@@ -359,6 +447,15 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 		coordSpan = span{coordStart, coordEnd}
 	}
 	end := p.Now()
+
+	// Cancelled race losers may still be running (a loser dies at its
+	// next platform API call, which can fall after the job end). Drain
+	// them so their billing records and store requests land in this
+	// report — losers are cancelled but billed. The JCT was captured
+	// above; the drain advances only the billing clock.
+	for _, iv := range run.outstanding {
+		_, _ = iv.Wait(p)
+	}
 
 	// --- Assemble the report. ---
 	rep := &Report{
@@ -420,6 +517,8 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 		switch {
 		case errors.Is(r.Err, lambda.ErrTimeout):
 			st.Timeouts++
+		case errors.Is(r.Err, lambda.ErrCanceled):
+			st.Canceled++
 		case r.Err != nil:
 			st.Errors++
 		}
@@ -428,6 +527,23 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 	st.StoreGets, st.StorePuts = sm.Gets, sm.Puts
 	st.StoreBytesIn, st.StoreBytesOut = sm.BytesIn, sm.BytesOut
 	rep.Stats = st
+
+	// --- Resilience section: what the injector did, what recovery cost. ---
+	cc := d.pl.ChaosCounters().Sub(chaos0)
+	run.res.LambdaFaults = cc.Faults
+	run.res.FailedBeforeStart = cc.FailedBeforeStart
+	run.res.FailedMidFlight = cc.FailedMidFlight
+	run.res.Straggled = cc.Straggled
+	run.res.ForcedColdStarts = cc.ForcedColdStarts
+	run.res.InjectedThrottles = cc.ThrottleRejects
+	run.res.StoreFaults = store.InjectedFaults() - storeInj0
+	run.res.TaskRetries = run.taskRetries
+	for _, r := range recs {
+		if r.Err != nil {
+			run.res.WastedCost += r.Cost
+		}
+	}
+	rep.Resilience = run.res
 
 	if tel := spec.Telemetry; tel != nil {
 		tel.RecordVirtual("run", t0, end)
@@ -489,24 +605,49 @@ func (d *Driver) reduceViaStepFunctions(p *simtime.Proc, run *jobRun, reducerFn 
 		outKeys := make([]string, step.Reducers())
 		invs := make([]*lambda.Invocation, step.Reducers())
 		bodies := make([][]byte, step.Reducers())
+		inKeys := make([][]string, step.Reducers())
 		off := 0
 		for r, load := range step.Loads {
 			outKeys[r] = fmt.Sprintf("red/%02d/part-%05d", pi, r)
+			out := outKeys[r]
+			if run.policy != nil {
+				out = attemptKey(out, 0)
+			}
 			body, err := json.Marshal(reducerPayload{
 				Keys: prevKeys[off : off+load],
-				Out:  outKeys[r],
+				Out:  out,
 			})
 			if err != nil {
 				return 0, 0, err
 			}
+			inKeys[r] = prevKeys[off : off+load]
 			off += load
 			bodies[r] = body
 			invs[r] = d.pl.InvokeAsync(p, reducerFn, fmt.Sprintf("red-%d-%d", pi, r), body)
 		}
-		for r, iv := range invs {
-			if err := d.awaitWithRetry(p, run, iv, reducerFn,
-				fmt.Sprintf("red-%d-%d", pi, r), bodies[r]); err != nil {
-				return 0, 0, fmt.Errorf("mapreduce: step %d reducer %d: %w", pi, r, err)
+		if run.policy != nil {
+			stepPred := run.policy.stepTask(pi)
+			deadline := run.policy.deadlineFor(stepStart, stepPred)
+			for r, iv := range invs {
+				r := r
+				err := d.awaitSpeculative(procRunner{d, p}, run, specTask{
+					fn: reducerFn, label: fmt.Sprintf("red-%d-%d", pi, r),
+					bucket: run.interBucket, finalKey: outKeys[r],
+					payloadFor: func(outKey string) ([]byte, error) {
+						return json.Marshal(reducerPayload{Keys: inKeys[r], Out: outKey})
+					},
+					deadline: deadline, pred: stepPred,
+				}, iv)
+				if err != nil {
+					return 0, 0, fmt.Errorf("mapreduce: step %d reducer %d: %w", pi, r, err)
+				}
+			}
+		} else {
+			for r, iv := range invs {
+				if err := d.awaitWithRetry(p, run, iv, reducerFn,
+					fmt.Sprintf("red-%d-%d", pi, r), bodies[r]); err != nil {
+					return 0, 0, fmt.Errorf("mapreduce: step %d reducer %d: %w", pi, r, err)
+				}
 			}
 		}
 		run.stepSpans = append(run.stepSpans, span{stepStart, p.Now()})
@@ -602,33 +743,58 @@ func (d *Driver) coordHandler(run *jobRun, reducerFn string) lambda.Handler {
 			invs := make([]*lambda.Invocation, step.Reducers())
 			labels := make([]string, step.Reducers())
 			bodies := make([][]byte, step.Reducers())
+			inKeys := make([][]string, step.Reducers())
 			stepStart := ctx.Now()
 			off := 0
 			for r, load := range step.Loads {
 				outKeys[r] = fmt.Sprintf("red/%02d/part-%05d", pi, r)
+				out := outKeys[r]
+				if run.policy != nil {
+					out = attemptKey(out, 0)
+				}
 				body, err := json.Marshal(reducerPayload{
 					Keys: prevKeys[off : off+load],
-					Out:  outKeys[r],
+					Out:  out,
 				})
 				if err != nil {
 					return nil, err
 				}
+				inKeys[r] = prevKeys[off : off+load]
 				off += load
 				labels[r] = fmt.Sprintf("red-%d-%d", pi, r)
 				bodies[r] = body
 				invs[r] = ctx.InvokeAsync(reducerFn, labels[r], body)
 			}
 			if pi < len(steps)-1 {
-				for r, iv := range invs {
-					_, err := ctx.Wait(iv)
-					// Failed reducers are re-invoked by the coordinator,
-					// up to the job's retry budget.
-					for attempt := 0; err != nil && attempt < run.spec.TaskRetries; attempt++ {
-						run.taskRetries++
-						_, err = ctx.Wait(ctx.InvokeAsync(reducerFn, labels[r], bodies[r]))
+				if run.policy != nil {
+					stepPred := run.policy.stepTask(pi)
+			deadline := run.policy.deadlineFor(stepStart, stepPred)
+					for r, iv := range invs {
+						r := r
+						err := d.awaitSpeculative(ctxRunner{ctx}, run, specTask{
+							fn: reducerFn, label: labels[r],
+							bucket: run.interBucket, finalKey: outKeys[r],
+							payloadFor: func(outKey string) ([]byte, error) {
+								return json.Marshal(reducerPayload{Keys: inKeys[r], Out: outKey})
+							},
+							deadline: deadline, pred: stepPred,
+						}, iv)
+						if err != nil {
+							return nil, fmt.Errorf("step %d reducer %d: %w", pi, r, err)
+						}
 					}
-					if err != nil {
-						return nil, fmt.Errorf("step %d reducer %d: %w", pi, r, err)
+				} else {
+					for r, iv := range invs {
+						_, err := ctx.Wait(iv)
+						// Failed reducers are re-invoked by the coordinator,
+						// up to the job's retry budget.
+						for attempt := 0; err != nil && attempt < run.spec.TaskRetries; attempt++ {
+							run.taskRetries++
+							_, err = ctx.Wait(ctx.InvokeAsync(reducerFn, labels[r], bodies[r]))
+						}
+						if err != nil {
+							return nil, fmt.Errorf("step %d reducer %d: %w", pi, r, err)
+						}
 					}
 				}
 				run.stepSpans = append(run.stepSpans, span{stepStart, ctx.Now()})
@@ -637,6 +803,7 @@ func (d *Driver) coordHandler(run *jobRun, reducerFn string) lambda.Handler {
 				run.finalKeys = outKeys
 				run.finalLabels = labels
 				run.finalPayloads = bodies
+				run.finalInKeys = inKeys
 				run.finalStart = stepStart
 			}
 			prevKeys = outKeys

@@ -1,0 +1,210 @@
+package mapreduce
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"astra/internal/chaos"
+	"astra/internal/lambda"
+	"astra/internal/pricing"
+	"astra/internal/telemetry"
+	"astra/internal/workload"
+)
+
+// profiledSpec seeds a profiled (size-only) wordcount job.
+func profiledSpec(t *testing.T, w *jobWorld, numObjects int, objectSize int64) JobSpec {
+	t.Helper()
+	job := workload.Job{Profile: workload.WordCount, NumObjects: numObjects, ObjectSize: objectSize}
+	keys, err := workload.SeedProfiled(w.store, "in", job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return JobSpec{Workload: job, Bucket: "in", InputKeys: keys, Mode: Profiled}
+}
+
+// engine builds a chaos engine, failing the test on an invalid plan.
+func engine(t *testing.T, p *chaos.Plan) *chaos.Engine {
+	t.Helper()
+	e, err := chaos.NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+var specCfg = Config{MapperMemMB: 1024, CoordMemMB: 256, ReducerMemMB: 1024,
+	ObjsPerMapper: 1, ObjsPerReducer: 2}
+
+// stragglerPlan straggles the first matched map attempt by factor.
+func stragglerPlan(factor float64) *chaos.Plan {
+	return &chaos.Plan{Seed: 7, Rules: []chaos.Rule{{
+		Name: "map-straggler", Target: chaos.TargetLambda, Effect: chaos.Straggle,
+		Phase: "map", Factor: factor, MaxCount: 1,
+	}}}
+}
+
+func TestSpeculationBeatsStraggler(t *testing.T) {
+	// Clean run: no injector, no speculation — establishes the predicted
+	// map-task duration and the adversity-free JCT.
+	wClean := newJobWorld(lambda.Config{})
+	clean := wClean.runJob(t, profiledSpec(t, wClean, 8, 1<<20), specCfg)
+
+	// Straggler run, retries only: one mapper runs 10x slow and nothing
+	// mitigates it.
+	wSlow := newJobWorld(lambda.Config{})
+	slowSpec := profiledSpec(t, wSlow, 8, 1<<20)
+	slowSpec.Injector = engine(t, stragglerPlan(10))
+	slow := wSlow.runJob(t, slowSpec, specCfg)
+	if slow.JCT <= clean.JCT*2 {
+		t.Fatalf("straggler run JCT %v not much worse than clean %v; injection broken?", slow.JCT, clean.JCT)
+	}
+	if slow.Resilience.Straggled != 1 {
+		t.Fatalf("Straggled = %d, want 1", slow.Resilience.Straggled)
+	}
+
+	// Straggler run with speculation: a backup launches at 1.5x the
+	// predicted map time and wins; JCT recovers to near-clean.
+	wSpec := newJobWorld(lambda.Config{})
+	spSpec := profiledSpec(t, wSpec, 8, 1<<20)
+	spSpec.Injector = engine(t, stragglerPlan(10))
+	spSpec.Speculation = &SpeculationPolicy{Multiplier: 1.5, MaxBackups: 1, MapTask: clean.Phases.Map}
+	sp := wSpec.runJob(t, spSpec, specCfg)
+
+	if sp.JCT >= slow.JCT {
+		t.Fatalf("speculative JCT %v did not beat retries-only %v", sp.JCT, slow.JCT)
+	}
+	st := sp.Resilience.Speculation
+	if st.BackupsLaunched < 1 || st.Wins < 1 {
+		t.Fatalf("speculation stats = %+v, want at least one backup and one win", st)
+	}
+	if st.Cancelled < 1 {
+		t.Fatalf("Cancelled = %d, want the straggling original cancelled", st.Cancelled)
+	}
+	// Every task commits exactly once: 8 mappers + 4 + 2 + 1 reducers.
+	if want := sp.Orchestration.TotalLambdas() - 1; st.Commits != want { // minus coordinator
+		t.Fatalf("Commits = %d, want %d (one per task)", st.Commits, want)
+	}
+	if len(sp.OutputKeys) != 1 || sp.OutputKeys[0] != clean.OutputKeys[0] {
+		t.Fatalf("OutputKeys = %v, want %v (final keys unchanged by speculation)", sp.OutputKeys, clean.OutputKeys)
+	}
+}
+
+func TestSpeculativeAndFailedAttemptsAreBilled(t *testing.T) {
+	// One straggling mapper (cancelled loser) plus one mid-flight mapper
+	// kill (retried): every attempt must appear in Records with its
+	// duration billed, and the lambda cost must be exactly the record sum
+	// (Eq. 11–15 billing applies to wasted attempts too).
+	wClean := newJobWorld(lambda.Config{})
+	clean := wClean.runJob(t, profiledSpec(t, wClean, 8, 1<<20), specCfg)
+
+	tel := telemetry.New()
+	w := newJobWorld(lambda.Config{})
+	spec := profiledSpec(t, w, 8, 1<<20)
+	spec.TaskRetries = 1
+	spec.Telemetry = tel
+	spec.Injector = engine(t, &chaos.Plan{Seed: 3, Rules: []chaos.Rule{
+		{Name: "straggler", Target: chaos.TargetLambda, Effect: chaos.Straggle,
+			Phase: "map", Factor: 12, MaxCount: 1},
+		{Name: "killer", Target: chaos.TargetLambda, Effect: chaos.FailMidFlight,
+			Phase: "reduce", MaxCount: 1},
+	}})
+	spec.Speculation = &SpeculationPolicy{Multiplier: 1.5, MaxBackups: 1, MapTask: clean.Phases.Map}
+	rep := w.runJob(t, spec, specCfg)
+
+	res := rep.Resilience
+	if res.FailedMidFlight != 1 || res.Straggled != 1 {
+		t.Fatalf("resilience = %+v, want one mid-flight kill and one straggle", res)
+	}
+	if res.TaskRetries != 1 {
+		t.Fatalf("TaskRetries = %d, want 1 (the killed reducer)", res.TaskRetries)
+	}
+	if res.Speculation.Cancelled < 1 {
+		t.Fatalf("Cancelled = %d, want the straggling loser", res.Speculation.Cancelled)
+	}
+
+	// Attempt-level billing: failed, cancelled and successful records all
+	// carry a positive cost, and the report's lambda bill is their sum.
+	var sum pricing.USD
+	var failed, canceled int
+	for _, r := range rep.Records {
+		if r.Cost <= 0 {
+			t.Fatalf("record %s (%s) cost %v, want > 0 (every attempt is billed)", r.Label, r.Function, r.Cost)
+		}
+		sum += r.Cost
+		switch {
+		case errors.Is(r.Err, lambda.ErrCanceled):
+			canceled++
+		case r.Err != nil:
+			failed++
+		}
+	}
+	if sum != rep.Cost.Lambda {
+		t.Fatalf("sum of record costs %v != report lambda cost %v", sum, rep.Cost.Lambda)
+	}
+	if canceled < 1 || failed < 1 {
+		t.Fatalf("records: %d canceled, %d failed — want at least one of each", canceled, failed)
+	}
+	if rep.Stats.Canceled != canceled {
+		t.Fatalf("Stats.Canceled = %d, want %d", rep.Stats.Canceled, canceled)
+	}
+	if res.WastedCost <= 0 || res.WastedCost >= rep.Cost.Lambda {
+		t.Fatalf("WastedCost = %v, want in (0, %v)", res.WastedCost, rep.Cost.Lambda)
+	}
+
+	// The wasted attempts surface in astra_lambda_invocations_total and
+	// the speculation counters.
+	snap := tel.Snapshot()
+	if got := snap.Counter(telemetry.MLambdaInvocations); got != int64(len(rep.Records)) {
+		t.Fatalf("%s = %d, want %d (all attempts counted)", telemetry.MLambdaInvocations, got, len(rep.Records))
+	}
+	if got := snap.Counter(telemetry.MSpecLaunched); got != int64(res.Speculation.BackupsLaunched) {
+		t.Fatalf("%s = %d, want %d", telemetry.MSpecLaunched, got, res.Speculation.BackupsLaunched)
+	}
+	if got := snap.Counter(telemetry.MSpecCancelled); got != int64(res.Speculation.Cancelled) {
+		t.Fatalf("%s = %d, want %d", telemetry.MSpecCancelled, got, res.Speculation.Cancelled)
+	}
+	if got := snap.Counter(telemetry.MChaosFaults); got != int64(res.LambdaFaults+int(res.StoreFaults)) {
+		t.Fatalf("%s = %d, want %d", telemetry.MChaosFaults, got, res.LambdaFaults+int(res.StoreFaults))
+	}
+}
+
+func TestSpeculationDisabledIsBitIdentical(t *testing.T) {
+	// A JobSpec without a policy must execute exactly the pre-speculation
+	// path: same JCT, same cost, same record count as a plain run.
+	w1 := newJobWorld(lambda.Config{})
+	r1 := w1.runJob(t, profiledSpec(t, w1, 8, 1<<20), specCfg)
+	w2 := newJobWorld(lambda.Config{})
+	spec := profiledSpec(t, w2, 8, 1<<20)
+	empty := engine(t, &chaos.Plan{Seed: 99})
+	spec.Injector = empty
+	spec.StoreInjector = empty
+	r2 := w2.runJob(t, spec, specCfg)
+	if r1.JCT != r2.JCT || r1.Cost != r2.Cost || len(r1.Records) != len(r2.Records) {
+		t.Fatalf("empty chaos plan perturbed the run: JCT %v vs %v, cost %+v vs %+v",
+			r1.JCT, r2.JCT, r1.Cost, r2.Cost)
+	}
+	if r2.Resilience.LambdaFaults != 0 || r2.Resilience.StoreFaults != 0 {
+		t.Fatalf("empty plan injected: %+v", r2.Resilience)
+	}
+}
+
+func TestSpeculationUnderCleanRunOnlyAddsCommits(t *testing.T) {
+	// With speculation on but no faults and generous predictions, no
+	// backups launch; the only difference is the per-task commit copy.
+	w := newJobWorld(lambda.Config{})
+	spec := profiledSpec(t, w, 8, 1<<20)
+	spec.Speculation = &SpeculationPolicy{Multiplier: 10, MaxBackups: 1,
+		MapTask: time.Hour, StepTasks: []time.Duration{time.Hour, time.Hour, time.Hour}}
+	rep := w.runJob(t, spec, specCfg)
+	st := rep.Resilience.Speculation
+	if st.BackupsLaunched != 0 || st.Wins != 0 || st.Cancelled != 0 {
+		t.Fatalf("clean run speculated: %+v", st)
+	}
+	if want := rep.Orchestration.TotalLambdas() - 1; st.Commits != want {
+		t.Fatalf("Commits = %d, want %d", st.Commits, want)
+	}
+	if len(rep.OutputKeys) != 1 {
+		t.Fatalf("OutputKeys = %v", rep.OutputKeys)
+	}
+}

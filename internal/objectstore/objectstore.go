@@ -42,13 +42,15 @@ var (
 // Op identifies a request class for metering and fault injection.
 type Op string
 
-// Request classes. List and Head bill as GET-class requests, matching S3.
+// Request classes. List and Head bill as GET-class requests, matching S3;
+// Copy bills as a PUT-class request (S3 CopyObject).
 const (
 	OpGet    Op = "GET"
 	OpPut    Op = "PUT"
 	OpList   Op = "LIST"
 	OpHead   Op = "HEAD"
 	OpDelete Op = "DELETE"
+	OpCopy   Op = "COPY"
 )
 
 // Object is a stored value. Profiled objects carry only a size; their Data
@@ -117,30 +119,44 @@ type bucket struct {
 
 // Metrics is a snapshot of request counters and transferred bytes.
 type Metrics struct {
-	Gets, Puts, Lists, Heads, Deletes int64
-	BytesIn, BytesOut                 int64
+	Gets, Puts, Lists, Heads, Deletes, Copies int64
+	BytesIn, BytesOut                         int64
 }
 
 // GetClass reports all GET-billed requests (GET + LIST + HEAD).
 func (m Metrics) GetClass() int64 { return m.Gets + m.Lists + m.Heads }
 
-// PutClass reports all PUT-billed requests (PUT + DELETE is free on S3, so
-// just PUT).
-func (m Metrics) PutClass() int64 { return m.Puts }
+// PutClass reports all PUT-billed requests (PUT + COPY; DELETE is free on
+// S3).
+func (m Metrics) PutClass() int64 { return m.Puts + m.Copies }
 
 // Sub returns the counter deltas m - o, for scoping a phase's requests.
 func (m Metrics) Sub(o Metrics) Metrics {
 	return Metrics{
 		Gets: m.Gets - o.Gets, Puts: m.Puts - o.Puts,
 		Lists: m.Lists - o.Lists, Heads: m.Heads - o.Heads,
-		Deletes: m.Deletes - o.Deletes,
+		Deletes: m.Deletes - o.Deletes, Copies: m.Copies - o.Copies,
 		BytesIn: m.BytesIn - o.BytesIn, BytesOut: m.BytesOut - o.BytesOut,
 	}
 }
 
+// Injector decides request-level fault injection: a non-nil OpFault return
+// aborts the operation with that error before any state change, metering
+// or time charge. Implementations must be deterministic functions of the
+// request identity (see internal/chaos).
+type Injector interface {
+	OpFault(op Op, bucket, key string) error
+}
+
 // FaultFunc lets tests inject request failures. A non-nil return aborts
 // the operation with that error before any state change or time charge.
+// It is the legacy hook; SetFault wraps it into the Injector interface.
 type FaultFunc func(op Op, bucket, key string) error
+
+// faultFuncInjector adapts the legacy FaultFunc hook to Injector.
+type faultFuncInjector struct{ f FaultFunc }
+
+func (i faultFuncInjector) OpFault(op Op, bucket, key string) error { return i.f(op, bucket, key) }
 
 // Config parameterizes a Store.
 type Config struct {
@@ -166,11 +182,12 @@ type Store struct {
 	cfg    Config
 	shared *simtime.PSResource
 
-	buckets map[string]*bucket
-	metrics Metrics
-	fault   FaultFunc
-	tel     *telemetry.Registry
-	rec     *flight.Recorder
+	buckets   map[string]*bucket
+	metrics   Metrics
+	inj       Injector
+	injFaults int64
+	tel       *telemetry.Registry
+	rec       *flight.Recorder
 }
 
 // New creates a store bound to the scheduler's virtual clock.
@@ -185,8 +202,23 @@ func New(sched *simtime.Scheduler, cfg Config) *Store {
 	return s
 }
 
-// SetFault installs (or clears, with nil) a fault-injection hook.
-func (s *Store) SetFault(f FaultFunc) { s.fault = f }
+// SetFault installs (or clears, with nil) a fault-injection hook. It is a
+// compatibility shim over SetInjector.
+func (s *Store) SetFault(f FaultFunc) {
+	if f == nil {
+		s.SetInjector(nil)
+		return
+	}
+	s.SetInjector(faultFuncInjector{f})
+}
+
+// SetInjector attaches a fault injector consulted before every request
+// (nil detaches). An injector that injects nothing leaves the run
+// bit-identical to one with no injector attached.
+func (s *Store) SetInjector(inj Injector) { s.inj = inj }
+
+// InjectedFaults reports how many requests an injector has aborted.
+func (s *Store) InjectedFaults() int64 { return s.injFaults }
 
 // SetTelemetry attaches a registry that mirrors the store's request and
 // byte counters (telemetry.MStore*). Observe-only; nil detaches.
@@ -221,6 +253,8 @@ func (s *Store) observe(op Op, bytesIn, bytesOut int64) {
 		tel.Counter(telemetry.MStoreHeads).Inc()
 	case OpDelete:
 		tel.Counter(telemetry.MStoreDeletes).Inc()
+	case OpCopy:
+		tel.Counter(telemetry.MStoreCopies).Inc()
 	}
 	if bytesIn > 0 {
 		tel.Counter(telemetry.MStoreBytesIn).Add(bytesIn)
@@ -324,11 +358,25 @@ func (s *Store) transfer(p *simtime.Proc, b *bucket, n int64) {
 	p.Sleep(time.Duration(sec * float64(time.Second)))
 }
 
-func (s *Store) checkFault(op Op, bucketName, key string) error {
-	if s.fault != nil {
-		return s.fault(op, bucketName, key)
+// checkFault consults the injector before a request touches state, meters
+// or the clock. An injected fault is observe-recorded (chaos event and
+// counter) but the faulted request itself stays unmetered and uncharged.
+func (s *Store) checkFault(p *simtime.Proc, op Op, bucketName, key string) error {
+	if s.inj == nil {
+		return nil
 	}
-	return nil
+	err := s.inj.OpFault(op, bucketName, key)
+	if err != nil {
+		s.injFaults++
+		s.tel.Counter(telemetry.MChaosFaults).Inc()
+		s.tel.Counter(telemetry.MChaosStoreFaults).Inc()
+		if rec := s.rec; rec != nil {
+			rec.Emit(flight.Event{Kind: flight.KindChaosFault, Time: s.sched.Now(),
+				Inv: rec.InvocationOf(p), Bucket: bucketName, Key: key,
+				Name: string(op), Err: err.Error()})
+		}
+	}
+	return err
 }
 
 // Put stores concrete bytes, charging the caller for the upload.
@@ -346,7 +394,7 @@ func (s *Store) PutProfiled(p *simtime.Proc, bucketName, key string, size int64)
 }
 
 func (s *Store) put(p *simtime.Proc, bucketName, key string, obj *Object) error {
-	if err := s.checkFault(OpPut, bucketName, key); err != nil {
+	if err := s.checkFault(p, OpPut, bucketName, key); err != nil {
 		return err
 	}
 	b, err := s.bucket(bucketName)
@@ -376,7 +424,7 @@ func (s *Store) put(p *simtime.Proc, bucketName, key string, obj *Object) error 
 
 // Get retrieves an object, charging the caller for the download.
 func (s *Store) Get(p *simtime.Proc, bucketName, key string) (*Object, error) {
-	if err := s.checkFault(OpGet, bucketName, key); err != nil {
+	if err := s.checkFault(p, OpGet, bucketName, key); err != nil {
 		return nil, err
 	}
 	b, err := s.bucket(bucketName)
@@ -398,10 +446,46 @@ func (s *Store) Get(p *simtime.Proc, bucketName, key string) (*Object, error) {
 	return obj, nil
 }
 
+// Copy duplicates src under dst within a bucket, server-side (S3
+// CopyObject): a PUT-class request charging only the request latency — no
+// bytes move through the caller. Speculative execution's commit step uses
+// it to publish a winning attempt's output under the task's final key.
+func (s *Store) Copy(p *simtime.Proc, bucketName, src, dst string) error {
+	if err := s.checkFault(p, OpCopy, bucketName, dst); err != nil {
+		return err
+	}
+	b, err := s.bucket(bucketName)
+	if err != nil {
+		return err
+	}
+	obj, ok := b.objects[src]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNoSuchKey, bucketName, src)
+	}
+	t0 := s.sched.Now()
+	if lat := s.latencyFor(b); lat > 0 {
+		p.Sleep(lat)
+	}
+	s.metrics.Copies++
+	b.metrics.Copies++
+	s.observe(OpCopy, 0, 0)
+	s.record(p, flight.KindStoreCopy, bucketName, dst, obj.Size, t0)
+	b.accrue(s.sched.Now())
+	if old, ok := b.objects[dst]; ok {
+		b.curBytes -= old.Size
+	}
+	cp := *obj
+	cp.Key = dst
+	cp.Created = s.sched.Now()
+	b.objects[dst] = &cp
+	b.curBytes += cp.Size
+	return nil
+}
+
 // Head returns object metadata without transferring the body. Bills as a
 // GET-class request.
 func (s *Store) Head(p *simtime.Proc, bucketName, key string) (*Object, error) {
-	if err := s.checkFault(OpHead, bucketName, key); err != nil {
+	if err := s.checkFault(p, OpHead, bucketName, key); err != nil {
 		return nil, err
 	}
 	b, err := s.bucket(bucketName)
@@ -428,7 +512,7 @@ func (s *Store) Head(p *simtime.Proc, bucketName, key string) (*Object, error) {
 // List returns the keys in a bucket with the given prefix, sorted. Bills
 // as a GET-class request.
 func (s *Store) List(p *simtime.Proc, bucketName, prefix string) ([]string, error) {
-	if err := s.checkFault(OpList, bucketName, prefix); err != nil {
+	if err := s.checkFault(p, OpList, bucketName, prefix); err != nil {
 		return nil, err
 	}
 	b, err := s.bucket(bucketName)
@@ -455,7 +539,7 @@ func (s *Store) List(p *simtime.Proc, bucketName, prefix string) ([]string, erro
 
 // Delete removes an object. Deleting a missing key is a no-op, like S3.
 func (s *Store) Delete(p *simtime.Proc, bucketName, key string) error {
-	if err := s.checkFault(OpDelete, bucketName, key); err != nil {
+	if err := s.checkFault(p, OpDelete, bucketName, key); err != nil {
 		return err
 	}
 	b, err := s.bucket(bucketName)

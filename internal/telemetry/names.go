@@ -56,6 +56,24 @@ const (
 	MStoreLists    = "astra_store_list_total"
 	MStoreHeads    = "astra_store_head_total"
 	MStoreDeletes  = "astra_store_delete_total"
+	MStoreCopies   = "astra_store_copy_total"
 	MStoreBytesIn  = "astra_store_bytes_in_total"
 	MStoreBytesOut = "astra_store_bytes_out_total"
+
+	// Chaos engine: injected faults, by site and effect. MChaosFaults is
+	// the cross-target total (lambda attempts faulted + store requests
+	// aborted).
+	MChaosFaults           = "astra_chaos_faults_total"
+	MChaosLambdaFaults     = "astra_chaos_lambda_faults_total"
+	MChaosStoreFaults      = "astra_chaos_store_faults_total"
+	MChaosStraggles        = "astra_chaos_straggles_total"
+	MChaosForcedColdStarts = "astra_chaos_forced_cold_starts_total"
+	MChaosThrottleRejects  = "astra_chaos_throttle_rejects_total"
+
+	// Speculative execution (driver-side straggler mitigation).
+	MSpecLaunched  = "astra_speculation_backups_launched_total"
+	MSpecWins      = "astra_speculation_wins_total"
+	MSpecLosses    = "astra_speculation_losses_total"
+	MSpecCancelled = "astra_speculation_cancelled_total"
+	MSpecCommits   = "astra_speculation_commits_total"
 )
