@@ -28,7 +28,6 @@ import (
 	"time"
 
 	"astra/internal/chaos"
-	"astra/internal/dag"
 	"astra/internal/flight"
 	"astra/internal/lambda"
 	"astra/internal/mapreduce"
@@ -590,32 +589,129 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// FrontierPoint is one Pareto-optimal configuration on a job's time/cost
-// tradeoff curve.
-type FrontierPoint = optimizer.FrontierPoint
+// Frontier types, re-exported from the optimizer.
+type (
+	// FrontierPoint is one Pareto-optimal configuration on a job's
+	// time/cost tradeoff curve.
+	FrontierPoint = optimizer.FrontierPoint
+	// FrontierResult is a computed frontier (fastest first) plus the
+	// sweep's search statistics.
+	FrontierResult = optimizer.FrontierResult
+	// FrontierUpdate is one anytime snapshot of a sweep in progress,
+	// delivered to a WithFrontierObserver callback after every phase.
+	FrontierUpdate = optimizer.FrontierUpdate
+	// FrontierStats describes how a sweep earned its frontier: phases,
+	// searches run and pruned, exact-model evaluations, cache traffic.
+	FrontierStats = optimizer.FrontierStats
+)
+
+// frontierSettings is the resolved option set for one frontier sweep.
+// It embeds planSettings so every PlanOption applies unchanged.
+type frontierSettings struct {
+	planSettings
+	size     int
+	observer func(FrontierUpdate)
+}
+
+// FrontierOption customizes a frontier sweep. Every PlanOption
+// (WithParams, WithParallelism, WithPlanCache, WithTelemetry) is also a
+// FrontierOption, so planning and sweeping share one options
+// vocabulary; WithFrontierSize and WithFrontierObserver are
+// frontier-specific.
+type FrontierOption interface {
+	applyFrontier(*frontierSettings)
+}
+
+// applyFrontier makes every PlanOption usable in Frontier calls.
+func (o PlanOption) applyFrontier(fs *frontierSettings) { o(&fs.planSettings) }
+
+// frontierOption is a frontier-specific option.
+type frontierOption func(*frontierSettings)
+
+func (o frontierOption) applyFrontier(fs *frontierSettings) { o(fs) }
+
+// WithFrontierSize sets the target number of frontier points (default
+// 24). The sweep refines until it has that many Pareto points or
+// refinement stops making progress; dominance pruning may keep a few
+// extra points for free.
+func WithFrontierSize(k int) FrontierOption {
+	return frontierOption(func(fs *frontierSettings) { fs.size = k })
+}
+
+// WithFrontierObserver streams anytime snapshots: fn is called after
+// every sweep phase with the frontier refined so far, and once more
+// with the final result (Final true, Points identical to the returned
+// FrontierResult). Calls are sequential and synchronous on the sweep's
+// goroutine; cancel the sweep's context from inside fn to stop early
+// and keep the points already on hand.
+func WithFrontierObserver(fn func(FrontierUpdate)) FrontierOption {
+	return frontierOption(func(fs *frontierSettings) { fs.observer = fn })
+}
 
 // Frontier computes a job's time/cost Pareto frontier (fastest first):
 // every point is a configuration no other candidate beats on both
-// completion time and cost. Pass k <= 0 for the default resolution.
+// completion time and cost. The sweep is incremental — endpoints first,
+// then interpolated midpoints, then bisection of the largest gaps — so
+// an observer sees a usable tradeoff curve almost immediately:
+//
+//	res, err := astra.Frontier(job,
+//	        astra.WithFrontierSize(16),
+//	        astra.WithFrontierObserver(func(u astra.FrontierUpdate) {
+//	                fmt.Printf("phase %d: %d points\n", u.Phase, len(u.Points))
+//	        }))
+//
 // Frontier is FrontierContext with context.Background().
-func Frontier(job Job, k int) ([]FrontierPoint, error) {
-	return FrontierContext(context.Background(), job, k)
+func Frontier(job Job, opts ...FrontierOption) (*FrontierResult, error) {
+	return FrontierContext(context.Background(), job, opts...)
 }
 
-// FrontierContext is Frontier with cancellation and planning options
-// (WithParams, WithParallelism): the DAG builds, path sweeps and exact
-// re-evaluations behind the frontier are sharded over the worker pool and
-// abort with ctx.Err() when ctx fires.
-func FrontierContext(ctx context.Context, job Job, k int, opts ...PlanOption) ([]FrontierPoint, error) {
-	ps := planSettings{}
+// FrontierContext is Frontier with cancellation: the DAG build, the
+// constrained searches and the exact re-evaluations behind the sweep
+// all shard over the worker pool (WithParallelism) and abort with
+// ctx.Err() when ctx fires. When no configuration is feasible the
+// error matches ErrInfeasible under errors.Is.
+func FrontierContext(ctx context.Context, job Job, opts ...FrontierOption) (*FrontierResult, error) {
+	var fs frontierSettings
 	for _, opt := range opts {
-		opt(&ps)
+		opt.applyFrontier(&fs)
 	}
-	params := ps.params
-	if !ps.hasParams {
+	params := fs.params
+	if !fs.hasParams {
 		params = model.DefaultParams(job)
 	}
-	return optimizer.FrontierContext(ctx, params, k, dag.Options{}, ps.parallelism)
+	return optimizer.SweepFrontier(ctx, optimizer.FrontierSpec{
+		Params:      params,
+		Size:        fs.size,
+		Parallelism: fs.parallelism,
+		Cache:       fs.cache,
+		Tel:         fs.tel,
+		Observer:    fs.observer,
+	})
+}
+
+// FrontierWith is the historical positional frontier call.
+//
+// Deprecated: use Frontier with WithFrontierSize, which also returns
+// search stats and supports anytime observation.
+func FrontierWith(job Job, k int) ([]FrontierPoint, error) {
+	return FrontierContextWith(context.Background(), job, k)
+}
+
+// FrontierContextWith is the historical positional frontier call with
+// cancellation and plan options.
+//
+// Deprecated: use FrontierContext with WithFrontierSize.
+func FrontierContextWith(ctx context.Context, job Job, k int, opts ...PlanOption) ([]FrontierPoint, error) {
+	fopts := make([]FrontierOption, 0, len(opts)+1)
+	fopts = append(fopts, WithFrontierSize(k))
+	for _, o := range opts {
+		fopts = append(fopts, o)
+	}
+	res, err := FrontierContext(ctx, job, fopts...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Points, nil
 }
 
 // CalibrateProfile measures a workload's real data ratios (mapper output

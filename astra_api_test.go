@@ -158,7 +158,7 @@ func TestRunContextCancel(t *testing.T) {
 func TestFrontierContextCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := FrontierContext(ctx, WordCount1GB(), 8); !errors.Is(err, context.Canceled) {
+	if _, err := FrontierContext(ctx, WordCount1GB(), WithFrontierSize(8)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
@@ -167,21 +167,57 @@ func TestFrontierContextCancelled(t *testing.T) {
 // contract at the public API.
 func TestParallelFrontierMatchesSerial(t *testing.T) {
 	job := WordCount1GB()
-	serial, err := FrontierContext(context.Background(), job, 8, WithParallelism(1))
+	serial, err := FrontierContext(context.Background(), job, WithFrontierSize(8), WithParallelism(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := FrontierContext(context.Background(), job, 8, WithParallelism(8))
+	par, err := FrontierContext(context.Background(), job, WithFrontierSize(8), WithParallelism(8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(serial) != len(par) {
-		t.Fatalf("frontier sizes: serial %d, parallel %d", len(serial), len(par))
+	if len(serial.Points) != len(par.Points) {
+		t.Fatalf("frontier sizes: serial %d, parallel %d", len(serial.Points), len(par.Points))
 	}
-	for i := range serial {
-		if serial[i].Config != par[i].Config {
-			t.Fatalf("frontier point %d: serial %v, parallel %v", i, serial[i].Config, par[i].Config)
+	for i := range serial.Points {
+		if serial.Points[i].Config != par.Points[i].Config {
+			t.Fatalf("frontier point %d: serial %v, parallel %v", i, serial.Points[i].Config, par.Points[i].Config)
 		}
+	}
+}
+
+// TestDeprecatedFrontierWithMatchesOptions exercises the compatibility
+// shims: the positional frontier entry points must keep returning
+// exactly what the options API returns.
+func TestDeprecatedFrontierWithMatchesOptions(t *testing.T) {
+	job := WordCount1GB()
+	old, err := FrontierWith(job, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Frontier(job, WithFrontierSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) != len(cur.Points) {
+		t.Fatalf("frontier sizes: FrontierWith %d, Frontier %d", len(old), len(cur.Points))
+	}
+	for i := range old {
+		if old[i].Config != cur.Points[i].Config {
+			t.Fatalf("point %d: FrontierWith %v, Frontier %v", i, old[i].Config, cur.Points[i].Config)
+		}
+	}
+}
+
+// TestFrontierReportsInfeasibility: the frontier boundary must surface
+// the exported sentinel, not leak a bare internal error.
+func TestFrontierReportsInfeasibility(t *testing.T) {
+	job := WordCount1GB()
+	params := model.DefaultParams(job)
+	// A single input object over the store's 5 TB object limit makes
+	// every orchestration infeasible, so the config graph is empty.
+	params.Job.ObjectSize = 6 << 40
+	if _, err := Frontier(job, WithParams(params)); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
 }
 

@@ -156,10 +156,11 @@ func TestDeterminism(t *testing.T) {
 
 func TestFrontierProperties(t *testing.T) {
 	job := NewJob(WordCount, 12, 256<<20)
-	front, err := Frontier(job, 16)
+	res, err := Frontier(job, WithFrontierSize(16))
 	if err != nil {
 		t.Fatal(err)
 	}
+	front := res.Points
 	if len(front) < 3 {
 		t.Fatalf("frontier too small: %d points", len(front))
 	}

@@ -14,7 +14,6 @@ import (
 	"testing"
 	"time"
 
-	"astra/internal/dag"
 	"astra/internal/emr"
 	"astra/internal/experiments"
 	"astra/internal/mapreduce"
@@ -172,16 +171,20 @@ func benchPlanSort100GB(b *testing.B, workers int) {
 func BenchmarkPlanSort100GB_Serial(b *testing.B)   { benchPlanSort100GB(b, 1) }
 func BenchmarkPlanSort100GB_Parallel(b *testing.B) { benchPlanSort100GB(b, 0) }
 
-// benchFrontierSort100GB sweeps the Sort100GB Pareto frontier (two DAG
-// builds, three path sweeps, exact re-evaluations) at a fixed pool size —
-// the widest fan-out in the engine and the best multi-core showcase.
+// benchFrontierSort100GB sweeps the Sort100GB Pareto frontier (one
+// shared cost-mode DAG, phased bounded searches, exact re-evaluations)
+// at a fixed pool size — the widest fan-out in the engine and the best
+// multi-core showcase.
 func benchFrontierSort100GB(b *testing.B, workers int) {
 	b.Helper()
 	params := model.DefaultParams(workload.Sort100GB())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := optimizer.FrontierContext(
-			context.Background(), params, 16, dag.Options{}, workers); err != nil {
+		if _, err := optimizer.SweepFrontier(context.Background(), optimizer.FrontierSpec{
+			Params:      params,
+			Size:        16,
+			Parallelism: workers,
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,6 +50,10 @@ type report struct {
 	CacheHits    int64         `json:"warm_cache_hits"`
 	CacheMisses  int64         `json:"warm_cache_misses"`
 	CacheHitRate float64       `json:"warm_cache_hit_rate"`
+	// FrontierEvals is the number of exact-model predictions one k=24
+	// frontier sweep performs — the engine's work metric, independent of
+	// host speed, so a pruning regression is visible even on noisy runners.
+	FrontierEvals int64 `json:"frontier_exact_evals_per_sweep"`
 }
 
 func main() {
@@ -110,6 +115,25 @@ func run() error {
 			if _, err := pl.Plan(obj); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}))
+
+	// Anytime frontier sweep: a full k=24 Pareto frontier on a fresh
+	// engine per iteration, serial pool. The acceptance target is under
+	// 5x one cold plan; Evaluations counts the sweep's exact-model
+	// predictions (one per distinct frontier candidate).
+	rep.Benchmarks = append(rep.Benchmarks, measure("FrontierSort100GB_Serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := optimizer.SweepFrontier(context.Background(), optimizer.FrontierSpec{
+				Params:      params,
+				Size:        24,
+				Parallelism: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep.FrontierEvals = res.Stats.Evaluations
 		}
 	}))
 
@@ -175,6 +199,7 @@ func run() error {
 	}
 	fmt.Printf("warm cache hit rate: %.1f%% (%d hits / %d misses)\n",
 		100*rep.CacheHitRate, rep.CacheHits, rep.CacheMisses)
+	fmt.Printf("frontier exact evals per k=24 sweep: %d\n", rep.FrontierEvals)
 	if *outPath != "" {
 		fmt.Printf("wrote %s\n", *outPath)
 	}

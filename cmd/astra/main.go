@@ -68,6 +68,9 @@ type options struct {
 	audit      bool
 	force      bool
 
+	frontier    int
+	frontierOut string
+
 	parallelism int
 	planTimeout time.Duration
 }
@@ -106,6 +109,10 @@ func parseFlags(args []string) (*options, error) {
 		"launch speculative backups for tasks running past this multiple of their predicted duration (0 = off, implies -run)")
 	fs.IntVar(&o.retries, "retries", 2,
 		"re-invoke a failed mapper/reducer task up to this many times (failed attempts stay billed)")
+	fs.IntVar(&o.frontier, "frontier", 0,
+		"sweep a k-point time/cost Pareto frontier instead of planning one configuration (0 = off)")
+	fs.StringVar(&o.frontierOut, "frontier-out", "",
+		"write the frontier points to this file as CSV (requires -frontier)")
 	fs.BoolVar(&o.force, "f", false, "overwrite existing output files")
 	fs.BoolVar(&o.explain, "explain", false, "print the plan's search report (explain-plan)")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON")
@@ -134,6 +141,15 @@ func parseFlags(args []string) (*options, error) {
 		o.chaosPath != "" || o.speculate > 0 {
 		o.doRun = true
 	}
+	if o.frontier < 0 {
+		return nil, fmt.Errorf("-frontier must be >= 0, got %d", o.frontier)
+	}
+	if o.frontierOut != "" && o.frontier == 0 {
+		return nil, fmt.Errorf("-frontier-out requires -frontier")
+	}
+	if o.frontier > 0 && (o.doRun || o.baselines || o.explain) {
+		return nil, fmt.Errorf("-frontier sweeps the whole tradeoff curve; it cannot be combined with -run, -baselines, or -explain")
+	}
 	return o, nil
 }
 
@@ -154,11 +170,11 @@ func createOutput(path string, force bool) (*os.File, error) {
 
 // outputs holds the pre-opened export files (nil when the flag is unset).
 type outputs struct {
-	trace, metrics, events *os.File
+	trace, metrics, events, frontier *os.File
 }
 
 func (of *outputs) closeAll() {
-	for _, f := range []*os.File{of.trace, of.metrics, of.events} {
+	for _, f := range []*os.File{of.trace, of.metrics, of.events, of.frontier} {
 		if f != nil {
 			f.Close()
 		}
@@ -181,6 +197,7 @@ func openOutputs(o *options) (*outputs, error) {
 	of.trace = open(o.traceOut)
 	of.metrics = open(o.metricsOut)
 	of.events = open(o.eventsOut)
+	of.frontier = open(o.frontierOut)
 	if err != nil {
 		of.closeAll()
 		return nil, err
@@ -343,6 +360,15 @@ func run(args []string, out io.Writer) error {
 	if o.explain || o.metricsOut != "" {
 		tel = astra.NewTelemetry()
 	}
+	if o.frontier > 0 {
+		if err := runFrontier(ctx, out, o, job, params, files, tel); err != nil {
+			return err
+		}
+		if files.metrics != nil && tel != nil {
+			return writeMetrics(files.metrics, o.metricsOut, tel)
+		}
+		return nil
+	}
 	plan, err := astra.PlanContext(ctx, job, obj,
 		astra.WithParams(params),
 		astra.WithSolver(solver),
@@ -495,6 +521,106 @@ func run(args []string, out io.Writer) error {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
+	}
+	return nil
+}
+
+// frontierJSON is the -frontier -json output schema.
+type frontierJSON struct {
+	Workload string               `json:"workload"`
+	Points   []frontierPointJSON  `json:"points"`
+	Stats    frontierSweepStatsJS `json:"stats"`
+}
+
+type frontierPointJSON struct {
+	JCTSeconds float64          `json:"jct_seconds"`
+	CostUSD    float64          `json:"cost_usd"`
+	Config     mapreduce.Config `json:"config"`
+}
+
+type frontierSweepStatsJS struct {
+	Phases       int64   `json:"phases"`
+	Searches     int64   `json:"searches"`
+	Pruned       int64   `json:"pruned"`
+	Evaluations  int64   `json:"evaluations"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	WallSeconds  float64 `json:"wall_seconds"`
+}
+
+// runFrontier handles -frontier: sweep a k-point Pareto frontier for the
+// job, print it (text or JSON), and export CSV when -frontier-out is set.
+func runFrontier(ctx context.Context, out io.Writer, o *options, job workload.Job, params model.Params, files *outputs, tel *astra.Telemetry) error {
+	opts := []astra.FrontierOption{
+		astra.WithFrontierSize(o.frontier),
+		astra.WithParams(params),
+		astra.WithParallelism(o.parallelism),
+		astra.WithTelemetry(tel),
+	}
+	if !o.jsonOut {
+		// The sweep is anytime: narrate each refinement phase as it lands.
+		opts = append(opts, astra.WithFrontierObserver(func(u astra.FrontierUpdate) {
+			if !u.Final {
+				fmt.Fprintf(out, "phase %d: %d frontier point(s)\n", u.Phase, len(u.Points))
+			}
+		}))
+	}
+	front, err := astra.FrontierContext(ctx, job, opts...)
+	if err != nil {
+		return err
+	}
+	if files.frontier != nil {
+		if err := writeFrontierCSV(files.frontier, front.Points); err != nil {
+			return err
+		}
+	}
+	if o.jsonOut {
+		doc := frontierJSON{
+			Workload: o.workload,
+			Stats: frontierSweepStatsJS{
+				Phases:       front.Stats.Phases,
+				Searches:     front.Stats.Searches,
+				Pruned:       front.Stats.Pruned,
+				Evaluations:  front.Stats.Evaluations,
+				CacheHitRate: front.Stats.CacheHitRate(),
+				WallSeconds:  front.Stats.Wall.Seconds(),
+			},
+		}
+		for _, pt := range front.Points {
+			doc.Points = append(doc.Points, frontierPointJSON{
+				JCTSeconds: pt.Pred.TotalSec(),
+				CostUSD:    float64(pt.Pred.TotalCost()),
+				Config:     pt.Config,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	fmt.Fprintf(out, "workload:  %s, %d objects, %.2f GB\n", o.workload, o.objects, o.sizeGB)
+	fmt.Fprintf(out, "frontier:  %d point(s), %d searches, %d pruned, %d exact evaluations\n",
+		len(front.Points), front.Stats.Searches, front.Stats.Pruned, front.Stats.Evaluations)
+	for _, pt := range front.Points {
+		fmt.Fprintf(out, "  %8.2fs  %s  (%s)\n",
+			pt.Pred.TotalSec(), pt.Pred.TotalCost(), pt.Config)
+	}
+	return nil
+}
+
+// writeFrontierCSV exports frontier points with one row per
+// configuration, cheapest-to-fastest being the row order the sweep
+// already guarantees (sorted by ascending time).
+func writeFrontierCSV(f io.Writer, pts []astra.FrontierPoint) error {
+	if _, err := io.WriteString(f,
+		"jct_seconds,cost_usd,mapper_mem_mb,coord_mem_mb,reducer_mem_mb,objs_per_mapper,objs_per_reducer\n"); err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		if _, err := fmt.Fprintf(f, "%.6f,%.8f,%d,%d,%d,%d,%d\n",
+			pt.Pred.TotalSec(), float64(pt.Pred.TotalCost()),
+			pt.Config.MapperMemMB, pt.Config.CoordMemMB, pt.Config.ReducerMemMB,
+			pt.Config.ObjsPerMapper, pt.Config.ObjsPerReducer); err != nil {
+			return err
+		}
 	}
 	return nil
 }

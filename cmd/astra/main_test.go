@@ -401,6 +401,140 @@ func TestRunRefusesToOverwriteOutputs(t *testing.T) {
 	}
 }
 
+// TestRunFrontierMode drives the -frontier CLI path end to end: the
+// anytime phases narrate to stdout, the final points print
+// fastest-first, and -frontier-out writes a parseable CSV.
+func TestRunFrontierMode(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "points.csv")
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
+		"-frontier", "6", "-frontier-out", csvPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"phase 1:", "frontier:", "workload:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+
+	raw, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	wantHeader := "jct_seconds,cost_usd,mapper_mem_mb,coord_mem_mb,reducer_mem_mb,objs_per_mapper,objs_per_reducer"
+	if lines[0] != wantHeader {
+		t.Fatalf("csv header = %q, want %q", lines[0], wantHeader)
+	}
+	if len(lines) < 3 {
+		t.Fatalf("csv has %d data rows, want >= 2", len(lines)-1)
+	}
+	prev := -1.0
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != 7 {
+			t.Fatalf("csv row %q has %d columns", line, len(cols))
+		}
+		jct, err := strconv.ParseFloat(cols[0], 64)
+		if err != nil || jct <= 0 {
+			t.Fatalf("csv row %q: bad jct (%v)", line, err)
+		}
+		if jct < prev {
+			t.Fatalf("csv rows not sorted by time: %v after %v", jct, prev)
+		}
+		prev = jct
+		for _, c := range cols[2:] {
+			if v, err := strconv.Atoi(c); err != nil || v <= 0 {
+				t.Fatalf("csv row %q: bad config column %q", line, c)
+			}
+		}
+	}
+}
+
+// TestRunFrontierJSON: with -json the sweep emits the machine-readable
+// document, identical across serial and parallel invocations.
+func TestRunFrontierJSON(t *testing.T) {
+	base := []string{
+		"-workload", "sort", "-size-gb", "0.05", "-objects", "8",
+		"-frontier", "8", "-json",
+	}
+	var serial, par bytes.Buffer
+	if err := run(append(base, "-parallelism", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	var doc frontierJSON
+	if err := json.Unmarshal(serial.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, serial.String())
+	}
+	if doc.Workload != "sort" || len(doc.Points) < 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Stats.Searches <= 0 || doc.Stats.Evaluations <= 0 {
+		t.Fatalf("stats = %+v", doc.Stats)
+	}
+	if err := run(append(base, "-parallelism", "4"), &par); err != nil {
+		t.Fatal(err)
+	}
+	// Wall time varies run to run; points and counters must not.
+	trim := func(b bytes.Buffer) string {
+		var d frontierJSON
+		if err := json.Unmarshal(b.Bytes(), &d); err != nil {
+			t.Fatal(err)
+		}
+		d.Stats.WallSeconds = 0
+		out, _ := json.Marshal(d)
+		return string(out)
+	}
+	if trim(serial) != trim(par) {
+		t.Fatalf("frontier differs across -parallelism:\nserial: %s\nparallel: %s",
+			serial.String(), par.String())
+	}
+}
+
+// TestRunFrontierFlagValidation: the frontier flags reject nonsensical
+// combinations and honor the no-clobber contract.
+func TestRunFrontierFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-frontier", "-1"},
+		{"-frontier-out", filepath.Join(dir, "p.csv")}, // requires -frontier
+		{"-frontier", "4", "-run"},
+		{"-frontier", "4", "-baselines"},
+		{"-frontier", "4", "-explain"},
+		{"-frontier", "4", "-audit"}, // -audit implies -run
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+	// No-clobber: an existing -frontier-out must refuse without -f.
+	path := filepath.Join(dir, "points.csv")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8", "-frontier", "4"}
+	err := run(append(append([]string{}, base...), "-frontier-out", path), &out)
+	if err == nil || !strings.Contains(err.Error(), "pass -f to overwrite") {
+		t.Fatalf("-frontier-out over an existing file: err = %v, want overwrite refusal", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "precious" {
+		t.Fatal("-frontier-out clobbered the existing file")
+	}
+	if err := run(append(append([]string{}, base...), "-frontier-out", path, "-f"), io.Discard); err != nil {
+		t.Fatalf("-frontier-out with -f: %v", err)
+	}
+	if got, _ := os.ReadFile(path); !strings.HasPrefix(string(got), "jct_seconds,") {
+		t.Fatal("-frontier-out -f did not overwrite")
+	}
+}
+
 // TestRunFailsFastOnUnwritableOutputs: an output path in a nonexistent
 // directory must fail the command (non-zero exit via main) up front.
 func TestRunFailsFastOnUnwritableOutputs(t *testing.T) {

@@ -86,15 +86,23 @@ func main() {
 	fmt.Print(aud.Render())
 
 	// The whole Pareto frontier in one call: every point is undominated.
-	front, err := astra.Frontier(job, 12)
+	// The sweep is anytime — the observer sees the curve sharpen phase by
+	// phase, and the final update always matches the returned result.
+	front, err := astra.Frontier(job,
+		astra.WithFrontierSize(12),
+		astra.WithFrontierObserver(func(u astra.FrontierUpdate) {
+			fmt.Printf("  frontier phase %d: %d point(s)\n", u.Phase, len(u.Points))
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\ntime/cost Pareto frontier:")
-	for _, pt := range front {
+	for _, pt := range front.Points {
 		fmt.Printf("  %6.2fs  %s  (%s)\n",
 			pt.Pred.TotalSec(), pt.Pred.TotalCost(), pt.Config)
 	}
+	fmt.Printf("  (%d searches, %d pruned, %d exact evaluations)\n",
+		front.Stats.Searches, front.Stats.Pruned, front.Stats.Evaluations)
 }
 
 type wordCount struct {

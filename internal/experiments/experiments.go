@@ -146,5 +146,6 @@ func All() []Experiment {
 		{"calibration", "Extension: declared vs profiler-measured data ratios", func() (string, error) { return Calibration() }},
 		{"emr-scaling", "Extension: VM cluster size crossover vs Astra", func() (string, error) { return EMRScaling() }},
 		{"resilience", "Extension: QoS under faults — retries vs speculative execution", func() (string, error) { return Resilience() }},
+		{"frontier", "Extension: anytime time/cost Pareto frontier at Sort100GB scale", func() (string, error) { return Frontier() }},
 	}
 }

@@ -270,6 +270,7 @@ func TestAllExperimentsEnumerated(t *testing.T) {
 		"fig9", "spark", "providers", "footnote1", "ephemeral", "pipeline",
 		"sensitivity", "ablation-solvers", "ablation-dag", "ablation-reduce",
 		"ablation-bandwidth", "ablation-billing", "ablation-concurrency",
+		"resilience", "frontier",
 	} {
 		if !ids[want] {
 			t.Fatalf("missing experiment %q", want)

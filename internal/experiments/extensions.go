@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +17,34 @@ import (
 	"astra/internal/simtime"
 	"astra/internal/workload"
 )
+
+// Frontier sweeps the full time/cost Pareto frontier at paper scale
+// (Sort100GB, k = 24) with the anytime engine — the Fig. 1/2 tradeoff
+// as one incremental computation instead of a grid of replans — and
+// reports the sweep's own economics: searches run, deadlines the probe
+// algebra pruned, exact-model evaluations, cache hit rate and phase
+// count (each phase delivered a refined snapshot to the observer).
+func Frontier() (string, error) {
+	params := model.DefaultParams(workload.Sort100GB())
+	snapshots := 0
+	res, err := optimizer.SweepFrontier(context.Background(), optimizer.FrontierSpec{
+		Params:   params,
+		Size:     24,
+		Observer: func(optimizer.FrontierUpdate) { snapshots++ },
+	})
+	if err != nil {
+		return "", err
+	}
+	t := &table{header: []string{"predicted JCT", "predicted cost", "configuration"}}
+	for _, pt := range res.Points {
+		t.add(fmtDur(pt.Pred.JCT()), fmtUSD(pt.Pred.TotalCost()), pt.Config.String())
+	}
+	st := res.Stats
+	return fmt.Sprintf(
+		"%d Pareto point(s) in %d phases (%d anytime snapshots): %d searches, %d pruned, %d exact evaluations, cache hit rate %.1f%%\n%s",
+		len(res.Points), st.Phases, snapshots, st.Searches, st.Pruned,
+		st.Evaluations, 100*st.CacheHitRate(), t.String()), nil
+}
 
 // Providers reproduces the discussion-section claim that Astra adapts to
 // other FaaS providers "by using their respective platform quotas and

@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"context"
+	"math"
+
+	"astra/internal/telemetry"
+)
+
+// Bounds carries per-node admissible lower bounds on the remaining weight
+// needed to reach one fixed destination: WToGo[v] is the minimum total W
+// of any v→dst path and SideToGo[v] the minimum total Side, each computed
+// independently (they generally belong to different paths). Because both
+// are true single-criterion optima they never overestimate, so a search
+// may discard any partial path whose accumulated weight plus the bound
+// already violates its budget without losing the constrained optimum.
+//
+// Bounds are a snapshot of the graph at ToGoBounds time; mutating the
+// graph afterwards (edge removal, AddEdge) invalidates them.
+type Bounds struct {
+	WToGo    []float64
+	SideToGo []float64
+}
+
+// ToGoBounds computes Bounds for dst by running two Dijkstra sweeps over
+// the reverse graph, one per weight. The graph is not mutated, and the
+// reverse adjacency is built locally from the frozen CSR (live edges
+// only), so concurrent searches may keep using g. SideToGo[src] is the
+// global minimum achievable Side of any src→dst path — the fastest
+// possible plan when Side carries time — which callers get for free.
+func (g *Graph) ToGoBounds(dst int) *Bounds {
+	g.freeze()
+	// Counted build of the reverse CSR, mirroring freeze.
+	rdeg := make([]int32, g.n)
+	for u := 0; u < g.n; u++ {
+		for ei := g.off[u]; ei < g.off[u+1]; ei++ {
+			if !g.removed.get(ei) {
+				rdeg[g.to[ei]]++
+			}
+		}
+	}
+	roff := make([]int32, g.n+1)
+	for v := 0; v < g.n; v++ {
+		roff[v+1] = roff[v] + rdeg[v]
+	}
+	total := roff[g.n]
+	rto := make([]int32, total)
+	rw := make([]float64, total)
+	rside := make([]float64, total)
+	pos := make([]int32, g.n)
+	copy(pos, roff[:g.n])
+	for u := 0; u < g.n; u++ {
+		for ei := g.off[u]; ei < g.off[u+1]; ei++ {
+			if g.removed.get(ei) {
+				continue
+			}
+			v := g.to[ei]
+			p := pos[v]
+			pos[v] = p + 1
+			rto[p] = int32(u)
+			rw[p] = g.w[ei]
+			rside[p] = g.side[ei]
+		}
+	}
+	b := &Bounds{
+		WToGo:    reverseDijkstra(g.n, dst, roff, rto, rw),
+		SideToGo: reverseDijkstra(g.n, dst, roff, rto, rside),
+	}
+	return b
+}
+
+// reverseDijkstra is a plain single-weight Dijkstra over a prebuilt
+// reverse adjacency, returning the distance array (Inf where dst is
+// unreachable). It keeps its own heap so it never contends with the
+// scratch pool used by the forward searches.
+func reverseDijkstra(n, src int, off, to []int32, w []float64) []float64 {
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	done := make([]bool, n)
+	var h heap4
+	dist[src] = 0
+	h.push(int32(src), 0)
+	for h.len() > 0 {
+		u, _ := h.pop()
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		du := dist[u]
+		for ei := off[u]; ei < off[u+1]; ei++ {
+			v := to[ei]
+			if nd := du + w[ei]; nd < dist[v] {
+				dist[v] = nd
+				h.push(v, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// ConstrainedShortestPathBoundedCtx is ConstrainedShortestPathCtx with
+// two admissible pruning rules driven by precomputed to-go bounds:
+//
+//   - a partial path at v is discarded when its accumulated Side plus
+//     SideToGo[v] already exceeds budget (no completion can meet the
+//     constraint), and
+//   - when its accumulated W plus WToGo[v] exceeds wLimit, an upper
+//     bound the caller already holds on the constrained optimum (for
+//     example the W of a feasible path found under a tighter budget).
+//
+// Both rules only ever remove paths that cannot beat the known optimum,
+// so with b from ToGoBounds on the same graph the returned path is
+// identical to the unbounded search's. Pass wLimit = +Inf when no upper
+// bound is known, and pad a finite wLimit by a relative epsilon: the
+// reverse-summed WToGo can land a few ULPs above the forward suffix sum
+// of the same edges, so an exact optimum used as the limit may otherwise
+// prune itself. ErrInfeasible may mean "every path was pruned by
+// wLimit" rather than "no path meets budget"; callers holding a wLimit
+// already have a point at least that good, so the distinction is moot.
+// Labels skipped by the bounds are counted on the context's telemetry
+// registry as astra_csp_bound_prunes_total.
+func (g *Graph) ConstrainedShortestPathBoundedCtx(ctx context.Context, src, dst int, budget float64, b *Bounds, wLimit float64) (Path, error) {
+	return g.constrainedSearch(ctx, src, dst, budget, b, wLimit)
+}
+
+// constrainedSearch is the label-setting core shared by the bounded and
+// unbounded constrained entry points. With b == nil and wLimit = +Inf it
+// is exactly the historical ConstrainedShortestPathCtx loop. With
+// bounds, labels are popped by w + WToGo[node] instead of w — an A*
+// ordering whose heuristic is consistent (it is a true shortest-path
+// distance), so the first label settled at dst is still the constrained
+// optimum while far fewer labels are expanded on the way.
+func (g *Graph) constrainedSearch(ctx context.Context, src, dst int, budget float64, b *Bounds, wLimit float64) (Path, error) {
+	if err := ctx.Err(); err != nil {
+		return Path{}, err
+	}
+	if src == dst {
+		return Path{Nodes: []int{src}}, nil
+	}
+	tel := telemetry.FromContext(ctx)
+	popped := tel.Counter(telemetry.MCSPLabelsPopped)
+	relaxations := tel.Counter(telemetry.MSearchEdgesRelaxed)
+	allocated := tel.Counter(telemetry.MCSPLabelsAllocated)
+	boundPrunes := tel.Counter(telemetry.MCSPBoundPrunes)
+	var wToGo, sideToGo []float64
+	if b != nil {
+		wToGo, sideToGo = b.WToGo, b.SideToGo
+		// The root may already be hopeless: the fastest completion busts
+		// the budget, or the cheapest busts the caller's upper bound.
+		if sideToGo[src] > budget || wToGo[src] > wLimit {
+			return Path{}, ErrInfeasible
+		}
+	}
+	sc := g.getScratch(tel)
+	defer putScratch(sc)
+	labels := sc.labels[:0]
+	fronts := sc.fronts
+	for i := range fronts {
+		fronts[i] = fronts[i][:0]
+	}
+	h := &sc.lheap
+	h.reset()
+	labels = append(labels, csLabel{node: int32(src), prev: -1})
+	fronts[src] = append(fronts[src], 0)
+	if b != nil {
+		h.push(0, wToGo[src])
+	} else {
+		h.push(0, 0)
+	}
+	pops := 0
+	var relaxed, pruned int64
+	defer func() {
+		sc.labels = labels // hand the grown arena back to the pool
+		popped.Add(int64(pops))
+		relaxations.Add(relaxed)
+		allocated.Add(int64(len(labels)))
+		boundPrunes.Add(pruned)
+	}()
+	off, to, ew, es, removed := g.off, g.to, g.w, g.side, g.removed
+	dst32 := int32(dst)
+	for h.len() > 0 {
+		if pops++; pops%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Path{}, err
+			}
+		}
+		li, _ := h.pop()
+		l := labels[li]
+		if l.node == dst32 {
+			return pathFromArena(labels, li), nil
+		}
+		// A label is stale if a later insertion evicted it from its
+		// node's Pareto front.
+		if l.evicted {
+			continue
+		}
+		for ei := off[l.node]; ei < off[l.node+1]; ei++ {
+			if removed.get(ei) {
+				continue
+			}
+			v := to[ei]
+			nw, ns := l.w+ew[ei], l.side+es[ei]
+			if ns > budget {
+				continue
+			}
+			pri := nw
+			if b != nil {
+				if ns+sideToGo[v] > budget || nw+wToGo[v] > wLimit {
+					pruned++
+					continue
+				}
+				pri += wToGo[v]
+			}
+			front := fronts[v]
+			lo := frontFloor(labels, front, nw)
+			if frontDominated(labels, front, lo, nw, ns) {
+				continue
+			}
+			nidx := int32(len(labels))
+			labels = append(labels, csLabel{w: nw, side: ns, node: v, prev: li})
+			fronts[v] = frontInsert(labels, front, lo, nidx, ns)
+			relaxed++
+			h.push(nidx, pri)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Path{}, err
+	}
+	return Path{}, ErrInfeasible
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"astra/internal/telemetry"
+)
+
+// minToGoRef computes the minimum accumulated pick(e) of any u→dst path
+// by value iteration over the reference adjacency — an independent check
+// on ToGoBounds' reverse Dijkstra that, unlike ShortestPath's assemble,
+// handles parallel edges exactly.
+func minToGoRef(r *refGraph, dst int, pick func(refEdge) float64) []float64 {
+	dist := make([]float64, r.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[dst] = 0
+	for round := 0; round < r.n; round++ {
+		changed := false
+		for u := 0; u < r.n; u++ {
+			for _, e := range r.adj[u] {
+				if e.removed {
+					continue
+				}
+				if nd := pick(e) + dist[e.to]; nd < dist[u] {
+					dist[u] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestToGoBoundsMatchReference(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, ref, _, dst := randomPair(rng, 2+rng.Intn(3), 2+rng.Intn(3))
+		b := g.ToGoBounds(dst)
+		wantSide := minToGoRef(ref, dst, func(e refEdge) float64 { return e.side })
+		wantW := minToGoRef(ref, dst, func(e refEdge) float64 { return e.w })
+		check := func(name string, got, want []float64) {
+			for v := 0; v < g.NumNodes(); v++ {
+				if math.IsInf(got[v], 1) && math.IsInf(want[v], 1) {
+					continue
+				}
+				if math.Abs(got[v]-want[v]) > 1e-9 {
+					t.Fatalf("seed %d: %s[%d] = %v, want %v", seed, name, v, got[v], want[v])
+				}
+			}
+		}
+		check("SideToGo", b.SideToGo, wantSide)
+		check("WToGo", b.WToGo, wantW)
+	}
+}
+
+// TestBoundedConstrainedMatchesUnbounded: with admissible bounds and any
+// valid upper limit, the bounded search must return exactly the path the
+// unbounded solver returns, for feasible and infeasible budgets alike.
+func TestBoundedConstrainedMatchesUnbounded(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		layers := 2 + rng.Intn(3)
+		g, _, src, dst := randomPair(rng, layers, 2+rng.Intn(3))
+		b := g.ToGoBounds(dst)
+		for trial := 0; trial < 4; trial++ {
+			budget := rng.Float64() * float64(layers+1) * 10
+			want, werr := g.ConstrainedShortestPathCtx(ctx, src, dst, budget)
+
+			got, gerr := g.ConstrainedShortestPathBoundedCtx(ctx, src, dst, budget, b, math.Inf(1))
+			samePath(t, "bounded(+Inf)", got, gerr == nil, want, werr == nil)
+
+			if werr == nil {
+				// The optimum's own W is the tightest valid upper limit —
+				// with the relative slack callers must add, because the
+				// reverse-summed WToGo can sit a few ULPs above the
+				// forward suffix sum of the same edges.
+				limit := want.W * (1 + 1e-9)
+				got, gerr = g.ConstrainedShortestPathBoundedCtx(ctx, src, dst, budget, b, limit)
+				samePath(t, "bounded(optW)", got, gerr == nil, want, werr == nil)
+			}
+		}
+	}
+}
+
+// TestBoundedConstrainedPrunes: the bounds must actually cut label work,
+// and the cuts must surface on the context's telemetry registry.
+func TestBoundedConstrainedPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, _, src, dst := randomPair(rng, 4, 4)
+	b := g.ToGoBounds(dst)
+	budget := b.SideToGo[src] * 1.05 // tight: most of the space is hopeless
+
+	reg := telemetry.New()
+	ctx := telemetry.NewContext(context.Background(), reg)
+	want, werr := g.ConstrainedShortestPathCtx(ctx, src, dst, budget)
+	got, gerr := g.ConstrainedShortestPathBoundedCtx(ctx, src, dst, budget, b, math.Inf(1))
+	samePath(t, "tight budget", got, gerr == nil, want, werr == nil)
+	if werr != nil {
+		t.Fatalf("budget %v should be feasible (min side %v)", budget, b.SideToGo[src])
+	}
+	if n := reg.Counter(telemetry.MCSPBoundPrunes).Value(); n == 0 {
+		t.Fatal("bounded search pruned no labels under a near-minimal budget")
+	}
+}
+
+// TestBoundedConstrainedInfeasibleRoot: a budget below the minimal side
+// must be rejected at the root without expanding any labels.
+func TestBoundedConstrainedInfeasibleRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, _, src, dst := randomPair(rng, 3, 3)
+	b := g.ToGoBounds(dst)
+	if _, err := g.ConstrainedShortestPathBoundedCtx(context.Background(), src, dst, b.SideToGo[src]*0.5, b, math.Inf(1)); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

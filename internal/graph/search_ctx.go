@@ -2,6 +2,7 @@ package graph
 
 import (
 	"context"
+	"math"
 
 	"astra/internal/telemetry"
 )
@@ -95,79 +96,8 @@ func (g *Graph) Algorithm1Ctx(ctx context.Context, src, dst int, budget float64)
 // Labels live in the scratch's slab arena and each node's Pareto front
 // is a w-sorted list of arena indices, so dominance tests are two O(1)
 // probes around a binary search and stale labels are skipped by an
-// evicted flag instead of an identity scan.
+// evicted flag instead of an identity scan. The loop itself lives in
+// constrainedSearch (bounds.go), shared with the bound-aware variant.
 func (g *Graph) ConstrainedShortestPathCtx(ctx context.Context, src, dst int, budget float64) (Path, error) {
-	if err := ctx.Err(); err != nil {
-		return Path{}, err
-	}
-	if src == dst {
-		return Path{Nodes: []int{src}}, nil
-	}
-	tel := telemetry.FromContext(ctx)
-	popped := tel.Counter(telemetry.MCSPLabelsPopped)
-	relaxations := tel.Counter(telemetry.MSearchEdgesRelaxed)
-	allocated := tel.Counter(telemetry.MCSPLabelsAllocated)
-	sc := g.getScratch(tel)
-	defer putScratch(sc)
-	labels := sc.labels[:0]
-	fronts := sc.fronts
-	for i := range fronts {
-		fronts[i] = fronts[i][:0]
-	}
-	h := &sc.lheap
-	h.reset()
-	labels = append(labels, csLabel{node: int32(src), prev: -1})
-	fronts[src] = append(fronts[src], 0)
-	h.push(0, 0)
-	pops := 0
-	var relaxed int64
-	defer func() {
-		sc.labels = labels // hand the grown arena back to the pool
-		popped.Add(int64(pops))
-		relaxations.Add(relaxed)
-		allocated.Add(int64(len(labels)))
-	}()
-	off, to, ew, es, removed := g.off, g.to, g.w, g.side, g.removed
-	dst32 := int32(dst)
-	for h.len() > 0 {
-		if pops++; pops%ctxCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return Path{}, err
-			}
-		}
-		li, _ := h.pop()
-		l := labels[li]
-		if l.node == dst32 {
-			return pathFromArena(labels, li), nil
-		}
-		// A label is stale if a later insertion evicted it from its
-		// node's Pareto front.
-		if l.evicted {
-			continue
-		}
-		for ei := off[l.node]; ei < off[l.node+1]; ei++ {
-			if removed.get(ei) {
-				continue
-			}
-			v := to[ei]
-			nw, ns := l.w+ew[ei], l.side+es[ei]
-			if ns > budget {
-				continue
-			}
-			front := fronts[v]
-			lo := frontFloor(labels, front, nw)
-			if frontDominated(labels, front, lo, nw, ns) {
-				continue
-			}
-			nidx := int32(len(labels))
-			labels = append(labels, csLabel{w: nw, side: ns, node: v, prev: li})
-			fronts[v] = frontInsert(labels, front, lo, nidx, ns)
-			relaxed++
-			h.push(nidx, nw)
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return Path{}, err
-	}
-	return Path{}, ErrInfeasible
+	return g.constrainedSearch(ctx, src, dst, budget, nil, math.Inf(1))
 }

@@ -2,13 +2,17 @@ package optimizer
 
 import (
 	"context"
+	"fmt"
+	"math"
 	"sort"
+	"time"
 
 	"astra/internal/dag"
 	"astra/internal/graph"
 	"astra/internal/mapreduce"
 	"astra/internal/model"
 	"astra/internal/parallel"
+	"astra/internal/telemetry"
 )
 
 // FrontierPoint is one Pareto-optimal configuration: no other candidate
@@ -18,172 +22,620 @@ type FrontierPoint struct {
 	Pred   model.Prediction
 }
 
-// Frontier computes a time/cost Pareto frontier with a background context
-// and the default worker pool; see FrontierContext.
+// FrontierSpec configures one SweepFrontier call. The zero value plus
+// Params is a valid spec: default size, private cache, no observer.
+type FrontierSpec struct {
+	// Params parameterizes the models and the configuration space.
+	Params model.Params
+	// Size is the target number of frontier points (default 24). It
+	// steers how long gap refinement runs; the sweep may return more
+	// points when dominance pruning keeps extras for free.
+	Size int
+	// DAG tunes the configuration graph (tier subset, caps).
+	DAG dag.Options
+	// Parallelism bounds the worker pool for every phase — the DAG
+	// build, the constrained searches and the exact re-evaluations
+	// (0 = all cores, 1 = serial). It is the single knob: when zero,
+	// a non-zero DAG.Parallelism is adopted sweep-wide, so the two can
+	// no longer disagree. The frontier is identical at every setting.
+	Parallelism int
+	// Cache memoizes model predictions. Left nil, a private cache is
+	// created; set it to share one cache across sweeps and planners for
+	// the same parameterization.
+	Cache *model.PredictionCache
+	// Tel, when non-nil, receives phase/search/prune counters and the
+	// usual search-engine instrumentation. Observe-only.
+	Tel *telemetry.Registry
+	// Observer, when non-nil, is called after every phase with the
+	// frontier refined so far, and once more with the final result
+	// (Final true). Calls are sequential and synchronous: a slow
+	// observer slows the sweep, and cancelling the sweep's context from
+	// inside the observer aborts it promptly.
+	Observer func(FrontierUpdate)
+}
+
+// workers resolves the sweep-wide parallelism knob.
+func (spec FrontierSpec) workers() int {
+	if spec.Parallelism != 0 {
+		return spec.Parallelism
+	}
+	return spec.DAG.Parallelism
+}
+
+// FrontierUpdate is one anytime snapshot of the sweep.
+type FrontierUpdate struct {
+	// Phase numbers the schedule 1..n: 1 endpoints, 2 coarse midpoints,
+	// 3+ gap-bisection rounds. The final update repeats the last phase
+	// number with Final set.
+	Phase int
+	// Points is the frontier refined so far, fastest first. The slice
+	// is the observer's to keep; later phases only ever add points that
+	// dominate or extend it, never retract a point the final frontier
+	// keeps.
+	Points []FrontierPoint
+	// Final marks the closing update; Points then equals the Points of
+	// the returned FrontierResult.
+	Final bool
+	// Stats is the work so far.
+	Stats FrontierStats
+}
+
+// FrontierStats describes how a sweep earned its frontier.
+type FrontierStats struct {
+	// Phases is the number of schedule phases run (bisection rounds
+	// included).
+	Phases int64
+	// Searches counts graph searches executed; Pruned counts searches
+	// the admissible bounds and probe algebra skipped outright.
+	Searches int64
+	Pruned   int64
+	// Evaluations is the number of distinct configurations evaluated
+	// with the exact model this sweep (cache hits included).
+	Evaluations int64
+	// CacheHits/CacheMisses are the prediction-cache traffic
+	// attributable to this sweep; misses are fresh model evaluations.
+	CacheHits   int64
+	CacheMisses int64
+	// Wall is the elapsed sweep time.
+	Wall time.Duration
+}
+
+// CacheHitRate is hits/(hits+misses), 0 when the cache was untouched.
+func (st FrontierStats) CacheHitRate() float64 {
+	total := st.CacheHits + st.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(total)
+}
+
+// FrontierResult is a computed Pareto frontier plus its search stats.
+type FrontierResult struct {
+	// Points is the frontier, fastest first.
+	Points []FrontierPoint
+	Stats  FrontierStats
+}
+
+// Frontier computes a time/cost Pareto frontier with a background
+// context and default options.
+//
+// Deprecated: use SweepFrontier with a FrontierSpec, which also exposes
+// search stats, cache sharing and anytime observation.
 func Frontier(params model.Params, k int, opts dag.Options) ([]FrontierPoint, error) {
 	return FrontierContext(context.Background(), params, k, opts, 0)
 }
 
-// FrontierContext computes a time/cost Pareto frontier for a job, sorted
-// fastest first. Candidates are harvested from three sweeps of the
-// configuration DAG — the k fastest paths, the k cheapest paths, and
-// exact constrained-shortest-path solutions at interpolated deadlines to
-// fill the middle — then re-evaluated with the engine-faithful model and
-// dominance-pruned. It is the tradeoff curve behind both the single-job
-// "what should I pay for speed?" question and the pipeline planner's
-// per-stage search.
+// FrontierContext computes a time/cost Pareto frontier for a job,
+// sorted fastest first.
 //
-// The two DAG builds, the interpolation sweeps (the label-setting search
-// is read-only, so they share one graph) and the exact re-evaluations all
-// shard across a bounded pool of workers goroutines (0 = all cores); the
-// candidate order is fixed, so the frontier is identical at every pool
-// size. Cancelling ctx aborts the sweep and returns ctx.Err().
+// Deprecated: use SweepFrontier with a FrontierSpec. Historically the
+// separate workers argument silently overrode a caller-set
+// opts.Parallelism in the search phases while the DAG build honored
+// opts; the shim resolves workers first, then opts.Parallelism, and
+// applies that one value everywhere.
 func FrontierContext(ctx context.Context, params model.Params, k int, opts dag.Options, workers int) ([]FrontierPoint, error) {
-	if err := params.Validate(); err != nil {
-		return nil, err
+	if workers == 0 {
+		workers = opts.Parallelism
 	}
-	if k <= 0 {
-		k = 24
-	}
-	if opts.Parallelism == 0 {
-		opts.Parallelism = workers
-	}
-	m := model.NewPaper(params)
-	cache := model.NewPredictionCache()
-	exact := cache.Wrap(model.NewExact(params), params.Fingerprint(), "exact")
-
-	// evaluate resolves configurations to frontier points in input order,
-	// fanning the exact-model predictions across the pool and dropping
-	// infeasible candidates.
-	evaluate := func(cfgs []mapreduce.Config) ([]FrontierPoint, error) {
-		pts := make([]*FrontierPoint, len(cfgs))
-		if err := parallel.ForEach(ctx, len(cfgs), workers, func(i int) {
-			pred, err := exact.Predict(cfgs[i])
-			if err != nil {
-				return
-			}
-			pts[i] = &FrontierPoint{Config: cfgs[i], Pred: pred}
-		}); err != nil {
-			return nil, err
-		}
-		var out []FrontierPoint
-		for _, p := range pts {
-			if p != nil {
-				out = append(out, *p)
-			}
-		}
-		return out, nil
-	}
-
-	// The fast end and the cheap end of the space: both DAGs build
-	// concurrently, then each is swept for its k best paths.
-	var dt, dc *dag.DAG
-	var errT, errC error
-	if err := parallel.ForEach(ctx, 2, workers, func(i int) {
-		if i == 0 {
-			dt, errT = dag.BuildContext(ctx, m, dag.MinimizeTime, opts)
-		} else {
-			dc, errC = dag.BuildContext(ctx, m, dag.MinimizeCost, opts)
-		}
-	}); err != nil {
-		return nil, err
-	}
-	if errT != nil {
-		return nil, errT
-	}
-	if errC != nil {
-		return nil, errC
-	}
-	var cfgs []mapreduce.Config
-	for _, d := range []*dag.DAG{dt, dc} {
-		paths, err := d.G.YenKSPCtx(ctx, d.Src, d.Dst, k, workers)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range paths {
-			if cfg, err := d.Decode(p); err == nil {
-				cfgs = append(cfgs, cfg)
-			}
-		}
-	}
-	raw, err := evaluate(cfgs)
+	res, err := SweepFrontier(ctx, FrontierSpec{
+		Params:      params,
+		Size:        k,
+		DAG:         opts,
+		Parallelism: workers,
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	// …and the middle: the cheapest plan at interpolated deadlines. The
-	// constrained search leaves the graph untouched, so every sweep runs
-	// on the one memoized cost-mode DAG, in parallel.
-	if len(raw) >= 2 {
-		lo, hi := raw[0].Pred.TotalSec(), raw[0].Pred.TotalSec()
-		for _, c := range raw {
-			if s := c.Pred.TotalSec(); s < lo {
-				lo = s
-			} else if s > hi {
-				hi = s
-			}
-		}
-		steps := k / 2
-		mids := make([]graph.Path, steps)
-		midOK := make([]bool, steps)
-		if err := parallel.ForEach(ctx, steps-1, workers, func(i int) {
-			deadline := lo + (hi-lo)*float64(i+1)/float64(steps)
-			if p, err := dc.G.ConstrainedShortestPathCtx(ctx, dc.Src, dc.Dst, deadline); err == nil {
-				mids[i+1], midOK[i+1] = p, true
-			}
-		}); err != nil {
-			return nil, err
-		}
-		var midCfgs []mapreduce.Config
-		for i := 1; i < steps; i++ {
-			if !midOK[i] {
-				continue
-			}
-			if cfg, err := dc.Decode(mids[i]); err == nil {
-				midCfgs = append(midCfgs, cfg)
-			}
-		}
-		midPts, err := evaluate(midCfgs)
-		if err != nil {
-			return nil, err
-		}
-		raw = append(raw, midPts...)
-	}
-
-	front := paretoPrune(raw)
-	if len(front) == 0 {
-		return nil, ErrNoFeasiblePlan
-	}
-	sort.Slice(front, func(a, b int) bool {
-		return front[a].Pred.TotalSec() < front[b].Pred.TotalSec()
-	})
-	return front, nil
+	return res.Points, nil
 }
 
-// paretoPrune removes dominated and duplicate candidates.
+// deadlineSlack pads a constrained search's budget or cost limit so a
+// bound summed in a different association order cannot exclude its own
+// optimum by a few ULPs.
+const deadlineSlack = 1e-9
+
+// SweepFrontier computes the time/cost Pareto frontier of a job's
+// configuration space as an anytime, incremental search. One cost-mode
+// DAG is built and frozen up front and every phase searches it
+// read-only; one prediction cache carries exact-model evaluations
+// across phases (and, via FrontierSpec.Cache, across sweeps). The
+// schedule is:
+//
+//  1. endpoints — the min-cost path (one Dijkstra) and the cheapest
+//     plan at the minimum achievable completion time (one constrained
+//     search), which bracket the frontier;
+//  2. coarse midpoints — constrained searches at evenly interpolated
+//     deadlines between the brackets;
+//  3. bisection — repeated rounds that split the largest normalized
+//     gaps of the frontier-so-far until Size points are on hand,
+//     refinement stops making progress, or the round cap is hit.
+//
+// Before any search, per-node to-go bounds from the destination
+// (graph.ToGoBounds) are computed once; they prune label expansions
+// that cannot meet the deadline or undercut the best known cost, and a
+// probe algebra over completed searches skips whole deadlines whose
+// optimum is already determined (monotonicity of the constrained
+// optimum in the deadline). Skips surface as Stats.Pruned and
+// astra_frontier_pruned_total.
+//
+// Every phase fans its searches and evaluations over the spec's worker
+// pool in fixed slot order, so the frontier — and every observer
+// snapshot — is identical at every parallelism degree. Cancelling ctx
+// aborts the sweep and returns ctx.Err(). When no configuration is
+// feasible the error wraps ErrNoFeasiblePlan.
+func SweepFrontier(ctx context.Context, spec FrontierSpec) (*FrontierResult, error) {
+	if err := spec.Params.Validate(); err != nil {
+		return nil, err
+	}
+	k := spec.Size
+	if k <= 0 {
+		k = 24
+	}
+	workers := spec.workers()
+	dagOpts := spec.DAG
+	dagOpts.Parallelism = workers
+	tel := spec.Tel
+	ctx = telemetry.NewContext(ctx, tel)
+	cache := spec.Cache
+	if cache == nil {
+		cache = model.NewPredictionCache()
+	}
+	s := &sweep{
+		k:       k,
+		workers: workers,
+		tel:     tel,
+		cache:   cache,
+		exact:   cache.Wrap(model.NewExact(spec.Params), spec.Params.Fingerprint(), "exact"),
+		observe: spec.Observer,
+		sides:   make(map[mapreduce.Config]float64),
+		start:   time.Now(),
+	}
+	s.hits0, s.misses0 = cache.Stats()
+
+	// One frozen cost-mode DAG serves the whole sweep: W carries cost
+	// (with a time tiebreak), Side carries time, so a deadline-budgeted
+	// constrained search returns the cheapest plan at that deadline.
+	d, err := dag.BuildContext(ctx, model.NewPaper(spec.Params), dag.MinimizeCost, dagOpts)
+	if err != nil {
+		return nil, err
+	}
+	s.d = d
+	s.bounds = d.G.ToGoBounds(d.Dst)
+	s.minTime = s.bounds.SideToGo[d.Src]
+	if math.IsInf(s.minTime, 1) {
+		return nil, fmt.Errorf("%w: configuration graph is disconnected", ErrNoFeasiblePlan)
+	}
+
+	// Phase 1: endpoints. The min-cost path needs no constraint — one
+	// Dijkstra — and its Side is the slow end of the bracket; the
+	// cheapest plan at the minimum achievable time is one constrained
+	// search at the fast end.
+	cheap, err := d.G.ShortestPath(d.Src, d.Dst)
+	if err != nil {
+		return nil, searchErr(ctx, err)
+	}
+	s.hiTime = cheap.Side
+	s.searches++
+	s.probes = append(s.probes, probe{deadline: cheap.Side, ok: true, pathW: cheap.W, pathSide: cheap.Side, wLimit: math.Inf(1)})
+	if err := s.fold(ctx, []graph.Path{cheap}, []bool{true}); err != nil {
+		return nil, err
+	}
+	if err := s.searchBatch(ctx, []float64{s.minTime * (1 + deadlineSlack)}); err != nil {
+		return nil, err
+	}
+	s.endPhase()
+
+	// Phase 2: coarse midpoints at evenly interpolated deadlines.
+	if n := k/2 - 1; n > 0 && s.hiTime > s.minTime {
+		dls := make([]float64, 0, n)
+		for i := 1; i <= n; i++ {
+			dls = append(dls, s.minTime+(s.hiTime-s.minTime)*float64(i)/float64(n+1))
+		}
+		if err := s.searchBatch(ctx, dls); err != nil {
+			return nil, err
+		}
+	}
+	s.endPhase()
+
+	// Phase 3+: bisect the largest gaps of the frontier-so-far until the
+	// target size is met or refinement stops paying.
+	const maxBisectRounds = 8
+	for round := 0; round < maxBisectRounds; round++ {
+		front := paretoPrune(s.points)
+		if len(front) >= k {
+			break
+		}
+		dls := s.bisectDeadlines(front, k-len(front))
+		if len(dls) == 0 {
+			break
+		}
+		before := len(s.sides)
+		if err := s.searchBatch(ctx, dls); err != nil {
+			return nil, err
+		}
+		s.endPhase()
+		if len(s.sides) == before {
+			break
+		}
+	}
+
+	front := paretoPrune(s.points)
+	if len(front) == 0 {
+		return nil, fmt.Errorf("%w: no feasible configuration on the frontier", ErrNoFeasiblePlan)
+	}
+	res := &FrontierResult{Points: front, Stats: s.stats()}
+	if s.observe != nil {
+		s.observe(FrontierUpdate{
+			Phase:  s.phase,
+			Points: append([]FrontierPoint(nil), front...),
+			Final:  true,
+			Stats:  res.Stats,
+		})
+	}
+	if tel != nil {
+		tel.Counter(telemetry.MPlanCacheHits).Add(res.Stats.CacheHits)
+		tel.Counter(telemetry.MPlanCacheMisses).Add(res.Stats.CacheMisses)
+	}
+	return res, nil
+}
+
+// probe records one resolved deadline: the constrained optimum found
+// there (ok) or the fact that nothing beat wLimit (not ok). Probes are
+// the sweep's memory — the monotonicity of the constrained optimum in
+// the deadline lets them answer later deadlines without a search.
+type probe struct {
+	deadline float64
+	ok       bool
+	pathW    float64
+	pathSide float64
+	wLimit   float64
+}
+
+// sweep is the mutable state of one SweepFrontier call.
+type sweep struct {
+	k       int
+	workers int
+	d       *dag.DAG
+	bounds  *graph.Bounds
+	tel     *telemetry.Registry
+	cache   *model.PredictionCache
+	exact   model.Predictor
+	observe func(FrontierUpdate)
+
+	minTime float64
+	hiTime  float64
+
+	probes []probe
+	// sides maps every decoded configuration to its paper-model path
+	// time — the deadline axis — for gap bisection; it doubles as the
+	// dedupe set.
+	sides  map[mapreduce.Config]float64
+	points []FrontierPoint
+
+	phase    int
+	searches int64
+	pruned   int64
+	start    time.Time
+	hits0    uint64
+	misses0  uint64
+}
+
+func (s *sweep) stats() FrontierStats {
+	h1, m1 := s.cache.Stats()
+	return FrontierStats{
+		Phases:      int64(s.phase),
+		Searches:    s.searches,
+		Pruned:      s.pruned,
+		Evaluations: int64(len(s.sides)),
+		CacheHits:   int64(h1 - s.hits0),
+		CacheMisses: int64(m1 - s.misses0),
+		Wall:        time.Since(s.start),
+	}
+}
+
+// endPhase closes a schedule phase: counts it and emits a snapshot.
+func (s *sweep) endPhase() {
+	s.phase++
+	if s.tel != nil {
+		s.tel.Counter(telemetry.MFrontierPhases).Inc()
+	}
+	if s.observe == nil {
+		return
+	}
+	s.observe(FrontierUpdate{
+		Phase:  s.phase,
+		Points: paretoPrune(s.points),
+		Stats:  s.stats(),
+	})
+}
+
+// covered reports whether an earlier probe already determines the
+// constrained optimum at deadline dl, so searching it would return a
+// path (or an infeasibility) the sweep has seen. Two cases:
+//
+//   - a feasible probe at a deadline ≥ dl whose path already meets dl:
+//     that path is feasible at dl and no cheaper path can exist there
+//     (the optimum is monotone non-increasing in the deadline);
+//   - an infeasible probe at a deadline ≥ dl whose cost limit was at
+//     least as permissive as dl's would be: the optimum at dl can only
+//     cost more, so dl's search would come back empty too.
+func (s *sweep) covered(dl float64) bool {
+	if dl < s.minTime {
+		return true
+	}
+	limit := s.wLimitFor(dl)
+	for _, p := range s.probes {
+		if p.deadline < dl {
+			continue
+		}
+		if p.ok && p.pathSide <= dl {
+			return true
+		}
+		if !p.ok && p.wLimit >= limit {
+			return true
+		}
+	}
+	return false
+}
+
+// wLimitFor is the tightest valid cost ceiling for a search at deadline
+// dl: any feasible probe at a deadline ≤ dl is feasible here too, so
+// dl's optimum cannot cost more than the cheapest of them (padded for
+// summation-order FP noise).
+func (s *sweep) wLimitFor(dl float64) float64 {
+	limit := math.Inf(1)
+	for _, p := range s.probes {
+		if p.ok && p.deadline <= dl && p.pathW < limit {
+			limit = p.pathW
+		}
+	}
+	if !math.IsInf(limit, 1) {
+		limit *= 1 + deadlineSlack
+	}
+	return limit
+}
+
+// searchBatch resolves a phase's deadlines: prunes the ones earlier
+// probes already answer, fans the rest over the pool as bounded
+// constrained searches, and folds the results — probes, decoded
+// configurations, exact evaluations — in fixed slot order so the
+// outcome is independent of the pool size. Prune decisions use only
+// pre-batch probes, which keeps them deterministic too.
+func (s *sweep) searchBatch(ctx context.Context, deadlines []float64) error {
+	type job struct{ dl, wLimit float64 }
+	jobs := make([]job, 0, len(deadlines))
+	for _, dl := range deadlines {
+		if s.covered(dl) {
+			s.pruned++
+			continue
+		}
+		jobs = append(jobs, job{dl: dl, wLimit: s.wLimitFor(dl)})
+	}
+	if s.tel != nil {
+		s.tel.Counter(telemetry.MFrontierPruned).Add(int64(len(deadlines) - len(jobs)))
+		s.tel.Counter(telemetry.MFrontierSearches).Add(int64(len(jobs)))
+	}
+	if len(jobs) == 0 {
+		return ctx.Err()
+	}
+	paths := make([]graph.Path, len(jobs))
+	ok := make([]bool, len(jobs))
+	if err := parallel.ForEach(ctx, len(jobs), s.workers, func(i int) {
+		p, err := s.d.G.ConstrainedShortestPathBoundedCtx(ctx, s.d.Src, s.d.Dst, jobs[i].dl, s.bounds, jobs[i].wLimit)
+		if err != nil {
+			return
+		}
+		paths[i], ok[i] = p, true
+	}); err != nil {
+		return err
+	}
+	s.searches += int64(len(jobs))
+	for i := range jobs {
+		pr := probe{deadline: jobs[i].dl, ok: ok[i], wLimit: jobs[i].wLimit}
+		if ok[i] {
+			pr.pathW, pr.pathSide = paths[i].W, paths[i].Side
+		}
+		s.probes = append(s.probes, pr)
+	}
+	return s.fold(ctx, paths, ok)
+}
+
+// fold decodes a batch's paths, dedupes configurations against the
+// sweep so far, and evaluates the new ones with the exact model across
+// the pool (input order fixed ⇒ deterministic points slice).
+func (s *sweep) fold(ctx context.Context, paths []graph.Path, ok []bool) error {
+	var cfgs []mapreduce.Config
+	for i, p := range paths {
+		if !ok[i] {
+			continue
+		}
+		cfg, err := s.d.Decode(p)
+		if err != nil {
+			continue
+		}
+		if _, dup := s.sides[cfg]; dup {
+			continue
+		}
+		s.sides[cfg] = p.Side
+		cfgs = append(cfgs, cfg)
+	}
+	if len(cfgs) == 0 {
+		return ctx.Err()
+	}
+	pts := make([]*FrontierPoint, len(cfgs))
+	if err := parallel.ForEach(ctx, len(cfgs), s.workers, func(i int) {
+		pred, err := s.exact.Predict(cfgs[i])
+		if err != nil {
+			return
+		}
+		pts[i] = &FrontierPoint{Config: cfgs[i], Pred: pred}
+	}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if p != nil {
+			s.points = append(s.points, *p)
+		}
+	}
+	return nil
+}
+
+// bisectDeadlines proposes up to maxNew fresh deadlines by splitting
+// the largest gaps between adjacent frontier points, measured in
+// normalized exact (time, cost) space and bisected on the paper-model
+// deadline axis (each point's recorded path time). Deadlines earlier
+// probes already resolve are dropped rather than proposed.
+func (s *sweep) bisectDeadlines(front []FrontierPoint, maxNew int) []float64 {
+	if len(front) < 2 || maxNew <= 0 {
+		return nil
+	}
+	tSpan := front[len(front)-1].Pred.TotalSec() - front[0].Pred.TotalSec()
+	cSpan := float64(front[0].Pred.TotalCost()) - float64(front[len(front)-1].Pred.TotalCost())
+	if tSpan <= 0 {
+		tSpan = 1
+	}
+	if cSpan <= 0 {
+		cSpan = 1
+	}
+	type gap struct {
+		size float64
+		i    int
+	}
+	gaps := make([]gap, 0, len(front)-1)
+	for i := 0; i+1 < len(front); i++ {
+		dt := (front[i+1].Pred.TotalSec() - front[i].Pred.TotalSec()) / tSpan
+		dc := (float64(front[i].Pred.TotalCost()) - float64(front[i+1].Pred.TotalCost())) / cSpan
+		gaps = append(gaps, gap{size: math.Hypot(dt, dc), i: i})
+	}
+	sort.Slice(gaps, func(a, b int) bool {
+		if gaps[a].size != gaps[b].size {
+			return gaps[a].size > gaps[b].size
+		}
+		return gaps[a].i < gaps[b].i
+	})
+	var dls []float64
+	for _, g := range gaps {
+		if len(dls) >= maxNew {
+			break
+		}
+		lo, okLo := s.sides[front[g.i].Config]
+		hi, okHi := s.sides[front[g.i+1].Config]
+		if !okLo || !okHi {
+			continue
+		}
+		dl := (lo + hi) / 2
+		if dl <= s.minTime || dl >= s.hiTime || s.probed(dl) || containsFloat(dls, dl) {
+			continue
+		}
+		dls = append(dls, dl)
+	}
+	sort.Float64s(dls)
+	return dls
+}
+
+// probed reports whether a deadline has already been searched (within
+// relative FP noise).
+func (s *sweep) probed(dl float64) bool {
+	for _, p := range s.probes {
+		if math.Abs(p.deadline-dl) <= deadlineSlack*dl {
+			return true
+		}
+	}
+	return false
+}
+
+func containsFloat(xs []float64, x float64) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// paretoPrune removes dominated and duplicate candidates and returns
+// the frontier sorted fastest first (total order: time, then cost, then
+// configuration, so the output is reproducible even under exact ties).
+// A candidate is dominated when another is no worse on both axes and
+// strictly better on one; equal (time, cost) pairs with distinct
+// configurations all survive. One sort plus one linear pass replaces
+// the historical all-pairs scan.
 func paretoPrune(cands []FrontierPoint) []FrontierPoint {
-	var front []FrontierPoint
-	for _, c := range cands {
-		dominated := false
-		for _, o := range cands {
-			if o.Pred.TotalSec() <= c.Pred.TotalSec() &&
-				o.Pred.TotalCost() <= c.Pred.TotalCost() &&
-				(o.Pred.TotalSec() < c.Pred.TotalSec() || o.Pred.TotalCost() < c.Pred.TotalCost()) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			front = append(front, c)
-		}
+	if len(cands) == 0 {
+		return nil
 	}
+	sorted := append([]FrontierPoint(nil), cands...)
+	sort.Slice(sorted, func(a, b int) bool {
+		ta, tb := sorted[a].Pred.TotalSec(), sorted[b].Pred.TotalSec()
+		if ta != tb {
+			return ta < tb
+		}
+		ca, cb := sorted[a].Pred.TotalCost(), sorted[b].Pred.TotalCost()
+		if ca != cb {
+			return ca < cb
+		}
+		return configLess(sorted[a].Config, sorted[b].Config)
+	})
 	seen := map[mapreduce.Config]bool{}
-	out := front[:0]
-	for _, c := range front {
-		if !seen[c.Config] {
-			seen[c.Config] = true
-			out = append(out, c)
+	var front []FrontierPoint
+	bestCost := math.Inf(1)
+	for i := 0; i < len(sorted); {
+		// One group of equal times: its cheapest cost leads the group.
+		j := i
+		groupCost := float64(sorted[i].Pred.TotalCost())
+		for ; j < len(sorted) && sorted[j].Pred.TotalSec() == sorted[i].Pred.TotalSec(); j++ {
 		}
+		if groupCost < bestCost {
+			for _, c := range sorted[i:j] {
+				if float64(c.Pred.TotalCost()) != groupCost {
+					break // dominated within the group
+				}
+				if !seen[c.Config] {
+					seen[c.Config] = true
+					front = append(front, c)
+				}
+			}
+			bestCost = groupCost
+		}
+		i = j
 	}
-	return out
+	return front
+}
+
+// configLess is an arbitrary but fixed total order over configurations,
+// used only to make exact-tie output order reproducible.
+func configLess(a, b mapreduce.Config) bool {
+	if a.MapperMemMB != b.MapperMemMB {
+		return a.MapperMemMB < b.MapperMemMB
+	}
+	if a.CoordMemMB != b.CoordMemMB {
+		return a.CoordMemMB < b.CoordMemMB
+	}
+	if a.ReducerMemMB != b.ReducerMemMB {
+		return a.ReducerMemMB < b.ReducerMemMB
+	}
+	if a.ObjsPerMapper != b.ObjsPerMapper {
+		return a.ObjsPerMapper < b.ObjsPerMapper
+	}
+	return a.ObjsPerReducer < b.ObjsPerReducer
 }

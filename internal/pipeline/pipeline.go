@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"time"
 
-	"astra/internal/dag"
 	"astra/internal/mapreduce"
 	"astra/internal/model"
 	"astra/internal/optimizer"
@@ -120,6 +119,10 @@ type Planner struct {
 	// Parallelism bounds the per-stage frontier sweeps' worker pool
 	// (0 = all cores, 1 = serial). Plans are identical at every setting.
 	Parallelism int
+	// Cache memoizes model predictions across every stage sweep. Left
+	// nil, a private cache is created on first use, so stages with the
+	// same derived parameterization share evaluations.
+	Cache *model.PredictionCache
 }
 
 // NewPlanner creates a pipeline planner from a parameter template.
@@ -132,9 +135,19 @@ func (pl *Planner) frontierSize() int {
 	return 24
 }
 
+// cache returns the shared prediction cache, creating one on demand.
+func (pl *Planner) cache() *model.PredictionCache {
+	if pl.Cache == nil {
+		pl.Cache = model.NewPredictionCache()
+	}
+	return pl.Cache
+}
+
 // stageFrontier computes a Pareto frontier of configurations for one
-// stage via optimizer.Frontier, annotating each point with the stage's
-// output shape for chaining.
+// stage via optimizer.SweepFrontier, annotating each point with the
+// stage's output shape for chaining. Every stage sweep shares the
+// planner's prediction cache, so repeated stage shapes reuse their
+// exact-model evaluations.
 func (pl *Planner) stageFrontier(ctx context.Context, pf workload.Profile, in stageIO) ([]Candidate, error) {
 	params := pl.Params
 	params.Job = workload.Job{
@@ -142,12 +155,17 @@ func (pl *Planner) stageFrontier(ctx context.Context, pf workload.Profile, in st
 		NumObjects: in.objects,
 		ObjectSize: maxInt64(in.bytes/int64(in.objects), 1),
 	}
-	points, err := optimizer.FrontierContext(ctx, params, pl.frontierSize(), dag.Options{}, pl.Parallelism)
+	res, err := optimizer.SweepFrontier(ctx, optimizer.FrontierSpec{
+		Params:      params,
+		Size:        pl.frontierSize(),
+		Parallelism: pl.Parallelism,
+		Cache:       pl.cache(),
+	})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stage profile %q: %w", pf.Name, err)
 	}
 	var front []Candidate
-	for _, pt := range points {
+	for _, pt := range res.Points {
 		out, err := outputOf(pf, in, pt.Config)
 		if err != nil {
 			continue

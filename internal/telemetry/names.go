@@ -21,6 +21,10 @@ const (
 	MYenSpurSearches     = "astra_yen_spur_searches_total"
 	MCSPLabelsPopped     = "astra_csp_labels_popped_total"
 	MCSPLabelsAllocated  = "astra_csp_labels_allocated_total"
+	MCSPBoundPrunes      = "astra_csp_bound_prunes_total"
+	MFrontierPhases      = "astra_frontier_phases_total"
+	MFrontierSearches    = "astra_frontier_searches_total"
+	MFrontierPruned      = "astra_frontier_pruned_total"
 	MSearchScratchReuse  = "astra_search_scratch_reuse_total"
 	MPoolBatches         = "astra_pool_batches_total"
 	MPoolTasks           = "astra_pool_tasks_total"
