@@ -505,11 +505,16 @@ func (w *world) runThen(ctx context.Context, job Job, keys []string, cfg Config,
 	}
 	var rep *Report
 	var runErr error
-	err := w.sched.RunContext(ctx, func(p *simtime.Proc) {
-		rep, runErr = w.driver.Run(p, spec, cfg)
-		if runErr == nil && after != nil {
-			runErr = after(p, rep)
-		}
+	var err error
+	// The whole simulated execution runs under the pprof phase=simulate
+	// label, so CPU profiles separate planner phases from platform time.
+	telemetry.DoPhase(ctx, telemetry.PhaseSimulate, func(ctx context.Context) {
+		err = w.sched.RunContext(ctx, func(p *simtime.Proc) {
+			rep, runErr = w.driver.Run(p, spec, cfg)
+			if runErr == nil && after != nil {
+				runErr = after(p, rep)
+			}
+		})
 	})
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"astra/internal/experiments"
+	"astra/internal/obs"
 )
 
 func main() {
@@ -29,8 +31,26 @@ func run(args []string, out io.Writer) error {
 	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	outDir := fs.String("out", "", "also write each experiment's output to <dir>/<id>.txt plus a combined REPORT.md")
+	serve := fs.String("serve", "",
+		"expose the live observability plane on this address while experiments run (runtime health, phase-labeled pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// A full regeneration takes a while; -serve lets an operator watch the
+	// process (GC pressure, goroutines) and pull phase-labeled CPU
+	// profiles of whichever experiment is running.
+	if *serve != "" {
+		srv := obs.NewServer(obs.Options{RuntimeMetrics: true})
+		if err := srv.Start(*serve); err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		fmt.Fprintf(os.Stderr, "astra-bench: observability at http://%s\n", srv.Addr())
 	}
 
 	all := experiments.All()

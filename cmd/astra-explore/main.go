@@ -7,13 +7,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"astra/internal/mapreduce"
 	"astra/internal/model"
+	"astra/internal/obs"
 	"astra/internal/workload"
 )
 
@@ -33,6 +36,7 @@ type options struct {
 	kM       int
 	kR       int
 	measure  bool
+	serve    string
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -49,6 +53,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.kR, "objs-per-reducer", 2, "fixed objects per reducer when not swept")
 	fs.BoolVar(&o.measure, "measure", false,
 		"execute each point on the simulator instead of predicting")
+	fs.StringVar(&o.serve, "serve", "",
+		"expose the live observability plane on this address while the sweep runs")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -95,6 +101,18 @@ func run(args []string, out io.Writer) error {
 	o, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+	if o.serve != "" {
+		srv := obs.NewServer(obs.Options{RuntimeMetrics: true})
+		if err := srv.Start(o.serve); err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		fmt.Fprintf(os.Stderr, "astra-explore: observability at http://%s\n", srv.Addr())
 	}
 	pf, err := workload.ByName(o.workload)
 	if err != nil {

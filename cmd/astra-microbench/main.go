@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -63,12 +64,43 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	outPath := flag.String("out", "BENCH_plan.json", "write the JSON report to this file (empty: skip)")
 	diffPath := flag.String("diff", "", "compare against this baseline JSON and exit 1 on regression")
 	nsTol := flag.Float64("ns-tolerance", 0.05, "allowed ns/op regression vs the -diff baseline (fraction)")
 	allocsTol := flag.Float64("allocs-tolerance", 0.10, "allowed allocs/op regression vs the -diff baseline (fraction)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run (phase-labeled) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, ferr := os.Create(*cpuProfile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			if err == nil {
+				err = ferr
+			}
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+			err = werr
+		}
+	}()
 
 	params := model.DefaultParams(workload.Sort100GB())
 	obj := optimizer.Objective{Goal: optimizer.MinTimeUnderBudget, Budget: 1}

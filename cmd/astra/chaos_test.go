@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,7 +29,7 @@ const stragglerProfile = `{
 func TestChaosFlagRunsAndReportsResilience(t *testing.T) {
 	path := writeProfile(t, stragglerProfile)
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
 		"-chaos", path,
 	}, &out)
@@ -51,7 +52,7 @@ func TestChaosSpeculationReducesJCT(t *testing.T) {
 			"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
 			"-chaos", path,
 		}, extra...)
-		if err := run(args, &out); err != nil {
+		if err := run(context.Background(), args, &out); err != nil {
 			t.Fatal(err)
 		}
 		return out.String()
@@ -78,27 +79,27 @@ func TestChaosFlagValidation(t *testing.T) {
 	var out bytes.Buffer
 	// Unknown field fails fast, naming the typo.
 	bad := writeProfile(t, `{"seed":1,"rules":[{"target":"lambda","effect":"straggle","factr":8}]}`)
-	if err := run([]string{"-chaos", bad}, &out); err == nil || !strings.Contains(err.Error(), "factr") {
+	if err := run(context.Background(), []string{"-chaos", bad}, &out); err == nil || !strings.Contains(err.Error(), "factr") {
 		t.Fatalf("bad profile: err = %v, want unknown-field error", err)
 	}
 	// Structurally invalid rule (straggle without factor).
 	bad2 := writeProfile(t, `{"seed":1,"rules":[{"target":"lambda","effect":"straggle"}]}`)
-	if err := run([]string{"-chaos", bad2}, &out); err == nil || !strings.Contains(err.Error(), "factor") {
+	if err := run(context.Background(), []string{"-chaos", bad2}, &out); err == nil || !strings.Contains(err.Error(), "factor") {
 		t.Fatalf("invalid rule: err = %v, want validation error", err)
 	}
 	// Missing file.
-	if err := run([]string{"-chaos", filepath.Join(t.TempDir(), "nope.json")}, &out); err == nil {
+	if err := run(context.Background(), []string{"-chaos", filepath.Join(t.TempDir(), "nope.json")}, &out); err == nil {
 		t.Fatal("missing profile should fail")
 	}
 	// -seed without -chaos is a usage error.
-	if err := run([]string{"-seed", "3"}, &out); err == nil || !strings.Contains(err.Error(), "-chaos") {
+	if err := run(context.Background(), []string{"-seed", "3"}, &out); err == nil || !strings.Contains(err.Error(), "-chaos") {
 		t.Fatalf("-seed alone: err = %v, want requires -chaos", err)
 	}
 	// Negative knobs rejected.
-	if err := run([]string{"-speculate", "-1"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-speculate", "-1"}, &out); err == nil {
 		t.Fatal("-speculate -1 should fail")
 	}
-	if err := run([]string{"-retries", "-1"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-retries", "-1"}, &out); err == nil {
 		t.Fatal("-retries -1 should fail")
 	}
 }
@@ -119,7 +120,7 @@ func TestChaosSeedOverrideChangesFaults(t *testing.T) {
 		if seed != "" {
 			args = append(args, "-seed", seed)
 		}
-		if err := run(args, &out); err != nil {
+		if err := run(context.Background(), args, &out); err != nil {
 			t.Fatal(err)
 		}
 		return out.String()

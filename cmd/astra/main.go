@@ -21,7 +21,11 @@ import (
 	"io"
 	"io/fs"
 	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"astra"
@@ -29,6 +33,7 @@ import (
 	"astra/internal/flight"
 	"astra/internal/mapreduce"
 	"astra/internal/model"
+	"astra/internal/obs"
 	"astra/internal/optimizer"
 	"astra/internal/pricing"
 	"astra/internal/spec"
@@ -37,7 +42,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "astra:", err)
 		os.Exit(1)
 	}
@@ -70,6 +77,11 @@ type options struct {
 
 	frontier    int
 	frontierOut string
+
+	serve      string
+	serveFor   time.Duration
+	cpuProfile string
+	memProfile string
 
 	parallelism int
 	planTimeout time.Duration
@@ -113,6 +125,14 @@ func parseFlags(args []string) (*options, error) {
 		"sweep a k-point time/cost Pareto frontier instead of planning one configuration (0 = off)")
 	fs.StringVar(&o.frontierOut, "frontier-out", "",
 		"write the frontier points to this file as CSV (requires -frontier)")
+	fs.StringVar(&o.serve, "serve", "",
+		"expose the live observability plane on this address (host:port; port 0 picks one): /metrics, /events, /frontier, /explain, /debug/pprof")
+	fs.DurationVar(&o.serveFor, "serve-for", 0,
+		"keep the -serve plane up this long after the work finishes (interrupt to stop early)")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "",
+		"write a CPU profile of the whole command (planning phases carry pprof labels) to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "",
+		"write a heap profile at exit to this file")
 	fs.BoolVar(&o.force, "f", false, "overwrite existing output files")
 	fs.BoolVar(&o.explain, "explain", false, "print the plan's search report (explain-plan)")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON")
@@ -144,6 +164,12 @@ func parseFlags(args []string) (*options, error) {
 	if o.frontier < 0 {
 		return nil, fmt.Errorf("-frontier must be >= 0, got %d", o.frontier)
 	}
+	if o.serveFor < 0 {
+		return nil, fmt.Errorf("-serve-for must be >= 0, got %v", o.serveFor)
+	}
+	if o.serveFor > 0 && o.serve == "" {
+		return nil, fmt.Errorf("-serve-for requires -serve")
+	}
 	if o.frontierOut != "" && o.frontier == 0 {
 		return nil, fmt.Errorf("-frontier-out requires -frontier")
 	}
@@ -171,10 +197,12 @@ func createOutput(path string, force bool) (*os.File, error) {
 // outputs holds the pre-opened export files (nil when the flag is unset).
 type outputs struct {
 	trace, metrics, events, frontier *os.File
+	cpuprofile, memprofile           *os.File
 }
 
 func (of *outputs) closeAll() {
-	for _, f := range []*os.File{of.trace, of.metrics, of.events, of.frontier} {
+	for _, f := range []*os.File{of.trace, of.metrics, of.events, of.frontier,
+		of.cpuprofile, of.memprofile} {
 		if f != nil {
 			f.Close()
 		}
@@ -198,6 +226,8 @@ func openOutputs(o *options) (*outputs, error) {
 	of.metrics = open(o.metricsOut)
 	of.events = open(o.eventsOut)
 	of.frontier = open(o.frontierOut)
+	of.cpuprofile = open(o.cpuProfile)
+	of.memprofile = open(o.memProfile)
 	if err != nil {
 		of.closeAll()
 		return nil, err
@@ -253,7 +283,7 @@ type measurementJSON struct {
 	DeadlineMet *bool `json:"deadline_met,omitempty"`
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	o, err := parseFlags(args)
 	if err != nil {
 		return err
@@ -263,6 +293,22 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer files.closeAll()
+
+	if files.cpuprofile != nil {
+		if err := pprof.StartCPUProfile(files.cpuprofile); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if files.memprofile == nil {
+			return
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if werr := pprof.WriteHeapProfile(files.memprofile); werr != nil && err == nil {
+			err = werr
+		}
+	}()
 
 	// Load and validate the chaos profile up front, so a malformed file
 	// (unknown field, bad rule) fails the command before planning starts.
@@ -349,33 +395,68 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	ctx := context.Background()
+	planCtx := ctx
 	if o.planTimeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, o.planTimeout)
+		planCtx, cancel = context.WithTimeout(ctx, o.planTimeout)
 		defer cancel()
 	}
 	params := model.DefaultParams(job)
 	var tel *astra.Telemetry
-	if o.explain || o.metricsOut != "" {
+	if o.explain || o.metricsOut != "" || o.serve != "" {
 		tel = astra.NewTelemetry()
 	}
+
+	// The flight recorder observes only the main (planned) run —
+	// baselines stay unrecorded so the exported/streamed event stream
+	// describes exactly one execution.
+	var rec *astra.FlightRecorder
+	if o.audit || o.eventsOut != "" || o.serve != "" {
+		rec = astra.NewFlightRecorder()
+	}
+
+	// -serve mounts the observability plane over the same registry and
+	// recorder the command is about to use, so clients watch the plan and
+	// run live. It stays up through the optional -serve-for window and
+	// shuts down gracefully (draining SSE clients) on the way out.
+	var srv *obs.Server
+	if o.serve != "" {
+		srv = obs.NewServer(obs.Options{Telemetry: tel, Flight: rec, RuntimeMetrics: true})
+		if err := srv.Start(o.serve); err != nil {
+			return err
+		}
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if serr := srv.Shutdown(sctx); serr != nil && err == nil {
+				err = serr
+			}
+		}()
+		fmt.Fprintf(infoWriter(o, out), "observability: http://%s (/metrics /events /frontier /explain /debug/pprof)\n", srv.Addr())
+	}
+
 	if o.frontier > 0 {
-		if err := runFrontier(ctx, out, o, job, params, files, tel); err != nil {
+		if err := runFrontier(planCtx, out, o, job, params, files, tel, srv); err != nil {
 			return err
 		}
 		if files.metrics != nil && tel != nil {
-			return writeMetrics(files.metrics, o.metricsOut, tel)
+			if err := writeMetrics(files.metrics, o.metricsOut, tel); err != nil {
+				return err
+			}
 		}
+		waitServe(ctx, o, srv, out)
 		return nil
 	}
-	plan, err := astra.PlanContext(ctx, job, obj,
+	plan, err := astra.PlanContext(planCtx, job, obj,
 		astra.WithParams(params),
 		astra.WithSolver(solver),
 		astra.WithParallelism(o.parallelism),
 		astra.WithTelemetry(tel))
 	if err != nil {
 		return err
+	}
+	if srv != nil {
+		srv.PublishExplain(plan.Explain())
 	}
 	if tel != nil {
 		runOpts = append(runOpts, astra.WithRunTelemetry(tel))
@@ -419,12 +500,8 @@ func run(args []string, out io.Writer) error {
 
 	var runReport *mapreduce.Report
 	if o.doRun {
-		// The flight recorder observes only the main (planned) run —
-		// baselines stay unrecorded so the exported stream describes
-		// exactly one execution.
 		mainOpts := runOpts
-		if o.audit || o.eventsOut != "" {
-			rec := astra.NewFlightRecorder()
+		if rec != nil {
 			mainOpts = append(append([]astra.RunOption{}, runOpts...),
 				astra.WithFlightRecorder(rec))
 		}
@@ -520,9 +597,35 @@ func run(args []string, out io.Writer) error {
 	if o.jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
 	}
+	waitServe(ctx, o, srv, out)
 	return nil
+}
+
+// infoWriter routes -serve status lines: with -json they go to stderr so
+// stdout stays a parseable document.
+func infoWriter(o *options, out io.Writer) io.Writer {
+	if o.jsonOut {
+		return os.Stderr
+	}
+	return out
+}
+
+// waitServe keeps the observability plane up for the -serve-for window
+// after the work finished, so clients can scrape the final state; an
+// interrupt (or parent-context cancel) ends the window early.
+func waitServe(ctx context.Context, o *options, srv *obs.Server, out io.Writer) {
+	if srv == nil || o.serveFor <= 0 {
+		return
+	}
+	fmt.Fprintf(infoWriter(o, out), "serving for %v (interrupt to stop)\n", o.serveFor)
+	select {
+	case <-time.After(o.serveFor):
+	case <-ctx.Done():
+	}
 }
 
 // frontierJSON is the -frontier -json output schema.
@@ -549,18 +652,31 @@ type frontierSweepStatsJS struct {
 
 // runFrontier handles -frontier: sweep a k-point Pareto frontier for the
 // job, print it (text or JSON), and export CSV when -frontier-out is set.
-func runFrontier(ctx context.Context, out io.Writer, o *options, job workload.Job, params model.Params, files *outputs, tel *astra.Telemetry) error {
+func runFrontier(ctx context.Context, out io.Writer, o *options, job workload.Job, params model.Params, files *outputs, tel *astra.Telemetry, srv *obs.Server) error {
 	opts := []astra.FrontierOption{
 		astra.WithFrontierSize(o.frontier),
 		astra.WithParams(params),
 		astra.WithParallelism(o.parallelism),
 		astra.WithTelemetry(tel),
 	}
+	// The sweep is anytime; fan each refinement out to every interested
+	// observer (the last WithFrontierObserver wins, so compose here):
+	// /frontier SSE clients when -serve is up, stdout narration otherwise.
+	var observers []func(astra.FrontierUpdate)
+	if srv != nil {
+		observers = append(observers, srv.FrontierObserver())
+	}
 	if !o.jsonOut {
-		// The sweep is anytime: narrate each refinement phase as it lands.
-		opts = append(opts, astra.WithFrontierObserver(func(u astra.FrontierUpdate) {
+		observers = append(observers, func(u astra.FrontierUpdate) {
 			if !u.Final {
 				fmt.Fprintf(out, "phase %d: %d frontier point(s)\n", u.Phase, len(u.Points))
+			}
+		})
+	}
+	if len(observers) > 0 {
+		opts = append(opts, astra.WithFrontierObserver(func(u astra.FrontierUpdate) {
+			for _, fn := range observers {
+				fn(u)
 			}
 		}))
 	}

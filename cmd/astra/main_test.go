@@ -2,13 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"astra/internal/optimizer"
 )
@@ -32,7 +37,7 @@ func TestSolverByName(t *testing.T) {
 
 func TestRunPlanOnly(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
 		"-objective", "time", "-budget", "0.01",
 	}, &out)
@@ -52,7 +57,7 @@ func TestRunPlanOnly(t *testing.T) {
 
 func TestRunWithExecutionAndBaselines(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "query", "-size-gb", "0.05", "-objects", "6",
 		"-objective", "cost", "-deadline", "1h",
 		"-run", "-baselines", "-timeline",
@@ -70,7 +75,7 @@ func TestRunWithExecutionAndBaselines(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "sort", "-size-gb", "0.02", "-objects", "4",
 		"-run", "-json",
 	}, &out)
@@ -102,7 +107,7 @@ func TestRunFromSpecFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-spec", path, "-run", "-json"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-spec", path, "-run", "-json"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	var res result
@@ -121,10 +126,10 @@ func TestRunFromBadSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-spec", path}, &out); err == nil {
+	if err := run(context.Background(), []string{"-spec", path}, &out); err == nil {
 		t.Fatal("bad spec should fail")
 	}
-	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}, &out); err == nil {
+	if err := run(context.Background(), []string{"-spec", filepath.Join(dir, "missing.json")}, &out); err == nil {
 		t.Fatal("missing spec should fail")
 	}
 }
@@ -141,7 +146,7 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"-objective", "cost", "-deadline", "-1m"},
 	}
 	for _, args := range cases {
-		if err := run(args, &out); err == nil {
+		if err := run(context.Background(), args, &out); err == nil {
 			t.Errorf("args %v should fail", args)
 		}
 	}
@@ -153,10 +158,10 @@ func TestRunParallelismFlagMatchesSerial(t *testing.T) {
 		"-objective", "time", "-budget", "0.01", "-json",
 	}
 	var serial, parallel bytes.Buffer
-	if err := run(append(base, "-parallelism", "1"), &serial); err != nil {
+	if err := run(context.Background(), append(base, "-parallelism", "1"), &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append(base, "-parallelism", "4"), &parallel); err != nil {
+	if err := run(context.Background(), append(base, "-parallelism", "4"), &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {
@@ -173,7 +178,7 @@ func TestRunExplainAndMetricsOut(t *testing.T) {
 	dir := t.TempDir()
 	promPath := filepath.Join(dir, "m.prom")
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "sort", "-size-gb", "0.05", "-objects", "8",
 		"-objective", "time", "-budget", "0.01",
 		"-run", "-explain", "-metrics-out", promPath,
@@ -227,7 +232,7 @@ func TestRunMetricsOutJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "m.json")
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "grep", "-size-gb", "0.05", "-objects", "6",
 		"-objective", "time", "-budget", "0.01",
 		"-run", "-metrics-out", path,
@@ -268,7 +273,7 @@ func TestRunTraceOutText(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.txt")
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "sort", "-size-gb", "0.02", "-objects", "4",
 		"-run", "-trace-out", path,
 	}, &out)
@@ -286,7 +291,7 @@ func TestRunTraceOutText(t *testing.T) {
 
 func TestRunPlanTimeoutExpired(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "sort", "-size-gb", "100", "-objects", "200",
 		"-objective", "cost", "-deadline", "1h",
 		"-plan-timeout", "1ns",
@@ -310,7 +315,7 @@ func TestRunAuditAndEventsOut(t *testing.T) {
 	}
 	var out bytes.Buffer
 	p1 := filepath.Join(dir, "e1.jsonl")
-	if err := run(args(p1), &out); err != nil {
+	if err := run(context.Background(), args(p1), &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -323,7 +328,7 @@ func TestRunAuditAndEventsOut(t *testing.T) {
 		t.Fatal("-audit must imply -run")
 	}
 	p2 := filepath.Join(dir, "e2.jsonl")
-	if err := run(args(p2), io.Discard); err != nil {
+	if err := run(context.Background(), args(p2), io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	b1, err := os.ReadFile(p1)
@@ -349,7 +354,7 @@ func TestRunAuditAndEventsOut(t *testing.T) {
 // document instead of rendered as text.
 func TestRunAuditJSON(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
 		"-objective", "time", "-budget", "0.01",
 		"-audit", "-json",
@@ -378,13 +383,13 @@ func TestRunRefusesToOverwriteOutputs(t *testing.T) {
 		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
 		"-objective", "time", "-budget", "0.01",
 	}
-	for _, flagName := range []string{"-trace-out", "-metrics-out", "-events-out"} {
+	for _, flagName := range []string{"-trace-out", "-metrics-out", "-events-out", "-cpuprofile", "-memprofile"} {
 		path := filepath.Join(dir, strings.TrimPrefix(flagName, "-"))
 		if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		err := run(append(append([]string{}, base...), flagName, path), &out)
+		err := run(context.Background(), append(append([]string{}, base...), flagName, path), &out)
 		if err == nil || !strings.Contains(err.Error(), "pass -f to overwrite") {
 			t.Fatalf("%s over an existing file: err = %v, want overwrite refusal", flagName, err)
 		}
@@ -392,7 +397,7 @@ func TestRunRefusesToOverwriteOutputs(t *testing.T) {
 			t.Fatalf("%s clobbered the existing file", flagName)
 		}
 		// With -f the same invocation must succeed and replace the file.
-		if err := run(append(append([]string{}, base...), flagName, path, "-f"), io.Discard); err != nil {
+		if err := run(context.Background(), append(append([]string{}, base...), flagName, path, "-f"), io.Discard); err != nil {
 			t.Fatalf("%s with -f: %v", flagName, err)
 		}
 		if got, _ := os.ReadFile(path); string(got) == "precious" {
@@ -408,7 +413,7 @@ func TestRunFrontierMode(t *testing.T) {
 	dir := t.TempDir()
 	csvPath := filepath.Join(dir, "points.csv")
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
 		"-frontier", "6", "-frontier-out", csvPath,
 	}, &out)
@@ -464,7 +469,7 @@ func TestRunFrontierJSON(t *testing.T) {
 		"-frontier", "8", "-json",
 	}
 	var serial, par bytes.Buffer
-	if err := run(append(base, "-parallelism", "1"), &serial); err != nil {
+	if err := run(context.Background(), append(base, "-parallelism", "1"), &serial); err != nil {
 		t.Fatal(err)
 	}
 	var doc frontierJSON
@@ -477,7 +482,7 @@ func TestRunFrontierJSON(t *testing.T) {
 	if doc.Stats.Searches <= 0 || doc.Stats.Evaluations <= 0 {
 		t.Fatalf("stats = %+v", doc.Stats)
 	}
-	if err := run(append(base, "-parallelism", "4"), &par); err != nil {
+	if err := run(context.Background(), append(base, "-parallelism", "4"), &par); err != nil {
 		t.Fatal(err)
 	}
 	// Wall time varies run to run; points and counters must not.
@@ -510,7 +515,7 @@ func TestRunFrontierFlagValidation(t *testing.T) {
 		{"-frontier", "4", "-audit"}, // -audit implies -run
 	}
 	for _, args := range cases {
-		if err := run(args, &out); err == nil {
+		if err := run(context.Background(), args, &out); err == nil {
 			t.Errorf("args %v should fail", args)
 		}
 	}
@@ -520,14 +525,14 @@ func TestRunFrontierFlagValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := []string{"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8", "-frontier", "4"}
-	err := run(append(append([]string{}, base...), "-frontier-out", path), &out)
+	err := run(context.Background(), append(append([]string{}, base...), "-frontier-out", path), &out)
 	if err == nil || !strings.Contains(err.Error(), "pass -f to overwrite") {
 		t.Fatalf("-frontier-out over an existing file: err = %v, want overwrite refusal", err)
 	}
 	if got, _ := os.ReadFile(path); string(got) != "precious" {
 		t.Fatal("-frontier-out clobbered the existing file")
 	}
-	if err := run(append(append([]string{}, base...), "-frontier-out", path, "-f"), io.Discard); err != nil {
+	if err := run(context.Background(), append(append([]string{}, base...), "-frontier-out", path, "-f"), io.Discard); err != nil {
 		t.Fatalf("-frontier-out with -f: %v", err)
 	}
 	if got, _ := os.ReadFile(path); !strings.HasPrefix(string(got), "jct_seconds,") {
@@ -544,13 +549,152 @@ func TestRunFailsFastOnUnwritableOutputs(t *testing.T) {
 		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
 		"-objective", "time", "-budget", "0.01",
 	}
-	for _, flagName := range []string{"-trace-out", "-metrics-out", "-events-out"} {
+	for _, flagName := range []string{"-trace-out", "-metrics-out", "-events-out", "-cpuprofile", "-memprofile"} {
 		var out bytes.Buffer
-		if err := run(append(append([]string{}, base...), flagName, bad), &out); err == nil {
+		if err := run(context.Background(), append(append([]string{}, base...), flagName, bad), &out); err == nil {
 			t.Fatalf("%s to an unwritable path must fail", flagName)
 		}
 		if out.Len() != 0 {
 			t.Fatalf("%s: output written before the path check:\n%s", flagName, out.String())
+		}
+	}
+}
+
+// syncBuffer lets the serve test read run's output while run is still
+// writing it from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeEndToEnd drives -serve the way an operator would: plan and
+// run a job with the plane up, scrape every endpoint, then interrupt
+// (context cancel) to end the -serve-for window and shut down cleanly.
+func TestServeEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
+			"-objective", "time", "-budget", "0.01",
+			"-run", "-serve", "127.0.0.1:0", "-serve-for", "1h",
+		}, &out)
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	waitFor := func(what string, pred func(string) bool) {
+		t.Helper()
+		for time.Now().Before(deadline) {
+			if pred(out.String()) {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s; output so far:\n%s", what, out.String())
+	}
+
+	addrRe := regexp.MustCompile(`observability: (http://\S+)`)
+	waitFor("the observability line", func(s string) bool { return addrRe.MatchString(s) })
+	base := addrRe.FindStringSubmatch(out.String())[1]
+	// "serving for" prints once plan+run are done, so every endpoint has
+	// its final content.
+	waitFor("the work to finish", func(s string) bool { return strings.Contains(s, "serving for") })
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	code, metrics := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: code %d", code)
+	}
+	for _, want := range []string{
+		"astra_go_goroutines",            // runtime sampler is on
+		"astra_obs_http_requests_total{", // the plane meters itself
+		"astra_plan_solves_total",        // planning published its counters
+		"astra_lambda_invocations_total", // ... and so did the run
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+	// Every sample line must parse as `name[{labels}] value` — the
+	// 0.0.4 text shape Prometheus ingests.
+	sampleRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]Inf|[-+0-9.eE]+)$`)
+	for _, line := range strings.Split(strings.TrimRight(metrics, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleRe.MatchString(line) {
+			t.Fatalf("/metrics line does not parse: %q", line)
+		}
+	}
+	if code, body := get("/explain"); code != 200 || len(body) == 0 {
+		t.Fatalf("/explain: %d (%d bytes)", code, len(body))
+	}
+	if code, body := get("/events?follow=0"); code != 200 || !strings.Contains(body, "id: 1\n") {
+		t.Fatalf("/events: %d, first frame missing:\n%.400s", code, body)
+	}
+
+	cancel() // the operator's ctrl-c: ends -serve-for, shuts the plane down
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}
+
+// TestProfileFlagsWriteValidProfiles: -cpuprofile and -memprofile write
+// non-empty gzipped pprof protos via the up-front no-clobber open path.
+func TestProfileFlagsWriteValidProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run(context.Background(), []string{
+		"-workload", "wordcount", "-size-gb", "0.05", "-objects", "8",
+		"-objective", "time", "-budget", "0.01",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+			t.Fatalf("%s: not a gzipped profile (%d bytes)", path, len(b))
 		}
 	}
 }

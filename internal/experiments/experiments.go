@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"astra/internal/objectstore"
 	"astra/internal/pricing"
 	"astra/internal/simtime"
+	"astra/internal/telemetry"
 	"astra/internal/workload"
 )
 
@@ -44,13 +46,15 @@ func Execute(params model.Params, cfg mapreduce.Config) (*mapreduce.Report, erro
 		return nil, err
 	}
 	driver := mapreduce.NewDriver(pl)
-	err = sched.Run(func(p *simtime.Proc) {
-		rep, runErr = driver.Run(p, mapreduce.JobSpec{
-			Workload:  params.Job,
-			Bucket:    "in",
-			InputKeys: keys,
-			Mode:      mapreduce.Profiled,
-		}, cfg)
+	telemetry.DoPhase(context.Background(), telemetry.PhaseSimulate, func(context.Context) {
+		err = sched.Run(func(p *simtime.Proc) {
+			rep, runErr = driver.Run(p, mapreduce.JobSpec{
+				Workload:  params.Job,
+				Bucket:    "in",
+				InputKeys: keys,
+				Mode:      mapreduce.Profiled,
+			}, cfg)
+		})
 	})
 	if err != nil {
 		return nil, err

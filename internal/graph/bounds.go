@@ -62,10 +62,11 @@ func (g *Graph) ToGoBounds(dst int) *Bounds {
 			rside[p] = g.side[ei]
 		}
 	}
-	b := &Bounds{
-		WToGo:    reverseDijkstra(g.n, dst, roff, rto, rw),
-		SideToGo: reverseDijkstra(g.n, dst, roff, rto, rside),
-	}
+	b := &Bounds{}
+	telemetry.DoPhase(context.Background(), telemetry.PhaseDijkstra, func(context.Context) {
+		b.WToGo = reverseDijkstra(g.n, dst, roff, rto, rw)
+		b.SideToGo = reverseDijkstra(g.n, dst, roff, rto, rside)
+	})
 	return b
 }
 
@@ -122,7 +123,12 @@ func reverseDijkstra(n, src int, off, to []int32, w []float64) []float64 {
 // Labels skipped by the bounds are counted on the context's telemetry
 // registry as astra_csp_bound_prunes_total.
 func (g *Graph) ConstrainedShortestPathBoundedCtx(ctx context.Context, src, dst int, budget float64, b *Bounds, wLimit float64) (Path, error) {
-	return g.constrainedSearch(ctx, src, dst, budget, b, wLimit)
+	var p Path
+	var err error
+	telemetry.DoPhase(ctx, telemetry.PhaseCSP, func(ctx context.Context) {
+		p, err = g.constrainedSearch(ctx, src, dst, budget, b, wLimit)
+	})
+	return p, err
 }
 
 // constrainedSearch is the label-setting core shared by the bounded and

@@ -19,11 +19,14 @@
 package graph
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"astra/internal/telemetry"
 )
 
 // Errors returned by the solvers.
@@ -311,7 +314,11 @@ func (g *Graph) assemble(src, dst int, prev []int32) (Path, bool) {
 
 // ShortestPath returns the minimum-W path from src to dst.
 func (g *Graph) ShortestPath(src, dst int) (Path, error) {
-	p, _, err := g.shortestPathStats(src, dst)
+	var p Path
+	var err error
+	telemetry.DoPhase(context.Background(), telemetry.PhaseDijkstra, func(context.Context) {
+		p, _, err = g.shortestPathStats(src, dst)
+	})
 	return p, err
 }
 

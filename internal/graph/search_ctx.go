@@ -46,6 +46,15 @@ func (g *Graph) Clone() *Graph {
 // relaxation counts are accumulated; with no registry attached the loop
 // is identical to the uninstrumented original.
 func (g *Graph) Algorithm1Ctx(ctx context.Context, src, dst int, budget float64) (Path, error) {
+	var p Path
+	var err error
+	telemetry.DoPhase(ctx, telemetry.PhaseAlgorithm1, func(ctx context.Context) {
+		p, err = g.algorithm1Ctx(ctx, src, dst, budget)
+	})
+	return p, err
+}
+
+func (g *Graph) algorithm1Ctx(ctx context.Context, src, dst int, budget float64) (Path, error) {
 	tel := telemetry.FromContext(ctx)
 	rounds := tel.Counter(telemetry.MAlg1Rounds)
 	removals := tel.Counter(telemetry.MAlg1EdgesRemoved)
@@ -99,5 +108,10 @@ func (g *Graph) Algorithm1Ctx(ctx context.Context, src, dst int, budget float64)
 // evicted flag instead of an identity scan. The loop itself lives in
 // constrainedSearch (bounds.go), shared with the bound-aware variant.
 func (g *Graph) ConstrainedShortestPathCtx(ctx context.Context, src, dst int, budget float64) (Path, error) {
-	return g.constrainedSearch(ctx, src, dst, budget, nil, math.Inf(1))
+	var p Path
+	var err error
+	telemetry.DoPhase(ctx, telemetry.PhaseCSP, func(ctx context.Context) {
+		p, err = g.constrainedSearch(ctx, src, dst, budget, nil, math.Inf(1))
+	})
+	return p, err
 }

@@ -34,6 +34,15 @@ func (g *Graph) YenKSPCtx(ctx context.Context, src, dst, k, workers int) ([]Path
 	if k <= 0 {
 		return nil, ctx.Err()
 	}
+	var paths []Path
+	var err error
+	telemetry.DoPhase(ctx, telemetry.PhaseYen, func(ctx context.Context) {
+		paths, err = g.yenKSPCtx(ctx, src, dst, k, workers)
+	})
+	return paths, err
+}
+
+func (g *Graph) yenKSPCtx(ctx context.Context, src, dst, k, workers int) ([]Path, error) {
 	tel := telemetry.FromContext(ctx)
 	rounds := tel.Counter(telemetry.MYenRounds)
 	spurSearches := tel.Counter(telemetry.MYenSpurSearches)

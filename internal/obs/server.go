@@ -1,0 +1,407 @@
+// Package obs is Astra's live observability plane: an embeddable,
+// gracefully-shutdownable HTTP server that any binary (cmd/astra,
+// astra-bench, experiments drivers, a future astra-server) mounts next
+// to its work to make an in-flight plan or run watchable.
+//
+// Endpoints:
+//
+//	GET /metrics        live telemetry snapshot, Prometheus 0.0.4 text
+//	GET /healthz        liveness probe
+//	GET /debug/pprof/*  net/http/pprof (profiles carry the planner's
+//	                    phase labels; see telemetry.DoPhase)
+//	GET /events         flight-recorder events as Server-Sent Events
+//	GET /frontier       anytime FrontierUpdate snapshots as SSE
+//	GET /explain        the last published Plan.Explain() report
+//
+// The server is observe-only, like the telemetry registry and flight
+// recorder it fronts: mounting it never perturbs planning or simulated
+// results. Streaming is pull-shaped and bounded — /events follows the
+// recorder's ring by sequence number (ring overwrites surface as counted
+// gaps, so a slow client can never grow server memory), and /frontier
+// replays a bounded update log. Shutdown(ctx) stops the runtime sampler,
+// releases every connected SSE client, and drains the HTTP server.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"astra/internal/flight"
+	"astra/internal/mapreduce"
+	"astra/internal/optimizer"
+	"astra/internal/telemetry"
+)
+
+// Options configures a Server. The zero value is usable: a private
+// registry, no flight recorder (404 on /events), no runtime sampler.
+type Options struct {
+	// Telemetry is the registry /metrics snapshots. Left nil, the server
+	// creates a private one (so its own request counters still export).
+	Telemetry *telemetry.Registry
+	// Flight is the recorder /events follows. Nil disables /events.
+	Flight *flight.Recorder
+	// RuntimeMetrics starts the runtime/metrics sampler goroutine,
+	// publishing astra_go_* gauges and histograms into the registry.
+	RuntimeMetrics bool
+	// SampleEvery is the sampler cadence (default 250ms).
+	SampleEvery time.Duration
+	// PollEvery is the /events follow-mode poll cadence (default 25ms).
+	PollEvery time.Duration
+	// FrontierHistory bounds the retained FrontierUpdate log (default
+	// 64; older updates are dropped and counted).
+	FrontierHistory int
+}
+
+// Server is one observability plane instance. Construct with NewServer,
+// mount via Handler or Start, and always Shutdown when done.
+type Server struct {
+	reg       *telemetry.Registry
+	rec       *flight.Recorder
+	pollEvery time.Duration
+	sampler   *Sampler
+	frontier  *updateLog
+
+	mux       *http.ServeMux
+	srv       *http.Server
+	ln        net.Listener
+	serveDone chan struct{}
+
+	closing   chan struct{}
+	closeOnce sync.Once
+
+	mu      sync.Mutex
+	explain string
+}
+
+// NewServer builds a server over the given sources. The sampler (when
+// requested) starts immediately, so registry scrapes show runtime health
+// even before Start.
+func NewServer(o Options) *Server {
+	reg := o.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	poll := o.PollEvery
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	hist := o.FrontierHistory
+	if hist <= 0 {
+		hist = 64
+	}
+	s := &Server{
+		reg:       reg,
+		rec:       o.Flight,
+		pollEvery: poll,
+		frontier:  newUpdateLog(hist, reg.Counter(telemetry.MObsSSEDropped)),
+		mux:       http.NewServeMux(),
+		closing:   make(chan struct{}),
+	}
+	if o.RuntimeMetrics {
+		s.sampler = NewSampler(reg, o.SampleEvery)
+		s.sampler.Start()
+	}
+	s.handle("/healthz", s.handleHealthz)
+	s.handle("/metrics", s.handleMetrics)
+	s.handle("/explain", s.handleExplain)
+	s.handle("/events", s.handleEvents)
+	s.handle("/frontier", s.handleFrontier)
+	s.handle("/debug/pprof/", httppprof.Index)
+	s.handle("/debug/pprof/cmdline", httppprof.Cmdline)
+	s.handle("/debug/pprof/profile", httppprof.Profile)
+	s.handle("/debug/pprof/symbol", httppprof.Symbol)
+	s.handle("/debug/pprof/trace", httppprof.Trace)
+	return s
+}
+
+// handle mounts a handler behind a per-endpoint labeled request counter.
+func (s *Server) handle(path string, h http.HandlerFunc) {
+	counter := s.reg.Counter(telemetry.LabelSeries(telemetry.MObsHTTPRequests, "path", path))
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		counter.Inc()
+		h(w, r)
+	})
+}
+
+// Registry returns the registry backing /metrics (the one passed in
+// Options, or the private default).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Handler exposes the route table for embedding into an existing server.
+// Callers embedding the handler still own calling Shutdown to stop the
+// sampler and release SSE clients.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves
+// in a background goroutine until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	s.serveDone = make(chan struct{})
+	go func() {
+		defer close(s.serveDone)
+		_ = s.srv.Serve(ln) // http.ErrServerClosed on Shutdown
+	}()
+	return nil
+}
+
+// Addr reports the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL is the server's base URL ("" before Start).
+func (s *Server) URL() string {
+	if s.ln == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Shutdown gracefully stops the plane: the runtime sampler exits, every
+// SSE client is released (their handlers return, so active connections
+// drain), and the HTTP server (when Start was used) shuts down within
+// ctx. Safe to call more than once and without Start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		close(s.closing)
+		s.frontier.close()
+		if s.sampler != nil {
+			s.sampler.Stop()
+		}
+	})
+	if s.srv == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	select {
+	case <-s.serveDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return nil
+}
+
+// PublishExplain stores a plan's Explain() report for GET /explain.
+func (s *Server) PublishExplain(report string) {
+	s.mu.Lock()
+	s.explain = report
+	s.mu.Unlock()
+}
+
+// FrontierObserver adapts the server into a WithFrontierObserver
+// callback: each anytime FrontierUpdate is rendered once and appended to
+// the bounded /frontier log, where connected SSE clients pick it up.
+// The callback is synchronous and cheap (one JSON marshal plus a locked
+// append); it never blocks on slow clients.
+func (s *Server) FrontierObserver() func(optimizer.FrontierUpdate) {
+	return func(u optimizer.FrontierUpdate) {
+		wire := frontierUpdateWire{
+			Phase: u.Phase,
+			Final: u.Final,
+			Stats: frontierStatsWire{
+				Phases:      u.Stats.Phases,
+				Searches:    u.Stats.Searches,
+				Pruned:      u.Stats.Pruned,
+				Evaluations: u.Stats.Evaluations,
+			},
+		}
+		for _, pt := range u.Points {
+			wire.Points = append(wire.Points, frontierPointWire{
+				JCTSeconds: pt.Pred.TotalSec(),
+				CostUSD:    float64(pt.Pred.TotalCost()),
+				Config:     pt.Config,
+			})
+		}
+		b, err := json.Marshal(wire)
+		if err != nil {
+			return
+		}
+		s.frontier.append(b)
+	}
+}
+
+// frontierUpdateWire is the /frontier SSE data schema. Wall-clock stats
+// are deliberately omitted so two identical seeded sweeps stream
+// byte-identical updates.
+type frontierUpdateWire struct {
+	Phase  int                 `json:"phase"`
+	Final  bool                `json:"final"`
+	Points []frontierPointWire `json:"points"`
+	Stats  frontierStatsWire   `json:"stats"`
+}
+
+type frontierPointWire struct {
+	JCTSeconds float64          `json:"jct_seconds"`
+	CostUSD    float64          `json:"cost_usd"`
+	Config     mapreduce.Config `json:"config"`
+}
+
+type frontierStatsWire struct {
+	Phases      int64 `json:"phases"`
+	Searches    int64 `json:"searches"`
+	Pruned      int64 `json:"pruned"`
+	Evaluations int64 `json:"evaluations"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.Snapshot().WritePrometheus(w)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	report := s.explain
+	s.mu.Unlock()
+	if report == "" {
+		http.Error(w, "no plan explained yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, report)
+}
+
+// sseParams reads the shared SSE query knobs: since (resume point) and
+// follow (live-tail; default true — follow=0 replays and closes, which
+// is what scripted clients diffing two runs want).
+func sseParams(r *http.Request) (since int64, follow bool) {
+	q := r.URL.Query()
+	since, _ = strconv.ParseInt(q.Get("since"), 10, 64)
+	follow = true
+	if v := q.Get("follow"); v == "0" || v == "false" {
+		follow = false
+	}
+	return since, follow
+}
+
+// sseHeaders marks the response as an event stream and returns the
+// flusher (nil when the ResponseWriter cannot stream).
+func sseHeaders(w http.ResponseWriter) http.Flusher {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	f, _ := w.(http.Flusher)
+	return f
+}
+
+// handleEvents streams the flight recorder as SSE frames (id = event
+// sequence number, data = the event's deterministic JSON). The client's
+// pace bounds nothing but its own connection: the handler polls
+// EventsSince at the server's cadence, the ring keeps rotating, and any
+// events the ring overwrote before the client caught up are surfaced as
+// one ": gap ..." comment and counted in astra_obs_sse_dropped_total.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		http.Error(w, "no flight recorder mounted", http.StatusNotFound)
+		return
+	}
+	since, follow := sseParams(r)
+	flusher := sseHeaders(w)
+	clients := s.reg.Gauge(telemetry.MObsSSEClients)
+	clients.Add(1)
+	defer clients.Add(-1)
+	dropped := s.reg.Counter(telemetry.MObsSSEDropped)
+
+	last := since
+	for {
+		evs := s.rec.EventsSince(last)
+		if len(evs) > 0 {
+			if want := last + 1; evs[0].Seq > want && last > 0 {
+				gap := evs[0].Seq - want
+				dropped.Add(gap)
+				fmt.Fprintf(w, ": gap %d event(s) overwritten\n\n", gap)
+			}
+			for _, ev := range evs {
+				b, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, b)
+				last = ev.Seq
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if !follow {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			return
+		case <-time.After(s.pollEvery):
+		}
+	}
+}
+
+// handleFrontier streams the bounded FrontierUpdate log as SSE frames
+// (id = 1-based update index). follow=0 replays the log and closes;
+// otherwise the handler waits for appends until the client disconnects
+// or the server shuts down.
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	since, follow := sseParams(r)
+	flusher := sseHeaders(w)
+	clients := s.reg.Gauge(telemetry.MObsSSEClients)
+	clients.Add(1)
+	defer clients.Add(-1)
+
+	next := since
+	for {
+		// Capture the wake channel before reading, so an append racing
+		// the read still closes the channel we block on below.
+		wake, closed := s.frontier.wait()
+		frames, from, n := s.frontier.since(next)
+		if from > next {
+			fmt.Fprintf(w, ": gap %d update(s) dropped\n\n", from-next)
+		}
+		for i, b := range frames {
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", from+int64(i)+1, b)
+		}
+		next = n
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if !follow {
+			return
+		}
+		if len(frames) > 0 {
+			continue
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			return
+		case <-wake:
+		}
+	}
+}

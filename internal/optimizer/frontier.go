@@ -187,6 +187,18 @@ func SweepFrontier(ctx context.Context, spec FrontierSpec) (*FrontierResult, err
 	if err := spec.Params.Validate(); err != nil {
 		return nil, err
 	}
+	// The whole sweep carries the frontier_sweep pprof phase label; the
+	// graph entry points it drives re-label their own regions (dijkstra,
+	// csp), so a profile decomposes the sweep into its inner searches.
+	var res *FrontierResult
+	var err error
+	telemetry.DoPhase(ctx, telemetry.PhaseFrontierSweep, func(ctx context.Context) {
+		res, err = sweepFrontier(ctx, spec)
+	})
+	return res, err
+}
+
+func sweepFrontier(ctx context.Context, spec FrontierSpec) (*FrontierResult, error) {
 	k := spec.Size
 	if k <= 0 {
 		k = 24

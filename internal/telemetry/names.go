@@ -80,4 +80,24 @@ const (
 	MSpecLosses    = "astra_speculation_losses_total"
 	MSpecCancelled = "astra_speculation_cancelled_total"
 	MSpecCommits   = "astra_speculation_commits_total"
+
+	// Go runtime health, published by the obs package's sampler from
+	// runtime/metrics so a /metrics scrape shows the process itself, not
+	// just the simulation. Histograms translate the runtime's aggregated
+	// distributions via bucket-count deltas (Histogram.ObserveN).
+	MGoGoroutines       = "astra_go_goroutines"
+	MGoHeapObjectsBytes = "astra_go_heap_objects_bytes"
+	MGoMemTotalBytes    = "astra_go_mem_total_bytes"
+	MGoGCCycles         = "astra_go_gc_cycles"
+	MGoGCPauseSeconds   = "astra_go_gc_pause_seconds"
+	MGoSchedLatSeconds  = "astra_go_sched_latency_seconds"
+	MGoSamples          = "astra_go_samples_total"
+
+	// Observability server: per-endpoint request counters (labeled
+	// series via LabelSeries("astra_obs_http_requests_total", "path",
+	// ...)), live SSE client gauge, and events dropped past slow SSE
+	// clients (ring overwrites observed as sequence gaps).
+	MObsHTTPRequests = "astra_obs_http_requests_total"
+	MObsSSEClients   = "astra_obs_sse_clients"
+	MObsSSEDropped   = "astra_obs_sse_dropped_total"
 )

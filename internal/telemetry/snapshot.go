@@ -102,47 +102,148 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
-// promFloat renders a float the way Prometheus text exposition expects.
+// promFloat renders a float per the Prometheus 0.0.4 text exposition
+// rules: the special values are spelled "+Inf", "-Inf" and "NaN", and
+// everything else uses Go's shortest %g form (which the format accepts).
 func promFloat(v float64) string {
-	if math.IsInf(v, 1) {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
 		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
 	}
 	return fmt.Sprintf("%g", v)
+}
+
+// labelEscaper rewrites a label value per the 0.0.4 text format: the only
+// characters with escape sequences are backslash, double-quote and
+// newline; every other byte passes through raw (label values are
+// arbitrary UTF-8, so Go's %q — which escapes non-ASCII — is wrong here).
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabelValue renders a label value for the text exposition format.
+func EscapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
+// LabelSeries builds a labeled series name — family{k1="v1",k2="v2"} —
+// escaping each value per the exposition rules. Pairs are emitted in the
+// given order; callers wanting one series must pass a stable order. The
+// exporter understands these names: the TYPE comment uses the bare
+// family, and histogram suffixes (_bucket, _sum, _count) are spliced in
+// before the label set.
+func LabelSeries(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitSeries separates a series name into its family and label body:
+// "f{a=\"1\"}" -> ("f", `a="1"`); a bare name has an empty body.
+func splitSeries(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// series derives a suffixed series name, merging extra labels with the
+// base name's own: series("f{a=\"1\"}", "_bucket", `le="2"`) ->
+// `f_bucket{a="1",le="2"}`.
+func series(name, suffix, extra string) string {
+	family, labels := splitSeries(name)
+	switch {
+	case labels == "" && extra == "":
+		return family + suffix
+	case labels == "":
+		return family + suffix + "{" + extra + "}"
+	case extra == "":
+		return family + suffix + "{" + labels + "}"
+	}
+	return family + suffix + "{" + labels + "," + extra + "}"
+}
+
+// writeFamily emits the TYPE comment for a series' family once per
+// export (labeled variants of one family share a single comment).
+func writeFamily(w io.Writer, seen map[string]bool, name, suffix, kind string) error {
+	family, _ := splitSeries(name)
+	family += suffix
+	if seen[family] {
+		return nil
+	}
+	seen[family] = true
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+	return err
 }
 
 // WritePrometheus renders the snapshot's counters, gauges and histograms
 // in the Prometheus text exposition format (version 0.0.4): one TYPE
 // comment per family, cumulative le-labelled buckets plus _sum and
-// _count for histograms. Span records are not exported here — they are
-// trace data, available via WriteJSON and the Gantt renderer.
+// _count for histograms. Metric names built with LabelSeries render as
+// labeled series under their family's single TYPE comment, label values
+// are escaped per the format, non-finite floats are spelled +Inf/-Inf/
+// NaN, and the +Inf bucket is always emitted — even for a histogram
+// snapshot whose Counts slice is short (e.g. one that crossed a JSON
+// round-trip). Span records are not exported here — they are trace
+// data, available via WriteJSON and the Gantt renderer.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
+	seen := make(map[string]bool)
 	for _, name := range sortedKeys(s.Counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+		if err := writeFamily(w, seen, name, "", "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name]); err != nil {
+		if err := writeFamily(w, seen, name, "", "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		if err := writeFamily(w, seen, name, "", "histogram"); err != nil {
 			return err
 		}
 		cum := int64(0)
-		for i, c := range h.Counts {
-			cum += c
-			bound := math.Inf(1)
-			if i < len(h.Bounds) {
-				bound = h.Bounds[i]
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
+			le := `le="` + EscapeLabelValue(promFloat(bound)) + `"`
+			if _, err := fmt.Fprintf(w, "%s %d\n", series(name, "_bucket", le), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum), name, h.Count); err != nil {
+		// The +Inf bucket is mandatory and must equal _count; fold in
+		// whatever counts remain beyond the explicit bounds.
+		for i := len(h.Bounds); i < len(h.Counts); i++ {
+			cum += h.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(name, "_bucket", `le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+			series(name, "_sum", ""), promFloat(h.Sum),
+			series(name, "_count", ""), h.Count); err != nil {
 			return err
 		}
 	}

@@ -106,16 +106,23 @@ type Histogram struct {
 }
 
 // Observe records one value; no-op on a nil receiver.
-func (h *Histogram) Observe(v float64) {
-	if h == nil || math.IsNaN(v) {
+func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records the value v as n identical observations in one shot —
+// one bucket lookup, one atomic add per field. It exists for samplers
+// that translate externally-aggregated histograms (the runtime/metrics
+// GC-pause and sched-latency distributions) into registry histograms by
+// bucket-count deltas. No-op on a nil receiver or non-positive n.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n <= 0 || math.IsNaN(v) {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i].Add(1)
-	h.count.Add(1)
+	h.counts[i].Add(n)
+	h.count.Add(n)
 	for {
 		old := h.sumBits.Load()
-		nw := math.Float64bits(math.Float64frombits(old) + v)
+		nw := math.Float64bits(math.Float64frombits(old) + v*float64(n))
 		if h.sumBits.CompareAndSwap(old, nw) {
 			return
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -317,5 +318,140 @@ func TestCounterDelta(t *testing.T) {
 	}
 	if d := after.CounterDelta(before, "absent"); d != 0 {
 		t.Errorf("absent delta = %d, want 0", d)
+	}
+}
+
+// TestWritePrometheusAlwaysEmitsInfBucket pins the exposition invariant
+// that every histogram carries a le="+Inf" bucket equal to _count, even
+// when the snapshot's Counts slice is shorter than Bounds+1 (a snapshot
+// assembled by hand or truncated across a JSON hop), or empty outright.
+func TestWritePrometheusAlwaysEmitsInfBucket(t *testing.T) {
+	snap := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{
+			"truncated": {Bounds: []float64{1, 2}, Counts: []int64{3}, Sum: 3, Count: 3},
+			"empty":     {},
+		},
+	}
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`truncated_bucket{le="1"} 3`,
+		`truncated_bucket{le="2"} 3`,
+		`truncated_bucket{le="+Inf"} 3`,
+		`empty_bucket{le="+Inf"} 0`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestWritePrometheusNonFiniteFloats checks the 0.0.4 spellings of the
+// special float values: NaN, +Inf and -Inf (never Go's "+Inf"-via-%q or
+// "NaN" quoted forms).
+func TestWritePrometheusNonFiniteFloats(t *testing.T) {
+	snap := Snapshot{
+		Histograms: map[string]HistogramSnapshot{
+			"h": {Bounds: []float64{math.Inf(-1), 1}, Counts: []int64{1, 0, 0},
+				Sum: math.NaN(), Count: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`h_bucket{le="-Inf"} 1`,
+		`h_bucket{le="+Inf"} 1`,
+		"h_sum NaN",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestWritePrometheusLabeledSeries exercises LabelSeries end to end: one
+// TYPE comment per family, label values escaped per the text format
+// (backslash, quote, newline), and histogram suffixes spliced before the
+// label set with le merged in.
+func TestWritePrometheusLabeledSeries(t *testing.T) {
+	reg := New()
+	reg.Counter(LabelSeries("astra_obs_http_requests_total", "path", "/metrics")).Add(2)
+	reg.Counter(LabelSeries("astra_obs_http_requests_total", "path", "/events")).Add(1)
+	reg.Counter(LabelSeries("weird_total", "v", "a\\b\"c\nd")).Inc()
+	reg.Histogram(LabelSeries("lat_seconds", "op", "get"), []float64{1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if got := strings.Count(text, "# TYPE astra_obs_http_requests_total counter\n"); got != 1 {
+		t.Errorf("family TYPE lines = %d, want 1\n%s", got, text)
+	}
+	for _, want := range []string{
+		`astra_obs_http_requests_total{path="/metrics"} 2`,
+		`astra_obs_http_requests_total{path="/events"} 1`,
+		`weird_total{v="a\\b\"c\nd"} 1`,
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{op="get",le="1"} 1`,
+		`lat_seconds_bucket{op="get",le="+Inf"} 1`,
+		`lat_seconds_sum{op="get"} 0.5`,
+		`lat_seconds_count{op="get"} 1`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Escaped newlines must keep the exposition line-oriented: every line
+	// is a comment or ends in a parseable float.
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	if got := EscapeLabelValue("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Errorf("EscapeLabelValue = %q", got)
+	}
+	if got := LabelSeries("m"); got != "m" {
+		t.Errorf("LabelSeries no labels = %q", got)
+	}
+	if got := LabelSeries("m", "a", "1", "b", "2"); got != `m{a="1",b="2"}` {
+		t.Errorf("LabelSeries = %q", got)
+	}
+}
+
+func TestObserveN(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("h", []float64{1, 10})
+	h.ObserveN(0.5, 3)
+	h.ObserveN(5, 2)
+	h.ObserveN(5, 0)  // no-op
+	h.ObserveN(5, -4) // no-op
+	var nilH *Histogram
+	nilH.ObserveN(1, 1) // no-op
+	hs := reg.Snapshot().Histograms["h"]
+	if hs.Count != 5 || hs.Sum != 0.5*3+5*2 {
+		t.Fatalf("count/sum = %d/%v, want 5/11.5", hs.Count, hs.Sum)
+	}
+	if hs.Counts[0] != 3 || hs.Counts[1] != 2 || hs.Counts[2] != 0 {
+		t.Fatalf("bucket counts = %v", hs.Counts)
 	}
 }
