@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench bench-all benchdiff race vet examples
+.PHONY: build test verify bench bench-all benchdiff race vet examples loadgen
 
 build:
 	$(GO) build ./...
@@ -47,3 +47,11 @@ benchdiff:
 # The full `go test -bench` sweep the JSON summary is distilled from.
 bench-all:
 	$(GO) test -run xxx -bench 'PlanSort100GB|FrontierSort100GB|PlanQuery202' -benchmem .
+
+# Multi-tenant planning throughput smoke: 200 plans of the default shape
+# mix through the shared template/prediction caches, capacity report to
+# LOADGEN.json (plans/sec, latency quantiles, cache hit rates). CI runs
+# this and uploads the report as an artifact.
+loadgen:
+	$(GO) run ./cmd/astra-loadgen -plans 200 -concurrency 4 -seed 1 \
+		-out LOADGEN.json -metrics-out LOADGEN.prom

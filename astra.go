@@ -25,6 +25,7 @@ package astra
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"astra/internal/chaos"
@@ -34,6 +35,7 @@ import (
 	"astra/internal/model"
 	"astra/internal/objectstore"
 	"astra/internal/optimizer"
+	"astra/internal/parallel"
 	"astra/internal/pipeline"
 	"astra/internal/pricing"
 	"astra/internal/profiler"
@@ -143,6 +145,56 @@ type PlanCache = model.PredictionCache
 // NewPlanCache creates an empty prediction cache, safe for concurrent use.
 func NewPlanCache() *PlanCache { return model.NewPredictionCache() }
 
+// TemplateCache shares frozen configuration-DAG builds across planning
+// calls and planner instances: jobs of the same shape (same object
+// count, tier set, price sheet and model parameters) reuse one built
+// graph, so a template-hit plan skips the thousands of model
+// evaluations behind DAG construction entirely. Misses build once under
+// singleflight — a thundering herd of identical jobs performs a single
+// build. Plan, Frontier and PlanPipeline use a process-wide shared
+// cache by default (see SharedCaches); pass WithTemplateCache to scope
+// one explicitly, or WithPrivateCaches to opt a call out of sharing.
+type TemplateCache = optimizer.TemplateCache
+
+// TemplateStats summarizes template-cache traffic (hits, misses,
+// builds, singleflight waits, evictions, resident entries).
+type TemplateStats = optimizer.TemplateStats
+
+// NewTemplateCache creates a bounded DAG-template cache; maxTemplates
+// <= 0 selects the default bound. Safe for concurrent use.
+func NewTemplateCache(maxTemplates int) *TemplateCache {
+	return optimizer.NewTemplateCache(maxTemplates)
+}
+
+// Process-wide shared planning caches, created on first use. One
+// template cache and one bounded prediction cache serve every Plan/
+// Frontier/PlanPipeline call that does not override them, so concurrent
+// planner instances amortize cold-plan work instead of each maintaining
+// private state.
+var (
+	sharedOnce      sync.Once
+	sharedTemplates *TemplateCache
+	sharedPlanCache *PlanCache
+)
+
+// sharedPredictionCap bounds the process-wide prediction cache. A cold
+// Sort100GB plan memoizes ~2k predictions; 1<<18 entries holds on the
+// order of a hundred distinct tenant shapes before eviction while
+// keeping worst-case residency bounded.
+const sharedPredictionCap = 1 << 18
+
+// SharedCaches returns the process-wide template and prediction caches
+// that Plan, Frontier and PlanPipeline use by default. Expose their
+// Stats on a dashboard, or pass them to your own optimizer.Planner
+// instances to join the shared pool.
+func SharedCaches() (*TemplateCache, *PlanCache) {
+	sharedOnce.Do(func() {
+		sharedTemplates = NewTemplateCache(0)
+		sharedPlanCache = model.NewPredictionCacheWithCap(sharedPredictionCap)
+	})
+	return sharedTemplates, sharedPlanCache
+}
+
 // Telemetry is a metrics-and-spans registry: atomic counters, gauges,
 // bounded histograms and hierarchical spans over wall and virtual time.
 // Attach one to planning (WithTelemetry) and/or execution
@@ -166,7 +218,25 @@ type planSettings struct {
 	solver      Solver
 	parallelism int
 	cache       *PlanCache
+	templates   *TemplateCache
+	private     bool
 	tel         *Telemetry
+}
+
+// resolveCaches applies the sharing policy: explicit caches win, then
+// the process-wide shared pair, unless the call opted out entirely.
+func (ps *planSettings) resolveCaches() (*TemplateCache, *PlanCache) {
+	tc, pc := ps.templates, ps.cache
+	if !ps.private {
+		stc, spc := SharedCaches()
+		if tc == nil {
+			tc = stc
+		}
+		if pc == nil {
+			pc = spc
+		}
+	}
+	return tc, pc
 }
 
 // PlanOption customizes a planning search (see Plan).
@@ -195,6 +265,23 @@ func WithParallelism(n int) PlanOption {
 // evaluations.
 func WithPlanCache(c *PlanCache) PlanOption {
 	return func(ps *planSettings) { ps.cache = c }
+}
+
+// WithTemplateCache shares a DAG-template cache with the search: a plan
+// for a job shape whose frozen configuration graph is already cached
+// skips DAG construction entirely. The chosen plan is bit-identical
+// with a hit, a miss, or no cache at all.
+func WithTemplateCache(tc *TemplateCache) PlanOption {
+	return func(ps *planSettings) { ps.templates = tc }
+}
+
+// WithPrivateCaches opts this call out of the process-wide shared
+// template and prediction caches: with no explicit WithPlanCache/
+// WithTemplateCache, the search builds and memoizes privately, as a
+// cold standalone plan would. Benchmarks and isolation-sensitive tests
+// want this; services should not.
+func WithPrivateCaches() PlanOption {
+	return func(ps *planSettings) { ps.private = true }
 }
 
 // WithTelemetry attaches a registry to the search: DAG builds, solver
@@ -233,7 +320,7 @@ func PlanContext(ctx context.Context, job Job, obj Objective, opts ...PlanOption
 	pl := optimizer.New(params)
 	pl.Solver = ps.solver
 	pl.Parallelism = ps.parallelism
-	pl.Cache = ps.cache
+	pl.Templates, pl.Cache = ps.resolveCaches()
 	pl.Tel = ps.tel
 	return pl.PlanContext(ctx, obj)
 }
@@ -243,6 +330,125 @@ func PlanContext(ctx context.Context, job Job, obj Objective, opts ...PlanOption
 // Deprecated: use Plan (or PlanContext) with WithParams and WithSolver.
 func PlanWith(params Params, obj Objective, solver Solver) (*ExecutionPlan, error) {
 	return PlanContext(context.Background(), params.Job, obj, WithParams(params), WithSolver(solver))
+}
+
+// BatchRequest is one planning request in a PlanBatch call.
+type BatchRequest struct {
+	Job       Job
+	Objective Objective
+}
+
+// BatchResult is one PlanBatch outcome, index-aligned with the request
+// slice. Exactly one of Plan and Err is set.
+type BatchResult struct {
+	Plan *ExecutionPlan
+	Err  error
+}
+
+// PlanBatch plans many jobs concurrently over one bounded worker pool,
+// sharing a single DAG-template cache and prediction cache across every
+// request — the multi-tenant front end: a batch of recurring job shapes
+// builds each distinct configuration DAG once (under singleflight) and
+// every subsequent plan of that shape is a template hit.
+//
+// Results are index-aligned with requests and deterministic: each plan
+// is bit-identical to what Plan would return for the same job and
+// objective. Per-request failures (infeasible objectives, invalid
+// parameters) land in the corresponding BatchResult.Err; PlanBatch
+// itself only returns an error when ctx is cancelled before the batch
+// drains.
+//
+// Options apply batch-wide. WithParallelism bounds the outer pool over
+// requests (0 = all cores); each request's inner search runs serial,
+// since cross-request concurrency already saturates the pool. WithParams
+// substitutes the parameterization template for every request, with each
+// request's Job spliced in.
+func PlanBatch(ctx context.Context, reqs []BatchRequest, opts ...PlanOption) ([]BatchResult, error) {
+	ps := planSettings{solver: SolverAuto}
+	for _, opt := range opts {
+		opt(&ps)
+	}
+	tc, pc := ps.resolveCaches()
+	if tc == nil {
+		tc = NewTemplateCache(0)
+	}
+	if pc == nil {
+		pc = NewPlanCache()
+	}
+	results := make([]BatchResult, len(reqs))
+	if ps.tel != nil {
+		ctx = telemetry.NewContext(ctx, ps.tel)
+	}
+	err := parallel.ForEach(ctx, len(reqs), ps.parallelism, func(i int) {
+		req := reqs[i]
+		params := ps.params
+		if ps.hasParams {
+			params.Job = req.Job
+		} else {
+			params = model.DefaultParams(req.Job)
+		}
+		pl := optimizer.New(params)
+		pl.Solver = ps.solver
+		pl.Parallelism = 1
+		pl.Templates, pl.Cache = tc, pc
+		pl.Tel = ps.tel
+		plan, perr := pl.PlanContext(ctx, req.Objective)
+		results[i] = BatchResult{Plan: plan, Err: perr}
+	})
+	if tel := ps.tel; tel != nil {
+		var failed int64
+		for i := range results {
+			if results[i].Err != nil {
+				failed++
+			}
+		}
+		tel.Counter(telemetry.MBatchPlans).Add(int64(len(results)) - failed)
+		if failed > 0 {
+			tel.Counter(telemetry.MBatchErrors).Add(failed)
+		}
+		PublishCacheStats(tel, tc, pc)
+	}
+	if err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// PublishCacheStats reconciles a template cache's and prediction cache's
+// cumulative counters into a telemetry registry (astra_plan_template_*
+// and astra_predcache_* series), so a /metrics scrape sees cache traffic
+// even for caches shared across planner instances. Idempotent: counters
+// are set to the caches' totals, not incremented, so repeated publishes
+// (every batch, every scrape) never double-count. Either cache may be
+// nil; a nil registry is a no-op.
+func PublishCacheStats(tel *Telemetry, tc *TemplateCache, pc *PlanCache) {
+	if tel == nil {
+		return
+	}
+	if tc != nil {
+		st := tc.Stats()
+		publishCounterTotal(tel, telemetry.MPlanTemplateHits, int64(st.Hits))
+		publishCounterTotal(tel, telemetry.MPlanTemplateMisses, int64(st.Misses))
+		publishCounterTotal(tel, telemetry.MPlanTemplateBuilds, int64(st.Builds))
+		publishCounterTotal(tel, telemetry.MPlanTemplateEvictions, int64(st.Evictions))
+		publishCounterTotal(tel, telemetry.MPlanTemplateWaits, int64(st.Waits))
+		tel.Gauge(telemetry.MPlanTemplateEntries).Set(int64(st.Entries))
+	}
+	if pc != nil {
+		hits, misses := pc.Stats()
+		publishCounterTotal(tel, telemetry.MPredCacheHits, int64(hits))
+		publishCounterTotal(tel, telemetry.MPredCacheMisses, int64(misses))
+		publishCounterTotal(tel, telemetry.MPredCacheEvictions, int64(pc.Evictions()))
+	}
+}
+
+// publishCounterTotal raises a counter to an externally-tracked
+// cumulative total without double-counting across publishes.
+func publishCounterTotal(tel *Telemetry, name string, total int64) {
+	c := tel.Counter(name)
+	if d := total - c.Value(); d > 0 {
+		c.Add(d)
+	}
 }
 
 // Baselines returns the paper's three baseline configurations for a job.
@@ -574,6 +780,7 @@ func PlanPipelineContext(ctx context.Context, p Pipeline, obj Objective, opts ..
 	}
 	pl := pipeline.NewPlanner(params)
 	pl.Parallelism = ps.parallelism
+	pl.Templates, pl.Cache = ps.resolveCaches()
 	return pl.PlanContext(ctx, p, obj)
 }
 
@@ -684,11 +891,13 @@ func FrontierContext(ctx context.Context, job Job, opts ...FrontierOption) (*Fro
 	if !fs.hasParams {
 		params = model.DefaultParams(job)
 	}
+	tc, pc := fs.resolveCaches()
 	return optimizer.SweepFrontier(ctx, optimizer.FrontierSpec{
 		Params:      params,
 		Size:        fs.size,
 		Parallelism: fs.parallelism,
-		Cache:       fs.cache,
+		Cache:       pc,
+		Templates:   tc,
 		Tel:         fs.tel,
 		Observer:    fs.observer,
 	})

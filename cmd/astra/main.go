@@ -447,10 +447,14 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		waitServe(ctx, o, srv, out)
 		return nil
 	}
+	// Private caches: a CLI invocation is one-shot, and its reported
+	// search stats must be a function of the flags alone — not of other
+	// planning calls that happened to share the process.
 	plan, err := astra.PlanContext(planCtx, job, obj,
 		astra.WithParams(params),
 		astra.WithSolver(solver),
 		astra.WithParallelism(o.parallelism),
+		astra.WithPrivateCaches(),
 		astra.WithTelemetry(tel))
 	if err != nil {
 		return err
@@ -657,6 +661,9 @@ func runFrontier(ctx context.Context, out io.Writer, o *options, job workload.Jo
 		astra.WithFrontierSize(o.frontier),
 		astra.WithParams(params),
 		astra.WithParallelism(o.parallelism),
+		// Invocation-deterministic stats, as in the plan path: the sweep's
+		// cache hit rate must not depend on prior in-process planning.
+		astra.WithPrivateCaches(),
 		astra.WithTelemetry(tel),
 	}
 	// The sweep is anytime; fan each refinement out to every interested

@@ -25,6 +25,7 @@ package dag
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"astra/internal/graph"
@@ -70,6 +71,34 @@ type Options struct {
 	// 0 means every available core, 1 forces the serial path. The built
 	// graph is identical at every setting.
 	Parallelism int
+}
+
+// Fingerprint returns a stable hash of everything in the options that
+// shapes the built graph: the tier list, the kM/kR caps, and the
+// dominated-tier switch. Parallelism is deliberately excluded — the
+// built DAG is bit-identical at every pool size — so a template cached
+// under one parallelism degree serves callers at any other.
+func (o Options) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	u64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	u64(uint64(len(o.Tiers)))
+	for _, t := range o.Tiers {
+		u64(uint64(int64(t)))
+	}
+	u64(uint64(int64(o.MaxKM)))
+	u64(uint64(int64(o.MaxKR)))
+	if o.KeepDominatedTiers {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	return h.Sum64()
 }
 
 // DAG is a built configuration graph.
@@ -154,14 +183,13 @@ func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) 
 
 	// --- Phase 1: evaluate every edge weight into indexed slots. Each
 	// slot is written by exactly one worker, so the values (and therefore
-	// the assembled graph) do not depend on scheduling. ---
+	// the assembled graph) do not depend on scheduling. The slots live in
+	// a pooled scratch (flat backing arrays recycled across builds), so a
+	// steady stream of cold builds stops allocating them.
+	sc := getBuildScratch(L, maxKM, maxKR, tel)
+	defer putBuildScratch(sc)
 
 	// Mapper column: feasibility plus L (time, cost) pairs per kM.
-	type mapperRow struct {
-		feasible bool
-		t, c     []float64 // indexed by tier
-	}
-	mapRows := make([]mapperRow, maxKM+1)
 	if err := parallel.ForEach(ctx, maxKM, workers, func(i int) {
 		kM := i + 1
 		orch, err := mapreduce.OrchestrateFor(m.P.Job.Profile, n, kM, 2)
@@ -171,31 +199,24 @@ func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) 
 		if err := model.Feasible(m.P, orch); err != nil {
 			return
 		}
-		row := mapperRow{feasible: true, t: make([]float64, L), c: make([]float64, L)}
+		sc.mapFeasible[kM-1] = true
 		for ti, mem := range tiers {
-			row.t[ti] = m.MapperTime(mem, kM)
-			row.c[ti] = m.MapperCostFor(orch, mem, kM)
+			sc.mapT[(kM-1)*L+ti] = m.MapperTime(mem, kM)
+			sc.mapC[(kM-1)*L+ti] = m.MapperCostFor(orch, mem, kM)
 		}
-		mapRows[kM] = row
 	}); err != nil {
 		return nil, err
 	}
 
 	// Transfer column: one (time, cost) pair per feasible (kM, kR).
-	type pairW struct {
-		ok   bool
-		t, c float64
-	}
-	var feasKM []int
 	for kM := 1; kM <= maxKM; kM++ {
-		if mapRows[kM].feasible {
-			feasKM = append(feasKM, kM)
+		if sc.mapFeasible[kM-1] {
+			sc.feasKM = append(sc.feasKM, kM)
 		}
 	}
-	transfer := make([][]pairW, maxKM+1)
-	if err := parallel.ForEach(ctx, len(feasKM), workers, func(i int) {
-		kM := feasKM[i]
-		row := make([]pairW, maxKR)
+	if err := parallel.ForEach(ctx, len(sc.feasKM), workers, func(i int) {
+		kM := sc.feasKM[i]
+		row := sc.transfer[(kM-1)*maxKR : kM*maxKR]
 		var e model.RowEval // orchestration + shapes bound once per kR
 		for kR := 1; kR <= maxKR; kR++ {
 			if err := m.BindRowFor(&e, kM, kR); err != nil {
@@ -203,49 +224,67 @@ func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) 
 			}
 			row[kR-1] = pairW{ok: true, t: e.TransferTime(), c: e.GlueCost(kR)}
 		}
-		transfer[kM] = row
 	}); err != nil {
 		return nil, err
 	}
 
 	// Coordinator column: one (time, cost) pair per (kR, tier).
-	coord := make([][]pairW, maxKR)
 	if err := parallel.ForEach(ctx, maxKR, workers, func(i int) {
 		kR := i + 1
-		row := make([]pairW, L)
+		row := sc.coord[(kR-1)*L : kR*L]
 		var e model.RowEval
 		if err := m.BindRowHat(&e, kR); err == nil {
 			for ta, mem := range tiers {
 				row[ta] = pairW{ok: true, t: m.CoordCompute(mem), c: e.CoordCost(mem)}
 			}
 		}
-		coord[i] = row
 	}); err != nil {
 		return nil, err
 	}
 
 	// Reducer column: Eq. 9 compute and VP+WP cost depend only on
 	// (kR, s); one evaluation per pair, fanned out over kR.
-	reduce := make([][]pairW, maxKR)
 	if err := parallel.ForEach(ctx, maxKR, workers, func(i int) {
 		kR := i + 1
-		row := make([]pairW, L)
+		row := sc.reduce[(kR-1)*L : kR*L]
 		var e model.RowEval
 		if err := m.BindRowHat(&e, kR); err == nil {
 			for ts, mem := range tiers {
 				row[ts] = pairW{ok: true, t: e.ReduceCompute(mem), c: e.ReduceCost(mem)}
 			}
 		}
-		reduce[i] = row
 	}); err != nil {
 		return nil, err
 	}
 
 	// --- Phase 2: assemble the graph serially, in a fixed column order,
-	// from the precomputed slots. ---
+	// from the precomputed slots. The edge log is reserved to the slot
+	// census up front, so assembly appends without reallocation. ---
 	total := d.sBase + L
 	g := graph.New(total)
 	d.G = g
+	edgeCount := 2 * L // source and destination columns
+	edgeCount += len(sc.feasKM) * L
+	for _, p := range sc.transfer {
+		if p.ok {
+			edgeCount++
+		}
+	}
+	for _, p := range sc.coord {
+		if p.ok {
+			edgeCount++
+		}
+	}
+	for kR := 1; kR <= maxKR; kR++ {
+		okReduce := 0
+		for ts := 0; ts < L; ts++ {
+			if sc.reduce[(kR-1)*L+ts].ok {
+				okReduce++
+			}
+		}
+		edgeCount += okReduce * L // one fan per coordinator tier
+	}
+	g.Reserve(edgeCount)
 
 	// tieEps breaks objective ties toward the cheaper side metric:
 	// with the speed floor, many configurations have identical times and
@@ -271,24 +310,19 @@ func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) 
 	// Infeasible kM values (mapper count over the lambda limit R) have no
 	// row and contribute no edges.
 	for kM := 1; kM <= maxKM; kM++ {
-		row := mapRows[kM]
-		if !row.feasible {
+		if !sc.mapFeasible[kM-1] {
 			continue
 		}
 		for ti := range tiers {
-			addEdge(d.iBase+ti, d.kmBase+(kM-1), row.t[ti], row.c[ti])
+			addEdge(d.iBase+ti, d.kmBase+(kM-1), sc.mapT[(kM-1)*L+ti], sc.mapC[(kM-1)*L+ti])
 		}
 	}
 
 	// objects-per-mapper -> objects-per-reducer: transfer times, glue
 	// costs (requests + invocations).
 	for kM := 1; kM <= maxKM; kM++ {
-		row := transfer[kM]
-		if row == nil {
-			continue
-		}
 		for kR := 1; kR <= maxKR; kR++ {
-			if w := row[kR-1]; w.ok {
+			if w := sc.transfer[(kM-1)*maxKR+(kR-1)]; w.ok {
 				addEdge(d.kmBase+(kM-1), d.krBase+(kR-1), w.t, w.c)
 			}
 		}
@@ -297,7 +331,7 @@ func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) 
 	// objects-per-reducer -> (kR, coordinator memory): c2 time, V2+W2 cost.
 	for kR := 1; kR <= maxKR; kR++ {
 		for ta := range tiers {
-			if w := coord[kR-1][ta]; w.ok {
+			if w := sc.coord[(kR-1)*L+ta]; w.ok {
 				addEdge(d.krBase+(kR-1), d.kraBase+(kR-1)*L+ta, w.t, w.c)
 			}
 		}
@@ -308,7 +342,7 @@ func BuildContext(ctx context.Context, m *model.Paper, mode Mode, opts Options) 
 		for ta := 0; ta < L; ta++ {
 			from := d.kraBase + (kR-1)*L + ta
 			for ts := range tiers {
-				if w := reduce[kR-1][ts]; w.ok {
+				if w := sc.reduce[(kR-1)*L+ts]; w.ok {
 					addEdge(from, d.sBase+ts, w.t, w.c)
 				}
 			}

@@ -1,0 +1,88 @@
+package dag
+
+import (
+	"sync"
+
+	"astra/internal/telemetry"
+)
+
+// pairW is one precomputed edge weight pair; ok distinguishes a real
+// value from an infeasible (absent) combination. The zero value is
+// "absent", which is what lets the pooled buffers be recycled with a
+// plain clear.
+type pairW struct {
+	ok   bool
+	t, c float64
+}
+
+// buildScratch holds the per-build weight-slot buffers of BuildContext's
+// phase 1 — the only cold-plan allocations that scale with L x N. The
+// buffers are flat, index-addressed backing arrays (each slot written by
+// exactly one pool worker), recycled across builds through buildPool so
+// a planning service's steady state allocates none of them.
+type buildScratch struct {
+	mapFeasible []bool    // by kM-1
+	mapT, mapC  []float64 // by (kM-1)*L + tierIndex
+	transfer    []pairW   // by (kM-1)*maxKR + (kR-1)
+	coord       []pairW   // by (kR-1)*L + tierIndex
+	reduce      []pairW   // by (kR-1)*L + tierIndex
+	feasKM      []int
+	used        bool
+}
+
+var buildPool = sync.Pool{New: func() any { return &buildScratch{} }}
+
+// grow returns s resized to n, reusing capacity and clearing the kept
+// prefix (the zero value of every buffer element means "absent").
+func growPairs(s []pairW, n int) []pairW {
+	if cap(s) < n {
+		return make([]pairW, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = pairW{}
+	}
+	return s
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// getBuildScratch checks a scratch out of the pool, sized (and cleared)
+// for an L-tier, maxKM x maxKR build.
+func getBuildScratch(L, maxKM, maxKR int, tel *telemetry.Registry) *buildScratch {
+	sc := buildPool.Get().(*buildScratch)
+	if sc.used {
+		tel.Counter(telemetry.MDAGScratchReuse).Inc()
+	}
+	sc.used = true
+	sc.mapFeasible = growBools(sc.mapFeasible, maxKM)
+	sc.mapT = growFloats(sc.mapT, maxKM*L)
+	sc.mapC = growFloats(sc.mapC, maxKM*L)
+	sc.transfer = growPairs(sc.transfer, maxKM*maxKR)
+	sc.coord = growPairs(sc.coord, maxKR*L)
+	sc.reduce = growPairs(sc.reduce, maxKR*L)
+	sc.feasKM = sc.feasKM[:0]
+	return sc
+}
+
+func putBuildScratch(sc *buildScratch) { buildPool.Put(sc) }

@@ -110,6 +110,42 @@ func (g *Graph) AddEdge(u, v int, w, side float64) {
 	g.m++
 }
 
+// Reserve pre-sizes the builder log for at least m additional edges, so
+// a caller that knows its edge count up front (the DAG assembler) pays
+// one allocation instead of the append doubling cadence. Calling it on a
+// frozen graph or with a non-positive m is a no-op.
+func (g *Graph) Reserve(m int) {
+	if m <= 0 || g.frozen.Load() {
+		return
+	}
+	grow := func(s []float64) []float64 {
+		if cap(s)-len(s) >= m {
+			return s
+		}
+		ns := make([]float64, len(s), len(s)+m)
+		copy(ns, s)
+		return ns
+	}
+	growI := func(s []int32) []int32 {
+		if cap(s)-len(s) >= m {
+			return s
+		}
+		ns := make([]int32, len(s), len(s)+m)
+		copy(ns, s)
+		return ns
+	}
+	g.lu, g.lv = growI(g.lu), growI(g.lv)
+	g.lw, g.ls = grow(g.lw), grow(g.ls)
+	if g.deg == nil {
+		g.deg = make([]int32, g.n)
+	}
+}
+
+// Freeze forces the lazy CSR build now. Searches freeze on first use
+// anyway; callers that publish a graph to many goroutines (the template
+// cache) freeze eagerly so readers never contend on the build lock.
+func (g *Graph) Freeze() { g.freeze() }
+
 // freeze builds the CSR arrays from the log in one counted pass and
 // drops the log. It is idempotent and safe to call from concurrent
 // readers: the first caller builds, the rest observe the published

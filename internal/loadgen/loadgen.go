@@ -1,0 +1,314 @@
+// Package loadgen drives the planning engine at a sustained request
+// rate: a seeded, weighted mix of job shapes is replayed by a fixed pool
+// of concurrent tenants, every plan flowing through one shared
+// DAG-template cache and one shared prediction cache. The output is the
+// planner's capacity profile — sustained plans/sec, latency quantiles,
+// and cache hit rates — the numbers a multi-tenant planning service is
+// sized by.
+//
+// The workload sequence is deterministic: the shape planned as request i
+// is a pure function of (Seed, i), independent of worker scheduling, so
+// two runs with the same spec plan the same multiset of jobs and every
+// plan is bit-identical to a standalone Plan call for that shape.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"astra/internal/model"
+	"astra/internal/optimizer"
+	"astra/internal/pricing"
+	"astra/internal/telemetry"
+	"astra/internal/workload"
+)
+
+// Shape is one job kind in the replayed mix.
+type Shape struct {
+	// Name labels the shape in reports.
+	Name string
+	// Job is the workload planned for this shape.
+	Job workload.Job
+	// Objective is the planning goal submitted with the job.
+	Objective optimizer.Objective
+	// Weight is the shape's relative frequency in the mix (<= 0 treated
+	// as 1).
+	Weight int
+}
+
+// Spec configures one load run.
+type Spec struct {
+	// Shapes is the weighted mix; at least one is required.
+	Shapes []Shape
+	// Concurrency is the number of simultaneous tenants (<= 0: 1). Each
+	// tenant runs a serial inner search; cross-tenant concurrency is the
+	// parallelism under test.
+	Concurrency int
+	// MaxPlans stops the run after this many plans. Zero means no count
+	// bound (Duration must then be set).
+	MaxPlans int
+	// Duration stops the run after this much wall time (checked between
+	// plans). Zero means no time bound (MaxPlans must then be set).
+	Duration time.Duration
+	// Seed fixes the shape sequence; two runs with equal Seed and shapes
+	// plan the same multiset of jobs.
+	Seed int64
+	// Templates and Cache are the shared planning caches. Left nil,
+	// fresh ones are created for the run, so the report includes the
+	// cold ramp-up.
+	Templates *optimizer.TemplateCache
+	Cache     *model.PredictionCache
+	// Tel, when non-nil, receives pool and planner telemetry.
+	Tel *telemetry.Registry
+	// Solver selects the search strategy (default optimizer.Auto).
+	Solver optimizer.Solver
+}
+
+// Result is the run's capacity profile.
+type Result struct {
+	Plans       int           `json:"plans"`
+	Errors      int           `json:"errors"`
+	Concurrency int           `json:"concurrency"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	PlansPerSec float64       `json:"plans_per_sec"`
+
+	// Per-plan latency quantiles.
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+
+	// Cache traffic over the run (deltas for caches the run created,
+	// cumulative totals for caches passed in).
+	TemplateStats     optimizer.TemplateStats `json:"template_stats"`
+	TemplateHitRate   float64                 `json:"template_hit_rate"`
+	PredictionHits    uint64                  `json:"prediction_hits"`
+	PredictionMisses  uint64                  `json:"prediction_misses"`
+	PredictionHitRate float64                 `json:"prediction_hit_rate"`
+
+	// PerShape counts how many plans each shape received.
+	PerShape map[string]int `json:"per_shape"`
+}
+
+// DefaultMix is the standard four-shape tenant mix: frequent small
+// word counts, occasional large sorts and queries — the recurring-shape
+// regime the template cache exists for.
+func DefaultMix() []Shape {
+	return []Shape{
+		{Name: "wordcount-1gb", Job: workload.WordCount1GB(), Objective: minTime(0.01), Weight: 4},
+		{Name: "wordcount-10gb", Job: workload.WordCount10GB(), Objective: minTime(0.05), Weight: 2},
+		{Name: "sort-100gb", Job: workload.Sort100GB(), Objective: minTime(1), Weight: 2},
+		{Name: "query-25gb", Job: workload.Query25GB(), Objective: minTime(0.25), Weight: 1},
+	}
+}
+
+func minTime(budget float64) optimizer.Objective {
+	return optimizer.Objective{Goal: optimizer.MinTimeUnderBudget, Budget: pricing.USD(budget)}
+}
+
+// MixByNames filters DefaultMix to the named shapes, preserving weights.
+func MixByNames(names []string) ([]Shape, error) {
+	all := DefaultMix()
+	byName := make(map[string]Shape, len(all))
+	for _, s := range all {
+		byName[s.Name] = s
+	}
+	var mix []Shape
+	for _, n := range names {
+		s, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("loadgen: unknown shape %q (have %s)", n, shapeNames(all))
+		}
+		mix = append(mix, s)
+	}
+	return mix, nil
+}
+
+func shapeNames(shapes []Shape) string {
+	out := ""
+	for i, s := range shapes {
+		if i > 0 {
+			out += ", "
+		}
+		out += s.Name
+	}
+	return out
+}
+
+// splitmix64 is the pure per-index hash behind the deterministic shape
+// sequence (Vigna's SplitMix64 finalizer).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// shapeFor picks the shape of request i: a weighted draw that is a pure
+// function of (seed, i), so the sequence is scheduling-independent.
+func shapeFor(shapes []Shape, weights []int, total int, seed int64, i int) int {
+	r := int(splitmix64(uint64(seed)^(uint64(i)*0x5851f42d4c957f2d)) % uint64(total))
+	for s, w := range weights {
+		if r < w {
+			return s
+		}
+		r -= w
+	}
+	return len(shapes) - 1
+}
+
+// Run replays the spec's mix and reports the capacity profile. Per-plan
+// failures are counted (Result.Errors), not fatal; Run returns an error
+// only for an invalid spec or a cancelled context.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	if len(spec.Shapes) == 0 {
+		return nil, fmt.Errorf("loadgen: no shapes in mix")
+	}
+	if spec.MaxPlans <= 0 && spec.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: need MaxPlans or Duration")
+	}
+	workers := spec.Concurrency
+	if workers <= 0 {
+		workers = 1
+	}
+	tc := spec.Templates
+	if tc == nil {
+		tc = optimizer.NewTemplateCache(0)
+	}
+	pc := spec.Cache
+	if pc == nil {
+		pc = model.NewPredictionCache()
+	}
+
+	weights := make([]int, len(spec.Shapes))
+	total := 0
+	for i, s := range spec.Shapes {
+		w := s.Weight
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = w
+		total += w
+	}
+
+	// Pre-resolve per-shape parameterizations once; the planner per
+	// request is then cheap to construct.
+	params := make([]model.Params, len(spec.Shapes))
+	for i, s := range spec.Shapes {
+		params[i] = model.DefaultParams(s.Job)
+	}
+
+	maxPlans := spec.MaxPlans
+	if maxPlans <= 0 {
+		// Time-bounded run: bound the index space generously; the
+		// deadline stops the claim loop long before it drains.
+		maxPlans = 1 << 30
+	}
+	var deadline time.Time
+	if spec.Duration > 0 {
+		deadline = time.Now().Add(spec.Duration)
+	}
+
+	if spec.Tel != nil {
+		ctx = telemetry.NewContext(ctx, spec.Tel)
+	}
+
+	perWorkerLat := make([][]time.Duration, workers)
+	perWorkerShape := make([][]int64, workers)
+	for w := range perWorkerShape {
+		perWorkerShape[w] = make([]int64, len(spec.Shapes))
+	}
+	var next, planned, failed atomic.Int64
+
+	// Tenants are plain goroutines, not the planning pool: a load driver
+	// must honor the requested concurrency even when it oversubscribes
+	// the cores — queueing delay under oversubscription is part of the
+	// latency profile being measured.
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				if !deadline.IsZero() && !time.Now().Before(deadline) {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= maxPlans {
+					return
+				}
+				si := shapeFor(spec.Shapes, weights, total, spec.Seed, i)
+				pl := optimizer.New(params[si])
+				pl.Solver = spec.Solver
+				pl.Parallelism = 1
+				pl.Templates, pl.Cache = tc, pc
+				pl.Tel = spec.Tel
+				t0 := time.Now()
+				_, perr := pl.PlanContext(ctx, spec.Shapes[si].Objective)
+				lat := time.Since(t0)
+				if perr != nil {
+					failed.Add(1)
+					continue
+				}
+				planned.Add(1)
+				perWorkerLat[w] = append(perWorkerLat[w], lat)
+				perWorkerShape[w][si]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var lats []time.Duration
+	for _, l := range perWorkerLat {
+		lats = append(lats, l...)
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+
+	res := &Result{
+		Plans:       int(planned.Load()),
+		Errors:      int(failed.Load()),
+		Concurrency: workers,
+		Elapsed:     elapsed,
+		PerShape:    make(map[string]int, len(spec.Shapes)),
+	}
+	if elapsed > 0 {
+		res.PlansPerSec = float64(res.Plans) / elapsed.Seconds()
+	}
+	if n := len(lats); n > 0 {
+		res.P50 = lats[n/2]
+		res.P95 = lats[min(n-1, n*95/100)]
+		res.P99 = lats[min(n-1, n*99/100)]
+	}
+	for si, s := range spec.Shapes {
+		var c int64
+		for w := range perWorkerShape {
+			c += perWorkerShape[w][si]
+		}
+		res.PerShape[s.Name] = int(c)
+	}
+	res.TemplateStats = tc.Stats()
+	res.TemplateHitRate = res.TemplateStats.HitRate()
+	res.PredictionHits, res.PredictionMisses = pc.Stats()
+	if t := res.PredictionHits + res.PredictionMisses; t > 0 {
+		res.PredictionHitRate = float64(res.PredictionHits) / float64(t)
+	}
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

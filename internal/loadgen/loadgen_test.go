@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"astra/internal/optimizer"
+)
+
+// TestShapeSequenceDeterministic asserts the shape of request i is a pure
+// function of (seed, i) — scheduling-independent replay.
+func TestShapeSequenceDeterministic(t *testing.T) {
+	shapes := DefaultMix()
+	weights := make([]int, len(shapes))
+	total := 0
+	for i, s := range shapes {
+		weights[i] = s.Weight
+		total += s.Weight
+	}
+	seen := make(map[int]int, len(shapes))
+	for i := 0; i < 10000; i++ {
+		a := shapeFor(shapes, weights, total, 42, i)
+		b := shapeFor(shapes, weights, total, 42, i)
+		if a != b {
+			t.Fatalf("shapeFor(seed=42, i=%d) unstable: %d then %d", i, a, b)
+		}
+		seen[a]++
+	}
+	// Every shape must appear, and roughly in weight proportion: the
+	// heaviest (weight 4 of 9) should clearly outnumber the lightest
+	// (weight 1 of 9).
+	for si := range shapes {
+		if seen[si] == 0 {
+			t.Fatalf("shape %d never drawn in 10000 requests", si)
+		}
+	}
+	if seen[0] <= seen[3] {
+		t.Fatalf("weight-4 shape drawn %d times, weight-1 shape %d — weighting is not applied", seen[0], seen[3])
+	}
+	// A different seed must give a different sequence.
+	diff := 0
+	for i := 0; i < 1000; i++ {
+		if shapeFor(shapes, weights, total, 42, i) != shapeFor(shapes, weights, total, 43, i) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed does not influence the shape sequence")
+	}
+}
+
+// TestRunMaxPlans drives a small fixed-size run and checks the capacity
+// report's accounting.
+func TestRunMaxPlans(t *testing.T) {
+	const plans = 30
+	res, err := Run(context.Background(), Spec{
+		Shapes:      DefaultMix(),
+		Concurrency: 3,
+		MaxPlans:    plans,
+		Seed:        1,
+		Solver:      optimizer.Auto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plans != plans || res.Errors != 0 {
+		t.Fatalf("planned %d (errors %d), want %d clean plans", res.Plans, res.Errors, plans)
+	}
+	sum := 0
+	for _, c := range res.PerShape {
+		sum += c
+	}
+	if sum != plans {
+		t.Fatalf("per-shape counts sum to %d, want %d", sum, plans)
+	}
+	if res.PlansPerSec <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("throughput not computed: %.1f plans/sec over %v", res.PlansPerSec, res.Elapsed)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("latency quantiles malformed: p50=%v p99=%v", res.P50, res.P99)
+	}
+	// Thirty plans over four shapes through fresh caches: a handful of
+	// builds, the rest hits.
+	if res.TemplateStats.Builds == 0 || res.TemplateHitRate == 0 {
+		t.Fatalf("template cache saw no traffic: %+v", res.TemplateStats)
+	}
+	if res.TemplateStats.Hits+res.TemplateStats.Misses < plans {
+		t.Fatalf("template traffic %d below plan count %d", res.TemplateStats.Hits+res.TemplateStats.Misses, plans)
+	}
+}
+
+// TestRunDuration checks the time-bounded mode terminates and reports.
+func TestRunDuration(t *testing.T) {
+	res, err := Run(context.Background(), Spec{
+		Shapes:      DefaultMix()[:1], // fastest shape only
+		Concurrency: 2,
+		Duration:    100 * time.Millisecond,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plans == 0 {
+		t.Fatal("duration-bounded run planned nothing")
+	}
+}
+
+// TestSpecValidation rejects underspecified runs and unknown mix names.
+func TestSpecValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{MaxPlans: 1}); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := Run(context.Background(), Spec{Shapes: DefaultMix()}); err == nil {
+		t.Error("run with neither MaxPlans nor Duration accepted")
+	}
+	if _, err := MixByNames([]string{"sort-100gb", "no-such-shape"}); err == nil {
+		t.Error("unknown shape name accepted")
+	}
+	mix, err := MixByNames([]string{"sort-100gb", "query-25gb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0].Name != "sort-100gb" {
+		t.Fatalf("MixByNames returned %+v", mix)
+	}
+}

@@ -43,6 +43,12 @@ type FrontierSpec struct {
 	// created; set it to share one cache across sweeps and planners for
 	// the same parameterization.
 	Cache *model.PredictionCache
+	// Templates, when non-nil, resolves the sweep's frozen cost-mode DAG
+	// through the shared template cache: repeated sweeps (and pipeline
+	// stage sweeps) over the same job shape skip the build entirely. The
+	// sweep only ever searches the DAG read-only, so the shared graph is
+	// used as-is.
+	Templates *TemplateCache
 	// Tel, when non-nil, receives phase/search/prune counters and the
 	// usual search-engine instrumentation. Observe-only.
 	Tel *telemetry.Registry
@@ -227,7 +233,16 @@ func sweepFrontier(ctx context.Context, spec FrontierSpec) (*FrontierResult, err
 	// One frozen cost-mode DAG serves the whole sweep: W carries cost
 	// (with a time tiebreak), Side carries time, so a deadline-budgeted
 	// constrained search returns the cheapest plan at that deadline.
-	d, err := dag.BuildContext(ctx, model.NewPaper(spec.Params), dag.MinimizeCost, dagOpts)
+	var d *dag.DAG
+	var err error
+	if tc := spec.Templates; tc != nil {
+		d, err = tc.Get(ctx, KeyFor(spec.Params, dag.MinimizeCost, dagOpts, false),
+			func(ctx context.Context) (*dag.DAG, error) {
+				return dag.BuildContext(ctx, model.NewPaper(spec.Params), dag.MinimizeCost, dagOpts)
+			})
+	} else {
+		d, err = dag.BuildContext(ctx, model.NewPaper(spec.Params), dag.MinimizeCost, dagOpts)
+	}
 	if err != nil {
 		return nil, err
 	}

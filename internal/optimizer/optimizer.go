@@ -179,6 +179,13 @@ type Planner struct {
 	// private cache is created on first use; set it to share one cache
 	// across planners for the same parameterization family.
 	Cache *model.PredictionCache
+	// Templates, when non-nil, shares frozen DAG builds across planner
+	// instances: a template hit skips BuildContext entirely and hands
+	// the solvers the shared CSR graph (destructive searches already run
+	// on a Clone). The per-planner dagCache remains as an L1 in front of
+	// it, so a planner reused across objectives does not even pay the
+	// fingerprint hash twice.
+	Templates *TemplateCache
 	// YenMaxPaths bounds the Yen scan (default 200).
 	YenMaxPaths int
 	// RerankPaths is the K for the rerank solver (default 50).
@@ -282,7 +289,23 @@ func (pl *Planner) buildDAG(ctx context.Context, mode dag.Mode) (*dag.DAG, error
 	// Built outside the lock: a long build must not block concurrent
 	// plans for the other mode. At worst two racing callers build the
 	// same DAG and one wins the cache slot; both results are identical.
-	d, err := dag.BuildContext(ctx, pl.paperModel(), mode, pl.dagOpts())
+	// With a shared template cache attached, the build is resolved (and
+	// deduplicated across planner instances) there instead.
+	var d *dag.DAG
+	var err error
+	opts := pl.dagOpts()
+	if tc := pl.Templates; tc != nil {
+		d, err = tc.Get(ctx, TemplateKey{
+			Params:    pl.fingerprint(),
+			Opts:      opts.Fingerprint(),
+			Mode:      mode,
+			Aggregate: pl.AggregateModel,
+		}, func(ctx context.Context) (*dag.DAG, error) {
+			return dag.BuildContext(ctx, pl.paperModel(), mode, opts)
+		})
+	} else {
+		d, err = dag.BuildContext(ctx, pl.paperModel(), mode, opts)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,237 @@
+package optimizer
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"astra/internal/dag"
+	"astra/internal/model"
+	"astra/internal/telemetry"
+)
+
+// TemplateCache shares frozen configuration-DAG builds across planner
+// instances. Jobs of the same shape — same N, same tier set, same price
+// sheet, same model parameters — produce structurally identical Fig. 5
+// graphs whose thousands of RowEval edge evaluations are by far the most
+// expensive part of a cold plan; keying the finished CSR graph by a
+// fingerprint of (model params, DAG mode, dag.Options, model flavor)
+// lets every subsequent plan for that shape skip dag.BuildContext
+// entirely. Read-only solvers search the shared template directly;
+// destructive ones (Algorithm 1) already run on a Clone, which since the
+// CSR refactor is O(m/64) — copy the removal bitset, share the arrays.
+//
+// Misses build under singleflight: a thundering herd of identical jobs
+// performs one build while the rest wait on it. The cache is bounded
+// (template count) with least-recently-used eviction; evicted templates
+// stay valid for searches already holding them, the arrays are simply no
+// longer findable. All methods are safe for concurrent use.
+type TemplateCache struct {
+	mu      sync.Mutex
+	entries map[TemplateKey]*templateEntry
+	cap     int
+	tick    uint64 // logical clock for LRU
+
+	hits, misses, builds, evictions, waits atomic.Uint64
+}
+
+// TemplateKey identifies one DAG template. Two planning calls with equal
+// keys are guaranteed (and property-tested) to build bit-identical
+// graphs.
+type TemplateKey struct {
+	// Params is model.Params.Fingerprint(): job shape, profile, price
+	// sheet contents, speed model, latencies.
+	Params uint64
+	// Opts is dag.Options.Fingerprint(): tier list, kM/kR caps,
+	// dominated-tier switch (parallelism excluded — it never changes the
+	// graph).
+	Opts uint64
+	// Mode is the shortest-path objective the edge weights encode.
+	Mode dag.Mode
+	// Aggregate selects the literal Eq. 9 aggregate model flavor.
+	Aggregate bool
+}
+
+// KeyFor derives the template key for a parameterization.
+func KeyFor(params model.Params, mode dag.Mode, opts dag.Options, aggregate bool) TemplateKey {
+	return TemplateKey{
+		Params:    params.Fingerprint(),
+		Opts:      opts.Fingerprint(),
+		Mode:      mode,
+		Aggregate: aggregate,
+	}
+}
+
+// templateEntry is one cache slot. ready is closed when the build
+// finishes; d/err are immutable afterwards. lastUse orders eviction.
+type templateEntry struct {
+	ready   chan struct{}
+	d       *dag.DAG
+	err     error
+	lastUse uint64
+}
+
+// DefaultTemplateCap bounds NewTemplateCache(0). Templates are a few MB
+// apiece at the Sort100GB scale; 64 distinct (shape, mode) pairs is far
+// beyond what a tenant mix touches between evictions.
+const DefaultTemplateCap = 64
+
+// NewTemplateCache creates a bounded template cache. maxTemplates <= 0
+// selects DefaultTemplateCap; there is deliberately no unbounded mode —
+// a planning service must not grow without limit with tenant diversity.
+func NewTemplateCache(maxTemplates int) *TemplateCache {
+	if maxTemplates <= 0 {
+		maxTemplates = DefaultTemplateCap
+	}
+	return &TemplateCache{
+		entries: make(map[TemplateKey]*templateEntry),
+		cap:     maxTemplates,
+	}
+}
+
+// TemplateStats is a point-in-time summary of cache traffic.
+type TemplateStats struct {
+	// Hits served a frozen template with no build; Misses triggered (or
+	// joined) a build. Builds counts builds actually executed — under
+	// singleflight, Misses - Builds callers waited instead (also counted
+	// in Waits).
+	Hits, Misses, Builds, Evictions, Waits uint64
+	// Entries is the current resident template count.
+	Entries int
+}
+
+// HitRate is Hits/(Hits+Misses), 0 on an untouched cache.
+func (s TemplateStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats reports cumulative cache traffic.
+func (tc *TemplateCache) Stats() TemplateStats {
+	tc.mu.Lock()
+	n := len(tc.entries)
+	tc.mu.Unlock()
+	return TemplateStats{
+		Hits:      tc.hits.Load(),
+		Misses:    tc.misses.Load(),
+		Builds:    tc.builds.Load(),
+		Evictions: tc.evictions.Load(),
+		Waits:     tc.waits.Load(),
+		Entries:   n,
+	}
+}
+
+// Get resolves a template, building it through build on a miss. Exactly
+// one concurrent caller per key runs build; the rest block on its result
+// (or their own ctx). A failed build is not cached: the entry is removed
+// before waiters wake, so they retry — a caller whose own build fails
+// gets that error, and one builder's cancellation never poisons the key
+// for others. The returned DAG is shared and frozen: search it
+// read-only, Clone before mutating.
+func (tc *TemplateCache) Get(ctx context.Context, key TemplateKey, build func(context.Context) (*dag.DAG, error)) (*dag.DAG, error) {
+	tel := telemetry.FromContext(ctx)
+	for {
+		tc.mu.Lock()
+		e, ok := tc.entries[key]
+		if ok {
+			tc.tick++
+			e.lastUse = tc.tick
+			tc.mu.Unlock()
+			select {
+			case <-e.ready:
+			default:
+				// Someone else is mid-build; joining the flight is a miss
+				// that waits rather than works.
+				tc.misses.Add(1)
+				tc.waits.Add(1)
+				tel.Counter(telemetry.MPlanTemplateMisses).Inc()
+				tel.Counter(telemetry.MPlanTemplateWaits).Inc()
+				select {
+				case <-e.ready:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				if e.err != nil {
+					// The builder failed and removed the entry; retry (the
+					// next round either finds a fresh build or becomes the
+					// builder and surfaces its own error).
+					continue
+				}
+				return e.d, nil
+			}
+			if e.err != nil {
+				// Lost a race with a failed builder whose entry removal is
+				// in flight; retry.
+				continue
+			}
+			tc.hits.Add(1)
+			tel.Counter(telemetry.MPlanTemplateHits).Inc()
+			return e.d, nil
+		}
+		// Miss with no flight underway: this caller builds.
+		e = &templateEntry{ready: make(chan struct{})}
+		tc.tick++
+		e.lastUse = tc.tick
+		tc.entries[key] = e
+		tc.mu.Unlock()
+		tc.misses.Add(1)
+		tc.builds.Add(1)
+		tel.Counter(telemetry.MPlanTemplateMisses).Inc()
+		tel.Counter(telemetry.MPlanTemplateBuilds).Inc()
+
+		d, err := build(ctx)
+		if err == nil {
+			// Freeze before publishing so no reader ever contends on the
+			// lazy CSR build, then bound the cache.
+			d.G.Freeze()
+			e.d = d
+			tc.mu.Lock()
+			tc.evictOverCapLocked(key, tel)
+			tc.mu.Unlock()
+		} else {
+			e.err = err
+			tc.mu.Lock()
+			if tc.entries[key] == e {
+				delete(tc.entries, key)
+			}
+			tc.mu.Unlock()
+		}
+		close(e.ready)
+		if tel != nil {
+			tel.Gauge(telemetry.MPlanTemplateEntries).Set(int64(tc.Stats().Entries))
+		}
+		return d, err
+	}
+}
+
+// evictOverCapLocked drops least-recently-used ready entries until the
+// cache fits its bound. In-flight builds and the just-inserted key are
+// never evicted.
+func (tc *TemplateCache) evictOverCapLocked(keep TemplateKey, tel *telemetry.Registry) {
+	for len(tc.entries) > tc.cap {
+		var victim TemplateKey
+		var victimEntry *templateEntry
+		found := false
+		for k, e := range tc.entries {
+			if k == keep {
+				continue
+			}
+			select {
+			case <-e.ready:
+			default:
+				continue // mid-build; its builder still owns the slot
+			}
+			if !found || e.lastUse < victimEntry.lastUse {
+				victim, victimEntry, found = k, e, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(tc.entries, victim)
+		tc.evictions.Add(1)
+		tel.Counter(telemetry.MPlanTemplateEvictions).Inc()
+	}
+}

@@ -123,6 +123,11 @@ type Planner struct {
 	// nil, a private cache is created on first use, so stages with the
 	// same derived parameterization share evaluations.
 	Cache *model.PredictionCache
+	// Templates, when non-nil, shares frozen stage-DAG builds across
+	// sweeps and across planner instances: pipelines with recurring
+	// stage shapes (and concurrent tenants planning the same pipeline)
+	// build each distinct shape's DAG once.
+	Templates *optimizer.TemplateCache
 }
 
 // NewPlanner creates a pipeline planner from a parameter template.
@@ -160,6 +165,7 @@ func (pl *Planner) stageFrontier(ctx context.Context, pf workload.Profile, in st
 		Size:        pl.frontierSize(),
 		Parallelism: pl.Parallelism,
 		Cache:       pl.cache(),
+		Templates:   pl.Templates,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stage profile %q: %w", pf.Name, err)

@@ -26,12 +26,35 @@ const (
 	MFrontierSearches    = "astra_frontier_searches_total"
 	MFrontierPruned      = "astra_frontier_pruned_total"
 	MSearchScratchReuse  = "astra_search_scratch_reuse_total"
+	MDAGScratchReuse     = "astra_dag_build_scratch_reuse_total"
 	MPoolBatches         = "astra_pool_batches_total"
+	MPoolSerialDegrades  = "astra_pool_serial_degrades_total"
 	MPoolTasks           = "astra_pool_tasks_total"
 	MPoolWorkersPeak     = "astra_pool_workers_peak"
 	MPoolBatchSize       = "astra_pool_batch_size"
 	MPoolQueueDepthPeak  = "astra_pool_queue_depth_peak"
 	MPoolBusyWorkersPeak = "astra_pool_busy_workers_peak"
+
+	// DAG-template cache (shared frozen CSR graphs across planner
+	// instances): a hit skips BuildContext entirely, a wait is a caller
+	// that blocked on another goroutine's in-flight build (singleflight).
+	MPlanTemplateHits      = "astra_plan_template_hits_total"
+	MPlanTemplateMisses    = "astra_plan_template_misses_total"
+	MPlanTemplateBuilds    = "astra_plan_template_builds_total"
+	MPlanTemplateEvictions = "astra_plan_template_evictions_total"
+	MPlanTemplateWaits     = "astra_plan_template_waits_total"
+	MPlanTemplateEntries   = "astra_plan_template_entries"
+
+	// Process-wide shared prediction cache (cumulative, published by the
+	// batch front-end and the load driver from PredictionCache.Stats so
+	// /metrics shows cross-planner reuse, not one search's deltas).
+	MPredCacheHits      = "astra_predcache_hits_total"
+	MPredCacheMisses    = "astra_predcache_misses_total"
+	MPredCacheEvictions = "astra_predcache_evictions_total"
+
+	// Batch planning front-end.
+	MBatchPlans  = "astra_batch_plans_total"
+	MBatchErrors = "astra_batch_plan_errors_total"
 
 	// Platform: lambda control plane.
 	MLambdaInvocations     = "astra_lambda_invocations_total"
