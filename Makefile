@@ -50,8 +50,10 @@ bench-all:
 
 # Multi-tenant planning throughput smoke: 200 plans of the default shape
 # mix through the shared template/prediction caches, capacity report to
-# LOADGEN.json (plans/sec, latency quantiles, cache hit rates). CI runs
-# this and uploads the report as an artifact.
+# LOADGEN.json (plans/sec, latency quantiles, cache hit rates). Every 8th
+# planned request is also executed under a QoS monitor, so the report and
+# LOADGEN.prom carry per-shape deadline attainment (astra_qos_slo_*). CI
+# runs this and uploads the report as an artifact.
 loadgen:
 	$(GO) run ./cmd/astra-loadgen -plans 200 -concurrency 4 -seed 1 \
-		-out LOADGEN.json -metrics-out LOADGEN.prom
+		-run-every 8 -out LOADGEN.json -metrics-out LOADGEN.prom

@@ -39,6 +39,7 @@ import (
 	"astra/internal/pipeline"
 	"astra/internal/pricing"
 	"astra/internal/profiler"
+	"astra/internal/qos"
 	"astra/internal/simtime"
 	"astra/internal/telemetry"
 	"astra/internal/workload"
@@ -583,6 +584,56 @@ func WithRunTelemetry(reg *Telemetry) RunOption {
 	return func(s *mapreduce.JobSpec) { s.Telemetry = reg }
 }
 
+// Streaming QoS monitoring types, re-exported from internal/qos: the
+// per-run monitor (drift scores, deadline risk, cost burn) and the
+// cross-run per-tenant/per-job SLO ledger.
+type (
+	// QoSMonitor follows one run's flight-recorder stream in virtual
+	// time and maintains drift, deadline-risk and cost-burn state.
+	// Observe-only: attaching one never changes the simulated outcome,
+	// and a nil monitor costs nothing.
+	QoSMonitor = qos.Monitor
+	// QoSOptions configures a QoSMonitor (deadline, margins, identity,
+	// ledger, telemetry). Unset plan inputs are filled from the
+	// planner's predicted breakdown at Run time.
+	QoSOptions = qos.Options
+	// QoSLedger aggregates SLO outcomes per (tenant, job) across runs.
+	QoSLedger = qos.Ledger
+	// QoSSnapshot is a frozen monitor state (served by /qos).
+	QoSSnapshot = qos.Snapshot
+	// QoSLedgerSnapshot is a frozen ledger view.
+	QoSLedgerSnapshot = qos.LedgerSnapshot
+	// QoSTransition is one recorded risk or drift transition.
+	QoSTransition = qos.Transition
+	// QoSState is the deadline-risk verdict (on_track/at_risk/breached).
+	QoSState = qos.State
+)
+
+// NewQoSMonitor creates a streaming QoS monitor. Fields left zero in the
+// options are defaulted from the plan when the monitor is attached to a
+// run (deadline = 1.5x predicted JCT, 5% risk margin, CUSUM k=0.25 h=1).
+func NewQoSMonitor(o QoSOptions) *QoSMonitor { return qos.New(o) }
+
+// NewQoSLedger creates an empty SLO ledger, shareable across monitors
+// and runs.
+func NewQoSLedger() *QoSLedger { return qos.NewLedger() }
+
+// WithQoSMonitor attaches a streaming QoS monitor to the execution: the
+// monitor consumes the run's flight-recorder events at driver barriers
+// and maintains per-stage drift scores, a deadline-risk state with exact
+// virtual-time transition instants, and cost burn. A flight recorder is
+// attached automatically when the spec has none. Monitoring is
+// observe-only — the simulated outcome and the recorded event stream are
+// bit-identical with or without it.
+func WithQoSMonitor(m *QoSMonitor) RunOption {
+	return func(s *mapreduce.JobSpec) {
+		if m == nil {
+			return
+		}
+		s.QoS = m
+	}
+}
+
 // Run executes a configuration on a fresh simulated platform in profiled
 // mode (any input scale; data is metadata-only) and reports measured
 // timing and cost. Run is RunContext with context.Background().
@@ -699,6 +750,18 @@ func (w *world) runThen(ctx context.Context, job Job, keys []string, cfg Config,
 	}
 	for _, opt := range opts {
 		opt(&spec)
+	}
+	if mon, ok := spec.QoS.(*qos.Monitor); ok && mon != nil {
+		// The monitor reads the run through the flight recorder; attach
+		// one if the caller didn't. Its plan inputs (predicted breakdown,
+		// price sheet, default deadline) are filled here so WithQoSMonitor
+		// callers don't have to predict the breakdown themselves.
+		if spec.Recorder == nil {
+			spec.Recorder = flight.New()
+		}
+		if bd, perr := model.NewExact(w.params).PredictBreakdown(cfg); perr == nil {
+			mon.EnsurePlan(bd, w.params.Sheet)
+		}
 	}
 	if pol := spec.Speculation; pol != nil && pol.MapTask == 0 && len(pol.StepTasks) == 0 {
 		// Speculation needs per-task predicted durations to recognize a

@@ -9,9 +9,12 @@
 //
 // The shape sequence is a pure function of -seed, so runs are
 // reproducible; every plan is bit-identical to a standalone astra.Plan
-// call for the same shape. With -metrics-out the run's telemetry
-// (astra_plan_template_*, astra_predcache_*, pool gauges) is written in
-// Prometheus text exposition format.
+// call for the same shape. With -run-every N every Nth planned request is
+// also executed on a fresh simulated platform under a streaming QoS
+// monitor, and the report gains per-shape deadline attainment against an
+// SLO of -slo-factor x the predicted JCT. With -metrics-out the run's
+// telemetry (astra_plan_template_*, astra_predcache_*, astra_qos_slo_*,
+// pool gauges) is written in Prometheus text exposition format.
 package main
 
 import (
@@ -44,6 +47,8 @@ func run() error {
 	mix := flag.String("mix", "", "comma-separated shape names (default: full mix; see -list)")
 	list := flag.Bool("list", false, "list available shapes and exit")
 	seed := flag.Int64("seed", 1, "shape-sequence seed")
+	runEvery := flag.Int("run-every", 0, "execute every Nth planned request under a QoS monitor and report deadline attainment (0: plan only)")
+	sloFactor := flag.Float64("slo-factor", 1.05, "deadline for executed runs as a multiple of the predicted JCT")
 	out := flag.String("out", "", "write the JSON capacity report to this file")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format telemetry to this file")
 	flag.Parse()
@@ -72,6 +77,9 @@ func run() error {
 		Seed:        *seed,
 		Solver:      optimizer.Auto,
 		Tel:         astra.NewTelemetry(),
+		RunEvery:    *runEvery,
+		SLOFactor:   *sloFactor,
+		Ledger:      astra.NewQoSLedger(),
 	}
 	if spec.MaxPlans <= 0 && spec.Duration <= 0 {
 		spec.MaxPlans = 200
@@ -98,6 +106,17 @@ func run() error {
 		100*res.PredictionHitRate, res.PredictionHits, res.PredictionMisses)
 	for _, s := range shapes {
 		fmt.Printf("  %-16s %d plans\n", s.Name, res.PerShape[s.Name])
+	}
+	if res.Runs > 0 {
+		fmt.Printf("slo          %d runs, %d attained / %d breached (%.1f%% attainment at %.2fx predicted JCT)\n",
+			res.Runs, res.DeadlineAttained, res.DeadlineBreached,
+			100*float64(res.DeadlineAttained)/float64(res.Runs), *sloFactor)
+		for _, s := range shapes {
+			if slo, ok := res.SLOPerShape[s.Name]; ok && slo.Runs > 0 {
+				fmt.Printf("  %-16s %d runs, %d attained / %d breached\n",
+					s.Name, slo.Runs, slo.Attained, slo.Breached)
+			}
+		}
 	}
 
 	if *out != "" {

@@ -22,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"astra"
 	"astra/internal/experiments"
 	"astra/internal/loadgen"
 	"astra/internal/mapreduce"
@@ -241,6 +242,20 @@ func run() (err error) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := experiments.Execute(params, runCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// The same simulated execution with the streaming QoS monitor attached
+	// (flight recorder + drift/deadline-risk tracking + SLO ledger). The
+	// delta against SimulateSort100GB is the full observability overhead;
+	// it rides the same benchdiff gate as every other row.
+	monLedger := astra.NewQoSLedger()
+	rep.Benchmarks = append(rep.Benchmarks, measure("PlanSort100GB_Monitored", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := loadgen.ExecuteMonitored(params, "sort-100gb", runCfg, 1.05, monLedger); err != nil {
 				b.Fatal(err)
 			}
 		}

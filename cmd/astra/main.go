@@ -73,6 +73,8 @@ type options struct {
 	timeline   bool
 	jsonOut    bool
 	audit      bool
+	qos        bool
+	qosOut     string
 	force      bool
 
 	frontier    int
@@ -113,6 +115,10 @@ func parseFlags(args []string) (*options, error) {
 		"write the run's flight-recorder event stream to this file as JSONL (implies -run)")
 	fs.BoolVar(&o.audit, "audit", false,
 		"record the run and print the critical-path / model-accuracy audit (implies -run)")
+	fs.BoolVar(&o.qos, "qos", false,
+		"attach the streaming QoS monitor: live drift scores, deadline risk and cost burn (implies -run; deadline from -deadline, else 1.5x the predicted JCT)")
+	fs.StringVar(&o.qosOut, "qos-out", "",
+		"write the final QoS monitor snapshot to this file as JSON (implies -qos)")
 	fs.StringVar(&o.chaosPath, "chaos", "",
 		"subject the run to a JSON fault-injection profile (implies -run; see README \"Running under faults\")")
 	fs.Int64Var(&o.seed, "seed", 0,
@@ -157,8 +163,11 @@ func parseFlags(args []string) (*options, error) {
 	if o.seedSet && o.chaosPath == "" {
 		return nil, fmt.Errorf("-seed requires -chaos")
 	}
+	if o.qosOut != "" {
+		o.qos = true
+	}
 	if o.timeline || o.traceOut != "" || o.eventsOut != "" || o.audit ||
-		o.chaosPath != "" || o.speculate > 0 {
+		o.chaosPath != "" || o.speculate > 0 || o.qos {
 		o.doRun = true
 	}
 	if o.frontier < 0 {
@@ -196,13 +205,13 @@ func createOutput(path string, force bool) (*os.File, error) {
 
 // outputs holds the pre-opened export files (nil when the flag is unset).
 type outputs struct {
-	trace, metrics, events, frontier *os.File
-	cpuprofile, memprofile           *os.File
+	trace, metrics, events, frontier, qos *os.File
+	cpuprofile, memprofile                *os.File
 }
 
 func (of *outputs) closeAll() {
 	for _, f := range []*os.File{of.trace, of.metrics, of.events, of.frontier,
-		of.cpuprofile, of.memprofile} {
+		of.qos, of.cpuprofile, of.memprofile} {
 		if f != nil {
 			f.Close()
 		}
@@ -226,6 +235,7 @@ func openOutputs(o *options) (*outputs, error) {
 	of.metrics = open(o.metricsOut)
 	of.events = open(o.eventsOut)
 	of.frontier = open(o.frontierOut)
+	of.qos = open(o.qosOut)
 	of.cpuprofile = open(o.cpuProfile)
 	of.memprofile = open(o.memProfile)
 	if err != nil {
@@ -264,6 +274,8 @@ type result struct {
 	Baselines []measurementJSON `json:"baselines,omitempty"`
 	Explain   string            `json:"explain,omitempty"`
 	Audit     *flight.Audit     `json:"audit,omitempty"`
+	// QoS is the streaming monitor's final snapshot (present with -qos).
+	QoS *astra.QoSSnapshot `json:"qos,omitempty"`
 	// Resilience attributes fault-injection damage and recovery spend;
 	// present only when -chaos or -speculate is active.
 	Resilience *mapreduce.Resilience `json:"resilience,omitempty"`
@@ -411,7 +423,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	// baselines stay unrecorded so the exported/streamed event stream
 	// describes exactly one execution.
 	var rec *astra.FlightRecorder
-	if o.audit || o.eventsOut != "" || o.serve != "" {
+	if o.audit || o.eventsOut != "" || o.serve != "" || o.qos {
 		rec = astra.NewFlightRecorder()
 	}
 
@@ -432,7 +444,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 				err = serr
 			}
 		}()
-		fmt.Fprintf(infoWriter(o, out), "observability: http://%s (/metrics /events /frontier /explain /debug/pprof)\n", srv.Addr())
+		fmt.Fprintf(infoWriter(o, out), "observability: http://%s (/metrics /events /frontier /explain /qos /audit /debug/pprof)\n", srv.Addr())
 	}
 
 	if o.frontier > 0 {
@@ -503,11 +515,27 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	}
 
 	var runReport *mapreduce.Report
+	var qosMon *astra.QoSMonitor
 	if o.doRun {
 		mainOpts := runOpts
 		if rec != nil {
 			mainOpts = append(append([]astra.RunOption{}, runOpts...),
 				astra.WithFlightRecorder(rec))
+		}
+		if o.qos {
+			// The monitor follows the main run only (like the recorder);
+			// an explicit -deadline is the QoS threshold, otherwise the
+			// default (1.5x predicted JCT) is filled in at Run time.
+			qopts := astra.QoSOptions{Tenant: "cli", Job: o.workload,
+				Ledger: astra.NewQoSLedger(), Telemetry: tel}
+			if obj.Goal == optimizer.MinCostUnderDeadline && o.deadline > 0 {
+				qopts.Deadline = obj.Deadline
+			}
+			qosMon = astra.NewQoSMonitor(qopts)
+			mainOpts = append(mainOpts, astra.WithQoSMonitor(qosMon))
+			if srv != nil {
+				srv.PublishQoS(qosMon)
+			}
 		}
 		if mainOpts, err = withChaos(mainOpts); err != nil {
 			return err
@@ -563,12 +591,30 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		}
 	}
 
+	if qosMon != nil {
+		snap := qosMon.Snapshot()
+		res.QoS = &snap
+		if !o.jsonOut {
+			printQoS(out, &snap)
+		}
+		if files.qos != nil {
+			enc := json.NewEncoder(files.qos)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(snap); err != nil {
+				return err
+			}
+		}
+	}
+
 	if o.audit && runReport != nil {
 		aud, err := runReport.Audit()
 		if err != nil {
 			return err
 		}
 		aud.Publish(tel)
+		if srv != nil {
+			srv.PublishAudit(aud)
+		}
 		res.Audit = aud
 		if !o.jsonOut {
 			fmt.Fprintln(out)
@@ -771,6 +817,24 @@ func writeTrace(f io.Writer, path string, tl trace.Timeline) error {
 		return err
 	default:
 		return tl.WriteCSV(f)
+	}
+}
+
+// printQoS renders the monitor's final verdict: risk state, projection
+// vs deadline, drift alarms and cost burn, plus each recorded transition
+// at its virtual-time instant.
+func printQoS(out io.Writer, s *astra.QoSSnapshot) {
+	fmt.Fprintf(out, "qos:       %s — projected JCT %.2fs vs deadline %.2fs (slack %.2fs)\n",
+		s.State, s.ProjectedJCT.Seconds(), s.Deadline.Seconds(), s.Slack.Seconds())
+	fmt.Fprintf(out, "           spent $%.6f (predicted $%.6f, wasted $%.6f), %d drifted term(s)\n",
+		s.Cost.SpentUSD, s.Cost.PredictedUSD, s.Cost.WastedUSD, s.DriftedTerms)
+	for _, tr := range s.Transitions {
+		switch tr.Kind {
+		case "risk":
+			fmt.Fprintf(out, "           t+%-8s %s\n", tr.At, tr.State)
+		case "drift":
+			fmt.Fprintf(out, "           t+%-8s drift %s/%s\n", tr.At, tr.Stage, tr.Term)
+		}
 	}
 }
 

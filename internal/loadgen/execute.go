@@ -1,0 +1,77 @@
+package loadgen
+
+import (
+	"time"
+
+	"astra/internal/flight"
+	"astra/internal/lambda"
+	"astra/internal/mapreduce"
+	"astra/internal/model"
+	"astra/internal/objectstore"
+	"astra/internal/qos"
+	"astra/internal/simtime"
+	"astra/internal/workload"
+)
+
+// ExecuteMonitored runs one planned configuration on a fresh simulated
+// platform with a streaming QoS monitor attached, settling the outcome
+// into the shared ledger under the "loadgen" tenant and the shape's name.
+// The run's SLO deadline is sloFactor x the predicted JCT (<= 0 defaults
+// to 1.05 — a 5% grace over the plan's promise), so attainment measures
+// how reliably execution honors the planner's Eq. 20 contract under the
+// fleet's shapes. Each call builds its own scheduler, store and platform,
+// so concurrent tenants can execute monitored runs independently.
+func ExecuteMonitored(p model.Params, shapeName string, cfg mapreduce.Config,
+	sloFactor float64, ledger *qos.Ledger) (*mapreduce.Report, *qos.Monitor, error) {
+	if sloFactor <= 0 {
+		sloFactor = 1.05
+	}
+	bd, err := model.NewExact(p).PredictBreakdown(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sched := simtime.NewScheduler()
+	store := objectstore.New(sched, objectstore.Config{
+		Bandwidth:      p.BandwidthBps,
+		RequestLatency: p.RequestLatency,
+		Pricing:        p.Sheet.Store,
+	})
+	plt := lambda.New(sched, store, lambda.Config{
+		Sheet:           p.Sheet,
+		Speed:           p.Speed,
+		DispatchLatency: p.DispatchLatency,
+		DisableTimeout:  true,
+		MaxRetries:      8,
+	})
+	keys, err := workload.SeedProfiled(store, "input", p.Job)
+	if err != nil {
+		return nil, nil, err
+	}
+	mon := qos.New(qos.Options{
+		Deadline: time.Duration(sloFactor * float64(bd.JCT)),
+		Tenant:   "loadgen",
+		Job:      shapeName,
+		Ledger:   ledger,
+	})
+	mon.EnsurePlan(bd, p.Sheet)
+	spec := mapreduce.JobSpec{
+		Workload:  p.Job,
+		Bucket:    "input",
+		InputKeys: keys,
+		Mode:      mapreduce.Profiled,
+		Recorder:  flight.New(),
+		QoS:       mon,
+	}
+	driver := mapreduce.NewDriver(plt)
+	var rep *mapreduce.Report
+	var runErr error
+	if err := sched.Run(func(proc *simtime.Proc) {
+		rep, runErr = driver.Run(proc, spec, cfg)
+	}); err != nil {
+		return nil, nil, err
+	}
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+	return rep, mon, nil
+}

@@ -23,6 +23,7 @@ import (
 	"astra/internal/model"
 	"astra/internal/optimizer"
 	"astra/internal/pricing"
+	"astra/internal/qos"
 	"astra/internal/telemetry"
 	"astra/internal/workload"
 )
@@ -66,6 +67,18 @@ type Spec struct {
 	Tel *telemetry.Registry
 	// Solver selects the search strategy (default optimizer.Auto).
 	Solver optimizer.Solver
+	// RunEvery, when > 0, executes every RunEvery-th planned request on a
+	// fresh simulated platform with a streaming QoS monitor attached
+	// (ExecuteMonitored). Which requests execute is a pure function of the
+	// request index, so a count-bounded run executes a deterministic set.
+	RunEvery int
+	// SLOFactor scales each executed run's deadline relative to its
+	// predicted JCT (<= 0: 1.05).
+	SLOFactor float64
+	// Ledger, when non-nil, aggregates executed runs' SLO outcomes
+	// per shape (a fresh one is created when RunEvery > 0 and none is
+	// passed, so Result SLO accounting always works).
+	Ledger *qos.Ledger
 }
 
 // Result is the run's capacity profile.
@@ -91,6 +104,20 @@ type Result struct {
 
 	// PerShape counts how many plans each shape received.
 	PerShape map[string]int `json:"per_shape"`
+
+	// SLO accounting for executed runs (RunEvery > 0): totals plus the
+	// per-shape attainment split.
+	Runs             int                 `json:"runs"`
+	DeadlineAttained int                 `json:"deadline_attained"`
+	DeadlineBreached int                 `json:"deadline_breached"`
+	SLOPerShape      map[string]ShapeSLO `json:"slo_per_shape,omitempty"`
+}
+
+// ShapeSLO is one shape's deadline-attainment split across executed runs.
+type ShapeSLO struct {
+	Runs     int `json:"runs"`
+	Attained int `json:"attained"`
+	Breached int `json:"breached"`
 }
 
 // DefaultMix is the standard four-shape tenant mix: frequent small
@@ -216,10 +243,17 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		ctx = telemetry.NewContext(ctx, spec.Tel)
 	}
 
+	ledger := spec.Ledger
+	if ledger == nil && spec.RunEvery > 0 {
+		ledger = qos.NewLedger()
+	}
+
 	perWorkerLat := make([][]time.Duration, workers)
 	perWorkerShape := make([][]int64, workers)
+	perWorkerSLO := make([][]ShapeSLO, workers)
 	for w := range perWorkerShape {
 		perWorkerShape[w] = make([]int64, len(spec.Shapes))
+		perWorkerSLO[w] = make([]ShapeSLO, len(spec.Shapes))
 	}
 	var next, planned, failed atomic.Int64
 
@@ -251,7 +285,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 				pl.Templates, pl.Cache = tc, pc
 				pl.Tel = spec.Tel
 				t0 := time.Now()
-				_, perr := pl.PlanContext(ctx, spec.Shapes[si].Objective)
+				plan, perr := pl.PlanContext(ctx, spec.Shapes[si].Objective)
 				lat := time.Since(t0)
 				if perr != nil {
 					failed.Add(1)
@@ -260,6 +294,24 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 				planned.Add(1)
 				perWorkerLat[w] = append(perWorkerLat[w], lat)
 				perWorkerShape[w][si]++
+				if spec.RunEvery > 0 && i%spec.RunEvery == 0 {
+					// Execute this plan under a QoS monitor; run failures
+					// count like plan failures, SLO outcomes settle into
+					// the shared ledger and the per-shape split.
+					rep, mon, rerr := ExecuteMonitored(params[si],
+						spec.Shapes[si].Name, plan.Config, spec.SLOFactor, ledger)
+					if rerr != nil {
+						failed.Add(1)
+						continue
+					}
+					_ = rep
+					perWorkerSLO[w][si].Runs++
+					if mon.State() == qos.Breached {
+						perWorkerSLO[w][si].Breached++
+					} else {
+						perWorkerSLO[w][si].Attained++
+					}
+				}
 			}
 		}(w)
 	}
@@ -296,6 +348,22 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			c += perWorkerShape[w][si]
 		}
 		res.PerShape[s.Name] = int(c)
+	}
+	if spec.RunEvery > 0 {
+		res.SLOPerShape = make(map[string]ShapeSLO, len(spec.Shapes))
+		for si, s := range spec.Shapes {
+			var agg ShapeSLO
+			for w := range perWorkerSLO {
+				agg.Runs += perWorkerSLO[w][si].Runs
+				agg.Attained += perWorkerSLO[w][si].Attained
+				agg.Breached += perWorkerSLO[w][si].Breached
+			}
+			res.SLOPerShape[s.Name] = agg
+			res.Runs += agg.Runs
+			res.DeadlineAttained += agg.Attained
+			res.DeadlineBreached += agg.Breached
+		}
+		ledger.Publish(spec.Tel)
 	}
 	res.TemplateStats = tc.Stats()
 	res.TemplateHitRate = res.TemplateStats.HitRate()

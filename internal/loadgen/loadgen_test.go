@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"astra/internal/optimizer"
+	"astra/internal/qos"
 )
 
 // TestShapeSequenceDeterministic asserts the shape of request i is a pure
@@ -123,5 +124,57 @@ func TestSpecValidation(t *testing.T) {
 	}
 	if len(mix) != 2 || mix[0].Name != "sort-100gb" {
 		t.Fatalf("MixByNames returned %+v", mix)
+	}
+}
+
+// TestRunExecutesMonitoredRuns drives a mixed plan/execute run and checks
+// the SLO accounting: every RunEvery-th request executes under a QoS
+// monitor, outcomes split into attained/breached, and the shared ledger
+// sees the same totals.
+func TestRunExecutesMonitoredRuns(t *testing.T) {
+	const plans = 8
+	ledger := qos.NewLedger()
+	res, err := Run(context.Background(), Spec{
+		Shapes:      DefaultMix()[:1], // fastest shape only
+		Concurrency: 2,
+		MaxPlans:    plans,
+		Seed:        1,
+		RunEvery:    2,
+		Ledger:      ledger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs == 0 {
+		t.Fatal("RunEvery=2 over 8 plans executed nothing")
+	}
+	if res.Runs != res.DeadlineAttained+res.DeadlineBreached {
+		t.Fatalf("runs %d != attained %d + breached %d",
+			res.Runs, res.DeadlineAttained, res.DeadlineBreached)
+	}
+	// Profiled-mode execution replays the profile the model was fit on,
+	// so a 5%-grace deadline must be attained on a clean platform.
+	if res.DeadlineAttained == 0 {
+		t.Fatal("no executed run attained its deadline")
+	}
+	var shape ShapeSLO
+	for _, s := range res.SLOPerShape {
+		shape.Runs += s.Runs
+		shape.Attained += s.Attained
+		shape.Breached += s.Breached
+	}
+	if shape.Runs != res.Runs || shape.Attained != res.DeadlineAttained {
+		t.Fatalf("per-shape SLO %+v does not sum to totals %d/%d",
+			shape, res.Runs, res.DeadlineAttained)
+	}
+	lsnap := ledger.Snapshot()
+	if lsnap.Runs != res.Runs || lsnap.Attained != res.DeadlineAttained {
+		t.Fatalf("ledger saw %d/%d, result says %d/%d",
+			lsnap.Runs, lsnap.Attained, res.Runs, res.DeadlineAttained)
+	}
+	for _, e := range lsnap.Entries {
+		if e.Tenant != "loadgen" {
+			t.Fatalf("ledger entry under tenant %q, want loadgen", e.Tenant)
+		}
 	}
 }

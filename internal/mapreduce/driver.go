@@ -102,6 +102,12 @@ type JobSpec struct {
 	// speculative backup, first finisher wins, losers are cancelled but
 	// billed. See SpeculationPolicy.
 	Speculation *SpeculationPolicy
+	// QoS, if set, receives streaming QoS callbacks during the run: the
+	// monitor follows the flight recorder incrementally and maintains
+	// drift, deadline-risk and cost-burn state in virtual time.
+	// Observe-only, like Telemetry and Recorder; it requires a Recorder
+	// to have anything to read.
+	QoS QoSMonitor
 }
 
 // PhaseTimes decomposes the job completion time the way Fig. 3 does.
@@ -334,6 +340,9 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 	throttles0 := d.pl.Throttles()
 	peak0 := d.pl.PeakConcurrency()
 	t0 := p.Now()
+	if spec.QoS != nil {
+		spec.QoS.BeginRun(spec.Recorder, t0, qosStages(spec, orch))
+	}
 
 	// --- Mapping phase: mappers dispatched in a loop (each dispatch
 	// costs the invoke-API latency), then awaited together. ---
@@ -387,6 +396,9 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 		}
 	}
 	mapEnd := p.Now()
+	if spec.QoS != nil {
+		spec.QoS.Poll(mapEnd)
+	}
 
 	// --- Reducing phase, driven by the chosen orchestrator. ---
 	var coordExclusive time.Duration
@@ -404,6 +416,9 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 			return nil, fmt.Errorf("mapreduce: coordinator: %w", err)
 		}
 		coordEnd := p.Now()
+		if spec.QoS != nil {
+			spec.QoS.Poll(coordEnd)
+		}
 
 		// Wait for the last step's reducers, launched asynchronously by
 		// the coordinator.
@@ -433,6 +448,9 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 			}
 		}
 		run.stepSpans = append(run.stepSpans, span{run.finalStart, p.Now()})
+		if spec.QoS != nil {
+			spec.QoS.Poll(p.Now())
+		}
 
 		// Coordinator-exclusive time: its wall span minus the steps it
 		// sat waiting on (all but the async-launched last one) and minus
@@ -570,6 +588,13 @@ func (d *Driver) Run(p *simtime.Proc, spec JobSpec, cfg Config) (*Report, error)
 		rec.Emit(flight.Event{Kind: flight.KindPhase, Name: "run", Start: t0, Time: end})
 		rep.Events = rec.EventsSince(evBase)
 	}
+	if spec.QoS != nil {
+		// The run's events are final (loser drain and phase markers
+		// included): let the monitor fold the remainder and settle its
+		// ledger. Risk never advances past end; post-end billing (drained
+		// losers) still counts toward cost burn.
+		spec.QoS.EndRun(end)
+	}
 	return rep, nil
 }
 
@@ -651,6 +676,9 @@ func (d *Driver) reduceViaStepFunctions(p *simtime.Proc, run *jobRun, reducerFn 
 			}
 		}
 		run.stepSpans = append(run.stepSpans, span{stepStart, p.Now()})
+		if run.spec.QoS != nil {
+			run.spec.QoS.Poll(p.Now())
+		}
 		prevKeys = outKeys
 		run.finalKeys = outKeys
 	}
@@ -768,7 +796,7 @@ func (d *Driver) coordHandler(run *jobRun, reducerFn string) lambda.Handler {
 			if pi < len(steps)-1 {
 				if run.policy != nil {
 					stepPred := run.policy.stepTask(pi)
-			deadline := run.policy.deadlineFor(stepStart, stepPred)
+					deadline := run.policy.deadlineFor(stepStart, stepPred)
 					for r, iv := range invs {
 						r := r
 						err := d.awaitSpeculative(ctxRunner{ctx}, run, specTask{
@@ -798,6 +826,9 @@ func (d *Driver) coordHandler(run *jobRun, reducerFn string) lambda.Handler {
 					}
 				}
 				run.stepSpans = append(run.stepSpans, span{stepStart, ctx.Now()})
+				if run.spec.QoS != nil {
+					run.spec.QoS.Poll(ctx.Now())
+				}
 			} else {
 				run.finalInvs = invs
 				run.finalKeys = outKeys

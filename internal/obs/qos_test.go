@@ -1,0 +1,106 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"astra/internal/flight"
+	"astra/internal/mapreduce"
+	"astra/internal/obs"
+	"astra/internal/qos"
+)
+
+func qosTestMonitor() *qos.Monitor {
+	bd := &flight.Breakdown{
+		JCT: 20 * time.Second,
+		Stages: []flight.Stage{
+			{Name: "map", Duration: 10 * time.Second},
+			{Name: "step-00", Duration: 10 * time.Second},
+		},
+	}
+	m := qos.New(qos.Options{Predicted: bd, Deadline: 30 * time.Second,
+		Tenant: "t", Job: "j"})
+	m.BeginRun(nil, 0, []mapreduce.QoSStage{
+		{Name: "map", Tasks: 1}, {Name: "step-00", Tasks: 1},
+	})
+	return m
+}
+
+// TestQoSEndpoint: 404 before a monitor is mounted; JSON snapshot and SSE
+// transition replay once one is published.
+func TestQoSEndpoint(t *testing.T) {
+	s := startServer(t, obs.Options{})
+	if code, _ := get(t, s.URL()+"/qos"); code != http.StatusNotFound {
+		t.Fatalf("/qos without monitor: code %d, want 404", code)
+	}
+
+	mon := qosTestMonitor()
+	// Drive the monitor past its at_risk crossing and the deadline, so
+	// both risk transitions exist.
+	mon.Poll(40 * time.Second)
+	s.PublishQoS(mon)
+
+	code, body := get(t, s.URL()+"/qos")
+	if code != 200 {
+		t.Fatalf("/qos: code %d", code)
+	}
+	var snap qos.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/qos not JSON: %v\n%s", err, body)
+	}
+	if snap.State != "breached" || len(snap.Transitions) != 2 {
+		t.Fatalf("unexpected snapshot: %+v", snap)
+	}
+
+	code, stream := get(t, s.URL()+"/qos?sse=1&follow=0")
+	if code != 200 {
+		t.Fatalf("/qos sse: code %d", code)
+	}
+	if !strings.Contains(stream, "id: 1\n") || !strings.Contains(stream, "id: 2\n") {
+		t.Fatalf("sse stream missing transition frames:\n%s", stream)
+	}
+	if !strings.Contains(stream, `"at_risk"`) || !strings.Contains(stream, `"breached"`) {
+		t.Fatalf("sse stream missing states:\n%s", stream)
+	}
+
+	// Resume from the first transition: only the second is replayed.
+	_, tail := get(t, s.URL()+"/qos?sse=1&follow=0&since=1")
+	if strings.Contains(tail, "id: 1\n") || !strings.Contains(tail, "id: 2\n") {
+		t.Fatalf("sse resume from since=1 wrong:\n%s", tail)
+	}
+}
+
+// TestAuditEndpoint: 404 before publish; text render and JSON form after.
+func TestAuditEndpoint(t *testing.T) {
+	s := startServer(t, obs.Options{})
+	if code, _ := get(t, s.URL()+"/audit"); code != http.StatusNotFound {
+		t.Fatalf("/audit before publish: code %d, want 404", code)
+	}
+	s.PublishAudit(nil) // must stay unmounted
+	if code, _ := get(t, s.URL()+"/audit"); code != http.StatusNotFound {
+		t.Fatalf("/audit after nil publish: code %d, want 404", code)
+	}
+
+	audit := flight.BuildAudit(
+		&flight.CriticalPath{JCT: 11 * time.Second},
+		&flight.Breakdown{JCT: 10 * time.Second}, 0.5)
+	s.PublishAudit(audit)
+	code, body := get(t, s.URL()+"/audit")
+	if code != 200 || body != audit.Render() {
+		t.Fatalf("/audit text: %d\n%s", code, body)
+	}
+	code, body = get(t, s.URL()+"/audit?format=json")
+	if code != 200 {
+		t.Fatalf("/audit json: code %d", code)
+	}
+	var back flight.Audit
+	if err := json.Unmarshal([]byte(body), &back); err != nil {
+		t.Fatalf("/audit?format=json not JSON: %v\n%s", err, body)
+	}
+	if back.JCTPredicted != audit.JCTPredicted || back.JCTMeasured != audit.JCTMeasured {
+		t.Fatalf("/audit json round-trip lost data: %+v", back)
+	}
+}

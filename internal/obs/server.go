@@ -12,6 +12,10 @@
 //	GET /events         flight-recorder events as Server-Sent Events
 //	GET /frontier       anytime FrontierUpdate snapshots as SSE
 //	GET /explain        the last published Plan.Explain() report
+//	GET /qos            streaming QoS monitor snapshot (JSON); ?sse=1
+//	                    streams risk/drift transitions as SSE
+//	GET /audit          the last published model-accuracy audit
+//	                    (text; ?format=json for the structured form)
 //
 // The server is observe-only, like the telemetry registry and flight
 // recorder it fronts: mounting it never perturbs planning or simulated
@@ -36,6 +40,7 @@ import (
 	"astra/internal/flight"
 	"astra/internal/mapreduce"
 	"astra/internal/optimizer"
+	"astra/internal/qos"
 	"astra/internal/telemetry"
 )
 
@@ -57,6 +62,9 @@ type Options struct {
 	// FrontierHistory bounds the retained FrontierUpdate log (default
 	// 64; older updates are dropped and counted).
 	FrontierHistory int
+	// QoS mounts a streaming QoS monitor on /qos. Nil disables the
+	// endpoint until PublishQoS is called.
+	QoS *qos.Monitor
 }
 
 // Server is one observability plane instance. Construct with NewServer,
@@ -76,8 +84,11 @@ type Server struct {
 	closing   chan struct{}
 	closeOnce sync.Once
 
-	mu      sync.Mutex
-	explain string
+	mu        sync.Mutex
+	explain   string
+	qos       *qos.Monitor
+	audit     *flight.Audit
+	auditText string
 }
 
 // NewServer builds a server over the given sources. The sampler (when
@@ -103,6 +114,7 @@ func NewServer(o Options) *Server {
 		frontier:  newUpdateLog(hist, reg.Counter(telemetry.MObsSSEDropped)),
 		mux:       http.NewServeMux(),
 		closing:   make(chan struct{}),
+		qos:       o.QoS,
 	}
 	if o.RuntimeMetrics {
 		s.sampler = NewSampler(reg, o.SampleEvery)
@@ -113,6 +125,8 @@ func NewServer(o Options) *Server {
 	s.handle("/explain", s.handleExplain)
 	s.handle("/events", s.handleEvents)
 	s.handle("/frontier", s.handleFrontier)
+	s.handle("/qos", s.handleQoS)
+	s.handle("/audit", s.handleAudit)
 	s.handle("/debug/pprof/", httppprof.Index)
 	s.handle("/debug/pprof/cmdline", httppprof.Cmdline)
 	s.handle("/debug/pprof/profile", httppprof.Profile)

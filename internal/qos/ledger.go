@@ -1,0 +1,205 @@
+package qos
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"astra/internal/pricing"
+	"astra/internal/telemetry"
+)
+
+// burnWindow is the sliding window (in runs) over which per-key breach
+// burn rates are computed — recent history for alerting, independent of
+// lifetime attainment.
+const burnWindow = 32
+
+// Outcome is one finished run's SLO verdict, recorded into a Ledger by
+// Monitor.EndRun (or directly by a caller that measured a run some other
+// way).
+type Outcome struct {
+	Tenant     string
+	Job        string
+	Deadline   time.Duration
+	JCT        time.Duration
+	Attained   bool
+	FinalState State
+	// Reason categorizes a breach ("" when attained), e.g.
+	// "deadline_exceeded (drift: map/compute)".
+	Reason    string
+	CostUSD   pricing.USD
+	WastedUSD pricing.USD
+}
+
+type ledgerKey struct{ tenant, job string }
+
+type ledgerEntry struct {
+	runs     int
+	attained int
+	breached int
+	reasons  map[string]int
+	// recent is a bounded FIFO of the last burnWindow outcomes
+	// (true = breached).
+	recent []bool
+	cost   pricing.USD
+	wasted pricing.USD
+}
+
+// Ledger aggregates SLO outcomes per (tenant, job) across runs. It is
+// safe for concurrent use and a nil *Ledger is a no-op everywhere, so a
+// shared ledger can be threaded through fleets of monitors without
+// plumbing conditionals.
+type Ledger struct {
+	mu      sync.Mutex
+	entries map[ledgerKey]*ledgerEntry
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{entries: make(map[ledgerKey]*ledgerEntry)}
+}
+
+// Record folds one run outcome into the ledger.
+func (l *Ledger) Record(o Outcome) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := ledgerKey{o.Tenant, o.Job}
+	e := l.entries[k]
+	if e == nil {
+		e = &ledgerEntry{reasons: make(map[string]int)}
+		l.entries[k] = e
+	}
+	e.runs++
+	if o.Attained {
+		e.attained++
+	} else {
+		e.breached++
+		reason := o.Reason
+		if reason == "" {
+			reason = "deadline_exceeded"
+		}
+		e.reasons[reason]++
+	}
+	e.recent = append(e.recent, !o.Attained)
+	if len(e.recent) > burnWindow {
+		e.recent = e.recent[len(e.recent)-burnWindow:]
+	}
+	e.cost += o.CostUSD
+	e.wasted += o.WastedUSD
+}
+
+// BreachReason is one breach category's count within a ledger entry.
+type BreachReason struct {
+	Reason string `json:"reason"`
+	Count  int    `json:"count"`
+}
+
+// LedgerEntry is one (tenant, job) row of a ledger snapshot.
+type LedgerEntry struct {
+	Tenant   string `json:"tenant"`
+	Job      string `json:"job"`
+	Runs     int    `json:"runs"`
+	Attained int    `json:"attained"`
+	Breached int    `json:"breached"`
+	// AttainmentRate is attained/runs over the entry's lifetime.
+	AttainmentRate float64 `json:"attainment_rate"`
+	// WindowRuns and WindowBurnRate cover the last burnWindow runs:
+	// the breached fraction of recent history.
+	WindowRuns     int            `json:"window_runs"`
+	WindowBurnRate float64        `json:"window_burn_rate"`
+	BreachReasons  []BreachReason `json:"breach_reasons,omitempty"`
+	CostUSD        float64        `json:"cost_usd"`
+	WastedUSD      float64        `json:"wasted_usd"`
+}
+
+// LedgerSnapshot is a frozen, deterministically ordered view of the
+// ledger: entries sorted by tenant then job, breach reasons by count
+// (descending) then name.
+type LedgerSnapshot struct {
+	Runs     int           `json:"runs"`
+	Attained int           `json:"attained"`
+	Breached int           `json:"breached"`
+	Entries  []LedgerEntry `json:"entries,omitempty"`
+}
+
+// Snapshot freezes the ledger.
+func (l *Ledger) Snapshot() LedgerSnapshot {
+	if l == nil {
+		return LedgerSnapshot{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]ledgerKey, 0, len(l.entries))
+	for k := range l.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].tenant != keys[j].tenant {
+			return keys[i].tenant < keys[j].tenant
+		}
+		return keys[i].job < keys[j].job
+	})
+	var snap LedgerSnapshot
+	for _, k := range keys {
+		e := l.entries[k]
+		le := LedgerEntry{
+			Tenant:    k.tenant,
+			Job:       k.job,
+			Runs:      e.runs,
+			Attained:  e.attained,
+			Breached:  e.breached,
+			CostUSD:   float64(e.cost),
+			WastedUSD: float64(e.wasted),
+		}
+		if e.runs > 0 {
+			le.AttainmentRate = float64(e.attained) / float64(e.runs)
+		}
+		le.WindowRuns = len(e.recent)
+		if le.WindowRuns > 0 {
+			burned := 0
+			for _, b := range e.recent {
+				if b {
+					burned++
+				}
+			}
+			le.WindowBurnRate = float64(burned) / float64(le.WindowRuns)
+		}
+		for reason, n := range e.reasons {
+			le.BreachReasons = append(le.BreachReasons, BreachReason{Reason: reason, Count: n})
+		}
+		sort.Slice(le.BreachReasons, func(i, j int) bool {
+			if le.BreachReasons[i].Count != le.BreachReasons[j].Count {
+				return le.BreachReasons[i].Count > le.BreachReasons[j].Count
+			}
+			return le.BreachReasons[i].Reason < le.BreachReasons[j].Reason
+		})
+		snap.Runs += e.runs
+		snap.Attained += e.attained
+		snap.Breached += e.breached
+		snap.Entries = append(snap.Entries, le)
+	}
+	return snap
+}
+
+// Publish mirrors the ledger's totals into the registry as astra_qos_slo_*
+// counters, plus per-(tenant, job) labeled attainment series. Counters are
+// raised to the ledger's running totals, so repeated publishes are
+// idempotent.
+func (l *Ledger) Publish(reg *telemetry.Registry) {
+	if l == nil || reg == nil {
+		return
+	}
+	snap := l.Snapshot()
+	raiseCounter(reg, telemetry.MQoSSLORuns, int64(snap.Runs))
+	raiseCounter(reg, telemetry.MQoSSLOAttained, int64(snap.Attained))
+	raiseCounter(reg, telemetry.MQoSSLOBreached, int64(snap.Breached))
+	for _, e := range snap.Entries {
+		key := e.Tenant + "/" + e.Job
+		raiseCounter(reg, telemetry.LabelSeries(telemetry.MQoSSLORuns, "key", key), int64(e.Runs))
+		raiseCounter(reg, telemetry.LabelSeries(telemetry.MQoSSLOAttained, "key", key), int64(e.Attained))
+		raiseCounter(reg, telemetry.LabelSeries(telemetry.MQoSSLOBreached, "key", key), int64(e.Breached))
+	}
+}

@@ -123,4 +123,24 @@ const (
 	MObsHTTPRequests = "astra_obs_http_requests_total"
 	MObsSSEClients   = "astra_obs_sse_clients"
 	MObsSSEDropped   = "astra_obs_sse_dropped_total"
+
+	// Streaming QoS monitor (internal/qos). State encodes the risk
+	// verdict as an integer (0 on_track, 1 at_risk, 2 breached); times
+	// are virtual nanoseconds, dollar amounts integer micro-USD. The SLO
+	// counters aggregate ledger outcomes across runs; per-(tenant, job)
+	// series are derived via LabelSeries(..., "key", tenant+"/"+job).
+	MQoSState             = "astra_qos_state"
+	MQoSProjectedJCTNanos = "astra_qos_projected_jct_ns"
+	MQoSPredictedJCTNanos = "astra_qos_predicted_jct_ns"
+	MQoSDeadlineNanos     = "astra_qos_deadline_ns"
+	MQoSSlackNanos        = "astra_qos_slack_ns"
+	MQoSSlipNanos         = "astra_qos_slip_ns"
+	MQoSTransitions       = "astra_qos_transitions_total"
+	MQoSDriftedTerms      = "astra_qos_drifted_terms"
+	MQoSSpentMicroUSD     = "astra_qos_cost_spent_microusd"
+	MQoSPredictedMicroUSD = "astra_qos_cost_predicted_microusd"
+	MQoSWastedMicroUSD    = "astra_qos_cost_wasted_microusd"
+	MQoSSLORuns           = "astra_qos_slo_runs_total"
+	MQoSSLOAttained       = "astra_qos_slo_attained_total"
+	MQoSSLOBreached       = "astra_qos_slo_breached_total"
 )

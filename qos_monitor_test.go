@@ -1,0 +1,251 @@
+package astra
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"astra/internal/flight"
+)
+
+// runQoSMonitored plans (exercising the requested engine parallelism) and
+// runs the chaos test job under the given chaos profile ("" = clean) with
+// a QoS monitor attached, returning the report and the monitor snapshot.
+func runQoSMonitored(t *testing.T, profile string, deadline time.Duration, parallelism int) (*Report, QoSSnapshot) {
+	t.Helper()
+	job := chaosJob()
+	if _, err := Plan(job, MinTime(1), WithParallelism(parallelism)); err != nil {
+		t.Fatal(err)
+	}
+	var opts []RunOption
+	if profile != "" {
+		plan, err := LoadChaosPlan("testdata/chaos/" + profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewChaosEngine(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts = append(opts, WithChaos(eng), WithTaskRetries(6))
+	}
+	mon := NewQoSMonitor(QoSOptions{Deadline: deadline, Tenant: "test", Job: "chaos"})
+	opts = append(opts, WithQoSMonitor(mon))
+	rep, err := Run(job, chaosCfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, mon.Snapshot()
+}
+
+// TestQoSCleanRunStaysOnTrack: without injected faults the model's
+// predicted schedule holds, so the monitor must never leave on_track and
+// must record no transitions at all (acceptance criterion: clean runs of
+// the chaos jobs never leave on_track).
+func TestQoSCleanRunStaysOnTrack(t *testing.T) {
+	rep, snap := runQoSMonitored(t, "", 0, 1)
+	if snap.State != "on_track" {
+		t.Fatalf("clean run ended %q, want on_track (snapshot %+v)", snap.State, snap)
+	}
+	if len(snap.Transitions) != 0 {
+		t.Fatalf("clean run recorded transitions: %+v", snap.Transitions)
+	}
+	if !snap.Ended || snap.ProjectedJCT != rep.JCT {
+		t.Fatalf("ended snapshot must project the measured JCT: got %v want %v", snap.ProjectedJCT, rep.JCT)
+	}
+	if snap.Slip != 0 {
+		t.Fatalf("clean run accumulated schedule slip %v", snap.Slip)
+	}
+	if snap.Cost.SpentUSD <= 0 {
+		t.Fatal("monitored run tracked no cost burn")
+	}
+}
+
+// TestQoSChaosAtRiskBeforeBreach is the tentpole acceptance criterion: on
+// the straggler and throttle-storm profiles the monitor must flip to
+// at_risk at a virtual instant strictly before the deadline is actually
+// blown, and the transition sequence must be byte-identical across serial
+// vs parallel planning and repeated runs.
+func TestQoSChaosAtRiskBeforeBreach(t *testing.T) {
+	for _, profile := range []string{"straggler.json", "throttle-storm.json"} {
+		t.Run(profile, func(t *testing.T) {
+			// Probe run with an unreachable deadline to learn the predicted
+			// and the actual (chaos-stretched) JCT, then pick a deadline
+			// between them so the monitored runs genuinely breach.
+			probeRep, probeSnap := runQoSMonitored(t, profile, 24*time.Hour, 1)
+			pred, actual := probeSnap.PredictedJCT, probeRep.JCT
+			if actual <= pred {
+				t.Fatalf("profile injected no slowdown (pred %v, actual %v); test is vacuous", pred, actual)
+			}
+			deadline := (pred + actual) / 2
+			if theta := deadline - time.Duration(0.05*float64(deadline)); theta <= pred {
+				t.Fatalf("chaos too mild to separate threshold from prediction (pred %v, actual %v)", pred, actual)
+			}
+
+			type outcome struct {
+				snap QoSSnapshot
+				txs  []byte
+			}
+			collect := func(parallelism int) outcome {
+				_, snap := runQoSMonitored(t, profile, deadline, parallelism)
+				txs, err := json.Marshal(snap.Transitions)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return outcome{snap, txs}
+			}
+			serial, again, par := collect(1), collect(1), collect(0)
+
+			if serial.snap.State != "breached" {
+				t.Fatalf("chaos run ended %q, want breached (deadline %v, actual %v)", serial.snap.State, deadline, serial.snap.ProjectedJCT)
+			}
+			var atRisk, breached *QoSTransition
+			for i := range serial.snap.Transitions {
+				tr := &serial.snap.Transitions[i]
+				if tr.Kind != "risk" {
+					continue
+				}
+				switch tr.State {
+				case "at_risk":
+					atRisk = tr
+				case "breached":
+					breached = tr
+				}
+			}
+			if atRisk == nil || breached == nil {
+				t.Fatalf("missing risk transitions: %+v", serial.snap.Transitions)
+			}
+			if atRisk.At >= deadline {
+				t.Fatalf("at_risk fired at %v, not strictly before the deadline %v", atRisk.At, deadline)
+			}
+			if breached.At != deadline {
+				t.Fatalf("breach recorded at %v, want the deadline instant %v", breached.At, deadline)
+			}
+			if atRisk.At >= breached.At {
+				t.Fatalf("at_risk (%v) did not strictly precede the breach (%v)", atRisk.At, breached.At)
+			}
+			if !bytes.Equal(serial.txs, again.txs) {
+				t.Fatalf("repeated runs diverged:\n%s\n%s", serial.txs, again.txs)
+			}
+			if !bytes.Equal(serial.txs, par.txs) {
+				t.Fatalf("parallel planning changed the transition sequence:\n%s\n%s", serial.txs, par.txs)
+			}
+		})
+	}
+}
+
+// TestQoSMonitorIsObserveOnly: the recorded flight JSONL must be
+// byte-identical with the monitor on vs off, across clean and chaos
+// profiles and serial vs parallel planning — and attaching a nil monitor
+// must be inert.
+func TestQoSMonitorIsObserveOnly(t *testing.T) {
+	job := chaosJob()
+	export := func(profile string, parallelism int, withMonitor bool) []byte {
+		t.Helper()
+		if _, err := Plan(job, MinTime(1), WithParallelism(parallelism)); err != nil {
+			t.Fatal(err)
+		}
+		rec := NewFlightRecorder()
+		opts := []RunOption{WithFlightRecorder(rec)}
+		if profile != "" {
+			plan, err := LoadChaosPlan("testdata/chaos/" + profile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := NewChaosEngine(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts = append(opts, WithChaos(eng), WithTaskRetries(6))
+		}
+		if withMonitor {
+			opts = append(opts, WithQoSMonitor(NewQoSMonitor(QoSOptions{
+				Ledger: NewQoSLedger(), Telemetry: NewTelemetry(),
+			})))
+		}
+		rep, err := Run(job, chaosCfg, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := flight.WriteJSONL(&buf, rep.Events); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, profile := range []string{"", "straggler.json", "throttle-storm.json"} {
+		for _, parallelism := range []int{1, 0} {
+			plain := export(profile, parallelism, false)
+			monitored := export(profile, parallelism, true)
+			if len(plain) == 0 {
+				t.Fatalf("profile %q exported no events", profile)
+			}
+			if !bytes.Equal(plain, monitored) {
+				t.Fatalf("monitor perturbed the event stream (profile %q, parallelism %d)", profile, parallelism)
+			}
+		}
+	}
+
+	// A nil monitor is a no-op everywhere: the option must not attach it,
+	// and calling its methods directly must be safe.
+	var nilMon *QoSMonitor
+	nilMon.Poll(0)
+	nilMon.EndRun(0)
+	if got := nilMon.Snapshot(); got.State != "on_track" {
+		t.Fatalf("nil monitor snapshot state %q", got.State)
+	}
+	plain, err := Run(job, chaosCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	under, err := Run(job, chaosCfg, WithQoSMonitor(nilMon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.JCT != under.JCT || plain.Cost != under.Cost {
+		t.Fatalf("nil monitor perturbed the run: %v/%v vs %v/%v", plain.JCT, plain.Cost, under.JCT, under.Cost)
+	}
+}
+
+// TestQoSConcurrentReadersRace hammers one recorder with the driver's
+// monitor plus concurrent EventsSince/Snapshot readers (the SSE-client
+// shape) while a run executes — meaningful under -race.
+func TestQoSConcurrentReadersRace(t *testing.T) {
+	rec := NewFlightRecorder()
+	mon := NewQoSMonitor(QoSOptions{Ledger: NewQoSLedger()})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var seq int64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if evs := rec.EventsSince(seq); len(evs) > 0 {
+					seq = evs[len(evs)-1].Seq
+				}
+				_ = mon.Snapshot()
+				_ = mon.TransitionsSince(0)
+				runtime.Gosched()
+			}
+		}()
+	}
+	_, err := Run(chaosJob(), chaosCfg, WithFlightRecorder(rec), WithQoSMonitor(mon))
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := mon.Snapshot()
+	if !snap.Ended {
+		t.Fatal("monitor never saw the run end")
+	}
+}
