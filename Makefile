@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench bench-all benchdiff race vet examples loadgen
+.PHONY: build test verify bench bench-all benchdiff race vet examples loadgen serve loadgen-remote
 
 build:
 	$(GO) build ./...
@@ -57,3 +57,18 @@ bench-all:
 loadgen:
 	$(GO) run ./cmd/astra-loadgen -plans 200 -concurrency 4 -seed 1 \
 		-run-every 8 -out LOADGEN.json -metrics-out LOADGEN.prom
+
+# The planning service: HTTP/JSON control plane on :8080 with per-tenant
+# admission (30 req/s sustained, burst 10) and the observability plane
+# (/metrics, /qos, /debug/pprof/*) on the same listener.
+serve:
+	$(GO) run ./cmd/astra-server -addr :8080 -rate 30 -burst 10 \
+		-max-inflight 4 -queue 16
+
+# Drive a running `make serve` instance from the load driver's remote
+# client mode: 4 tenants, deterministic shape sequence, report with the
+# queue-wait/service-time split and server cache/429 accounting.
+loadgen-remote:
+	$(GO) run ./cmd/astra-loadgen -target http://localhost:8080 \
+		-tenants 4 -plans 150 -concurrency 4 -seed 1 \
+		-out SERVER_LOADGEN.json -metrics-out SERVER_LOADGEN.prom

@@ -6,6 +6,13 @@
 //
 //	astra-loadgen -concurrency 8 -duration 5s
 //	astra-loadgen -plans 500 -mix sort-100gb,query-25gb -out load.json
+//	astra-loadgen -target http://localhost:8080 -tenants 4 -plans 150
+//
+// With -target the driver becomes a remote client of a running
+// astra-server: the same deterministic shape sequence is POSTed to
+// /v1/plan across -tenants tenant identities, 429s are absorbed by a
+// bounded retry loop, and the report splits latency into queue wait and
+// service time from the server's timing headers.
 //
 // The shape sequence is a pure function of -seed, so runs are
 // reproducible; every plan is bit-identical to a standalone astra.Plan
@@ -51,6 +58,8 @@ func run() error {
 	sloFactor := flag.Float64("slo-factor", 1.05, "deadline for executed runs as a multiple of the predicted JCT")
 	out := flag.String("out", "", "write the JSON capacity report to this file")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format telemetry to this file")
+	target := flag.String("target", "", "drive a running astra-server at this base URL instead of planning in-process")
+	tenants := flag.Int("tenants", 4, "tenant identities to spread remote requests across (with -target)")
 	flag.Parse()
 
 	if *list {
@@ -80,11 +89,14 @@ func run() error {
 		RunEvery:    *runEvery,
 		SLOFactor:   *sloFactor,
 		Ledger:      astra.NewQoSLedger(),
+		TargetURL:   strings.TrimRight(*target, "/"),
+		Tenants:     *tenants,
 	}
 	if spec.MaxPlans <= 0 && spec.Duration <= 0 {
 		spec.MaxPlans = 200
 	}
 	// One shared cache pair for the whole run — the multi-tenant regime.
+	// (Remote runs plan inside the server; these stay idle there.)
 	tc := optimizer.NewTemplateCache(0)
 	pc := model.NewPredictionCache()
 	spec.Templates, spec.Cache = tc, pc
@@ -99,11 +111,22 @@ func run() error {
 	fmt.Printf("throughput   %.1f plans/sec\n", res.PlansPerSec)
 	fmt.Printf("latency      p50 %s  p95 %s  p99 %s\n",
 		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
-	fmt.Printf("templates    %.1f%% hit (%d hits / %d misses, %d builds, %d evictions, %d resident)\n",
-		100*res.TemplateHitRate, res.TemplateStats.Hits, res.TemplateStats.Misses,
-		res.TemplateStats.Builds, res.TemplateStats.Evictions, res.TemplateStats.Entries)
-	fmt.Printf("predictions  %.1f%% hit (%d hits / %d misses)\n",
-		100*res.PredictionHitRate, res.PredictionHits, res.PredictionMisses)
+	fmt.Printf("queue wait   p50 %s  p95 %s  p99 %s\n",
+		res.QueueP50.Round(time.Microsecond), res.QueueP95.Round(time.Microsecond), res.QueueP99.Round(time.Microsecond))
+	fmt.Printf("service      p50 %s  p95 %s  p99 %s\n",
+		res.ServiceP50.Round(time.Microsecond), res.ServiceP95.Round(time.Microsecond), res.ServiceP99.Round(time.Microsecond))
+	if *target != "" {
+		fmt.Printf("remote       %d rate-limited (retried), %d transport errors\n",
+			res.RateLimited, res.TransportErrors)
+		fmt.Printf("respcache    %d hits / %d misses (server-side, via %s)\n",
+			res.RespCacheHits, res.RespCacheMisses, "X-Astra-Cache")
+	} else {
+		fmt.Printf("templates    %.1f%% hit (%d hits / %d misses, %d builds, %d evictions, %d resident)\n",
+			100*res.TemplateHitRate, res.TemplateStats.Hits, res.TemplateStats.Misses,
+			res.TemplateStats.Builds, res.TemplateStats.Evictions, res.TemplateStats.Entries)
+		fmt.Printf("predictions  %.1f%% hit (%d hits / %d misses)\n",
+			100*res.PredictionHitRate, res.PredictionHits, res.PredictionMisses)
+	}
 	for _, s := range shapes {
 		fmt.Printf("  %-16s %d plans\n", s.Name, res.PerShape[s.Name])
 	}

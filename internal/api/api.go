@@ -1,0 +1,473 @@
+// Package api is the typed request/response surface of the Astra
+// planning service: the gRPC-shaped structs that internal/server's
+// Service interface speaks, together with their canonical JSON encoding,
+// strict decoding, validation, and request fingerprinting. Keeping the
+// schema in a leaf package lets the HTTP server and the load-driver
+// client share one definition (no drift between what the server parses
+// and what the client sends) and leaves room to bolt a proto surface
+// onto the same structs later.
+//
+// The error taxonomy is part of the schema: a request that fails to
+// parse or validate maps to 400 (ErrInvalid, optimizer.ErrInvalidObjective),
+// an objective no configuration satisfies maps to 422
+// (optimizer.ErrNoFeasiblePlan), and anything else is a 500. Admission
+// rejections (429) and drain rejections (503) are produced by the server
+// layer, not by request semantics, so they live there.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"astra/internal/mapreduce"
+	"astra/internal/optimizer"
+	"astra/internal/pricing"
+	"astra/internal/qos"
+	"astra/internal/workload"
+)
+
+// ErrInvalid is wrapped by every request-validation failure, so servers
+// can map the whole class to one status code with errors.Is.
+var ErrInvalid = errors.New("api: invalid request")
+
+// maxRequestBytes bounds a decoded request body; a planning request is
+// a few hundred bytes, so anything near the cap is abuse, not load.
+const maxRequestBytes = 1 << 20
+
+// PlanRequest asks for one optimal configuration.
+type PlanRequest struct {
+	// Tenant identifies the caller for admission control and SLO
+	// accounting. The X-Astra-Tenant header takes precedence; left
+	// empty everywhere, the server accounts the request to "anonymous".
+	Tenant string `json:"tenant,omitempty"`
+	// Workload names a calibration profile: wordcount, sort, query,
+	// grep, spark-wordcount, or spark-sql.
+	Workload string `json:"workload"`
+	// NumObjects is the input object count (> 0).
+	NumObjects int `json:"num_objects"`
+	// TotalBytes sizes the dataset (split evenly across objects).
+	// Exactly one of TotalBytes and ObjectBytes must be positive.
+	TotalBytes int64 `json:"total_bytes,omitempty"`
+	// ObjectBytes sizes each input object directly.
+	ObjectBytes int64 `json:"object_bytes,omitempty"`
+	// Objective is the planning goal and its constraint.
+	Objective ObjectiveSpec `json:"objective"`
+	// Solver optionally selects the search strategy: auto (default),
+	// algorithm1, yen, rerank, brute, or csp.
+	Solver string `json:"solver,omitempty"`
+	// Execute additionally runs the chosen plan on a fresh simulated
+	// platform under a streaming QoS monitor; the response gains a Run
+	// section and the outcome settles into the server's SLO ledger under
+	// (tenant, workload). Executed requests bypass the response cache.
+	Execute bool `json:"execute,omitempty"`
+	// SLOFactor scales an executed run's deadline relative to the
+	// predicted JCT (<= 0: the server default, 1.05).
+	SLOFactor float64 `json:"slo_factor,omitempty"`
+}
+
+// ObjectiveSpec is the wire form of an optimizer.Objective.
+type ObjectiveSpec struct {
+	// Goal is "min_time" (fastest under budget) or "min_cost" (cheapest
+	// under deadline); "time" and "cost" are accepted aliases.
+	Goal string `json:"goal"`
+	// BudgetUSD constrains min_time plans.
+	BudgetUSD float64 `json:"budget_usd,omitempty"`
+	// Deadline constrains min_cost plans, as a Go duration string
+	// ("90s", "5m").
+	Deadline string `json:"deadline,omitempty"`
+}
+
+// profiles maps wire workload names to calibration profiles.
+func profiles() map[string]workload.Profile {
+	return map[string]workload.Profile{
+		"wordcount":       workload.WordCount,
+		"sort":            workload.Sort,
+		"query":           workload.Query,
+		"grep":            workload.Grep,
+		"spark-wordcount": workload.SparkWordCount,
+		"spark-sql":       workload.SparkSQL,
+	}
+}
+
+// Workloads lists the accepted workload names, sorted.
+func Workloads() []string {
+	return []string{"grep", "query", "sort", "spark-sql", "spark-wordcount", "wordcount"}
+}
+
+// resolveJob validates the shared job fields and builds the workload.Job.
+func resolveJob(name string, numObjects int, totalBytes, objectBytes int64) (workload.Job, error) {
+	pf, ok := profiles()[strings.ToLower(name)]
+	if !ok {
+		return workload.Job{}, fmt.Errorf("%w: unknown workload %q (have %s)",
+			ErrInvalid, name, strings.Join(Workloads(), ", "))
+	}
+	if numObjects <= 0 {
+		return workload.Job{}, fmt.Errorf("%w: num_objects must be positive, got %d", ErrInvalid, numObjects)
+	}
+	switch {
+	case totalBytes > 0 && objectBytes > 0:
+		return workload.Job{}, fmt.Errorf("%w: set total_bytes or object_bytes, not both", ErrInvalid)
+	case totalBytes > 0:
+		objectBytes = totalBytes / int64(numObjects)
+	case objectBytes > 0:
+		// already per-object
+	default:
+		return workload.Job{}, fmt.Errorf("%w: one of total_bytes, object_bytes must be positive", ErrInvalid)
+	}
+	if objectBytes <= 0 {
+		return workload.Job{}, fmt.Errorf("%w: %d objects over %d bytes leaves empty objects", ErrInvalid, numObjects, totalBytes)
+	}
+	return workload.Job{Profile: pf, NumObjects: numObjects, ObjectSize: objectBytes}, nil
+}
+
+// Resolve validates the objective spec into an optimizer.Objective.
+func (o ObjectiveSpec) Resolve() (optimizer.Objective, error) {
+	switch strings.ToLower(o.Goal) {
+	case "min_time", "min-time", "time":
+		if o.Deadline != "" {
+			return optimizer.Objective{}, fmt.Errorf("%w: min_time takes budget_usd, not deadline", ErrInvalid)
+		}
+		return optimizer.Objective{Goal: optimizer.MinTimeUnderBudget, Budget: pricing.USD(o.BudgetUSD)}, nil
+	case "min_cost", "min-cost", "cost":
+		if o.BudgetUSD != 0 {
+			return optimizer.Objective{}, fmt.Errorf("%w: min_cost takes deadline, not budget_usd", ErrInvalid)
+		}
+		d, err := time.ParseDuration(o.Deadline)
+		if err != nil {
+			return optimizer.Objective{}, fmt.Errorf("%w: bad deadline %q: %v", ErrInvalid, o.Deadline, err)
+		}
+		return optimizer.Objective{Goal: optimizer.MinCostUnderDeadline, Deadline: d}, nil
+	default:
+		return optimizer.Objective{}, fmt.Errorf("%w: goal must be min_time or min_cost, got %q", ErrInvalid, o.Goal)
+	}
+}
+
+// ParseSolver maps a wire solver name to the optimizer constant; ""
+// selects Auto.
+func ParseSolver(name string) (optimizer.Solver, error) {
+	switch strings.ToLower(name) {
+	case "", "auto":
+		return optimizer.Auto, nil
+	case "algorithm1", "alg1":
+		return optimizer.Algorithm1, nil
+	case "yen":
+		return optimizer.Yen, nil
+	case "rerank":
+		return optimizer.Rerank, nil
+	case "brute":
+		return optimizer.Brute, nil
+	case "csp":
+		return optimizer.CSP, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown solver %q", ErrInvalid, name)
+	}
+}
+
+// Resolve validates the request into the planner's input types. The
+// objective is only structurally checked here; Objective.Validate (and
+// therefore ErrInvalidObjective) stays with the planner so the wire
+// layer and the library agree on one source of truth.
+func (r *PlanRequest) Resolve() (workload.Job, optimizer.Objective, optimizer.Solver, error) {
+	job, err := resolveJob(r.Workload, r.NumObjects, r.TotalBytes, r.ObjectBytes)
+	if err != nil {
+		return workload.Job{}, optimizer.Objective{}, 0, err
+	}
+	obj, err := r.Objective.Resolve()
+	if err != nil {
+		return workload.Job{}, optimizer.Objective{}, 0, err
+	}
+	solver, err := ParseSolver(r.Solver)
+	if err != nil {
+		return workload.Job{}, optimizer.Objective{}, 0, err
+	}
+	return job, obj, solver, nil
+}
+
+// Fingerprint is the canonical response-cache key: a stable rendering of
+// every field that changes the plan. Tenant is deliberately excluded —
+// planning is tenant-independent, so identical requests from different
+// tenants share one cached response. Executed requests bypass the cache
+// entirely, but Execute still participates so a stale key can never
+// alias the two forms.
+func (r *PlanRequest) Fingerprint() string {
+	objBytes := r.ObjectBytes
+	if r.TotalBytes > 0 && r.NumObjects > 0 {
+		objBytes = r.TotalBytes / int64(r.NumObjects)
+	}
+	return strings.Join([]string{
+		"plan",
+		strings.ToLower(r.Workload),
+		strconv.Itoa(r.NumObjects),
+		strconv.FormatInt(objBytes, 10),
+		strings.ToLower(r.Objective.Goal),
+		strconv.FormatFloat(r.Objective.BudgetUSD, 'g', -1, 64),
+		r.Objective.Deadline,
+		strings.ToLower(r.Solver),
+		strconv.FormatBool(r.Execute),
+		strconv.FormatFloat(r.SLOFactor, 'g', -1, 64),
+	}, "|")
+}
+
+// decodeStrict decodes one JSON document, rejecting unknown fields (so a
+// typo'd option is a 400, not a silent default) and trailing garbage.
+func decodeStrict(rd io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(rd, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after request body", ErrInvalid)
+	}
+	return nil
+}
+
+// DecodePlanRequest strictly parses one PlanRequest body.
+func DecodePlanRequest(rd io.Reader) (*PlanRequest, error) {
+	var req PlanRequest
+	if err := decodeStrict(rd, &req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// PlanBatchRequest plans many jobs in one call; results are
+// index-aligned with Requests. Per-item Tenant fields are ignored — the
+// batch is admitted and accounted as one request from its caller.
+type PlanBatchRequest struct {
+	Tenant   string        `json:"tenant,omitempty"`
+	Requests []PlanRequest `json:"requests"`
+}
+
+// DecodePlanBatchRequest strictly parses one batch body.
+func DecodePlanBatchRequest(rd io.Reader) (*PlanBatchRequest, error) {
+	var req PlanBatchRequest
+	if err := decodeStrict(rd, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Requests) == 0 {
+		return nil, fmt.Errorf("%w: batch has no requests", ErrInvalid)
+	}
+	return &req, nil
+}
+
+// FrontierRequest asks for a job's time/cost Pareto frontier.
+type FrontierRequest struct {
+	Tenant      string `json:"tenant,omitempty"`
+	Workload    string `json:"workload"`
+	NumObjects  int    `json:"num_objects"`
+	TotalBytes  int64  `json:"total_bytes,omitempty"`
+	ObjectBytes int64  `json:"object_bytes,omitempty"`
+	// Size is the target number of frontier points (<= 0: the sweep
+	// default, 24).
+	Size int `json:"size,omitempty"`
+}
+
+// Resolve validates the request into the sweep's job.
+func (r *FrontierRequest) Resolve() (workload.Job, error) {
+	return resolveJob(r.Workload, r.NumObjects, r.TotalBytes, r.ObjectBytes)
+}
+
+// Fingerprint is the canonical cache key for a non-streaming frontier.
+func (r *FrontierRequest) Fingerprint() string {
+	objBytes := r.ObjectBytes
+	if r.TotalBytes > 0 && r.NumObjects > 0 {
+		objBytes = r.TotalBytes / int64(r.NumObjects)
+	}
+	return strings.Join([]string{
+		"frontier",
+		strings.ToLower(r.Workload),
+		strconv.Itoa(r.NumObjects),
+		strconv.FormatInt(objBytes, 10),
+		strconv.Itoa(r.Size),
+	}, "|")
+}
+
+// DecodeFrontierRequest strictly parses one frontier body.
+func DecodeFrontierRequest(rd io.Reader) (*FrontierRequest, error) {
+	var req FrontierRequest
+	if err := decodeStrict(rd, &req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// FrontierRequestFromQuery builds a FrontierRequest from URL query
+// parameters, the GET form of the endpoint:
+//
+//	GET /v1/frontier?workload=sort&objects=200&total_bytes=107374182400&size=16
+func FrontierRequestFromQuery(q url.Values) (*FrontierRequest, error) {
+	req := &FrontierRequest{
+		Tenant:   q.Get("tenant"),
+		Workload: q.Get("workload"),
+	}
+	for _, f := range []struct {
+		key string
+		dst *int64
+	}{
+		{"total_bytes", &req.TotalBytes},
+		{"object_bytes", &req.ObjectBytes},
+	} {
+		if v := q.Get(f.key); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad %s %q", ErrInvalid, f.key, v)
+			}
+			*f.dst = n
+		}
+	}
+	for _, f := range []struct {
+		key string
+		dst *int
+	}{
+		{"objects", &req.NumObjects},
+		{"size", &req.Size},
+	} {
+		if v := q.Get(f.key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad %s %q", ErrInvalid, f.key, v)
+			}
+			*f.dst = n
+		}
+	}
+	return req, nil
+}
+
+// TenantSLORequest asks for one tenant's SLO ledger rows.
+type TenantSLORequest struct {
+	Tenant string `json:"tenant"`
+}
+
+// PlanResponse is one planned configuration. Wall-clock search time is
+// deliberately absent so identical requests produce identical bodies —
+// the property the response cache and the determinism tests lean on.
+type PlanResponse struct {
+	Config              mapreduce.Config `json:"config"`
+	PredictedJCTSeconds float64          `json:"predicted_jct_seconds"`
+	PredictedCostUSD    float64          `json:"predicted_cost_usd"`
+	Solver              string           `json:"solver"`
+	Search              SearchSummary    `json:"search"`
+	Explain             string           `json:"explain,omitempty"`
+	Run                 *RunOutcome      `json:"run,omitempty"`
+}
+
+// SearchSummary is the deterministic subset of the plan's search stats.
+type SearchSummary struct {
+	CalibrationRounds int64 `json:"calibration_rounds"`
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	DAGBuilds         int64 `json:"dag_builds"`
+}
+
+// RunOutcome reports an executed plan's measured result against its SLO.
+type RunOutcome struct {
+	MeasuredJCTSeconds float64 `json:"measured_jct_seconds"`
+	MeasuredCostUSD    float64 `json:"measured_cost_usd"`
+	DeadlineSeconds    float64 `json:"deadline_seconds"`
+	Attained           bool    `json:"attained"`
+}
+
+// PlanBatchResponse carries index-aligned per-request outcomes.
+type PlanBatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// BatchResult is one batch slot: exactly one of Plan and Error is set.
+type BatchResult struct {
+	Plan  *PlanResponse `json:"plan,omitempty"`
+	Error string        `json:"error,omitempty"`
+	// Code is the per-request status under the service's error taxonomy
+	// (400 invalid, 422 infeasible, 500 otherwise); 0 when Plan is set.
+	Code int `json:"code,omitempty"`
+}
+
+// FrontierUpdate is one anytime snapshot on the wire; the final update
+// of a stream byte-matches the body a non-streaming request returns.
+type FrontierUpdate struct {
+	Phase  int             `json:"phase"`
+	Final  bool            `json:"final"`
+	Points []FrontierPoint `json:"points"`
+	Stats  FrontierStats   `json:"stats"`
+}
+
+// FrontierPoint is one Pareto point on the wire.
+type FrontierPoint struct {
+	JCTSeconds float64          `json:"jct_seconds"`
+	CostUSD    float64          `json:"cost_usd"`
+	Config     mapreduce.Config `json:"config"`
+}
+
+// FrontierStats is the deterministic subset of the sweep's stats
+// (wall-clock and cache traffic omitted: both vary run to run).
+type FrontierStats struct {
+	Phases      int64 `json:"phases"`
+	Searches    int64 `json:"searches"`
+	Pruned      int64 `json:"pruned"`
+	Evaluations int64 `json:"evaluations"`
+}
+
+// FrontierResponse is the completed sweep: its final update.
+type FrontierResponse struct {
+	Final FrontierUpdate
+}
+
+// TenantSLOResponse is one tenant's slice of the SLO ledger.
+type TenantSLOResponse struct {
+	Tenant   string            `json:"tenant"`
+	Runs     int               `json:"runs"`
+	Attained int               `json:"attained"`
+	Breached int               `json:"breached"`
+	Entries  []qos.LedgerEntry `json:"entries,omitempty"`
+}
+
+// ErrorResponse is the JSON error envelope every non-2xx status carries.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterMS accompanies 429s: the precise wait the integer-second
+	// Retry-After header rounds up from.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorCode maps a service error onto the taxonomy: 400 for requests
+// that are malformed or carry an invalid objective, 422 for objectives
+// no configuration satisfies, 500 otherwise.
+func ErrorCode(err error) int {
+	switch {
+	case errors.Is(err, ErrInvalid), errors.Is(err, optimizer.ErrInvalidObjective):
+		return http.StatusBadRequest
+	case errors.Is(err, optimizer.ErrNoFeasiblePlan):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Tenant resolution order: header, then body field, then "anonymous".
+func ResolveTenant(header, body string) string {
+	if header != "" {
+		return header
+	}
+	if body != "" {
+		return body
+	}
+	return "anonymous"
+}
+
+// TenantHeader is the HTTP header carrying the caller's tenant id.
+const TenantHeader = "X-Astra-Tenant"
+
+// Response headers carrying per-request server timing; bodies stay
+// byte-identical across cache hits so timing rides out of band.
+const (
+	QueueHeader   = "X-Astra-Queue-Ns"
+	ServiceHeader = "X-Astra-Service-Ns"
+	CacheHeader   = "X-Astra-Cache" // "hit" | "miss" | "bypass"
+)

@@ -23,6 +23,14 @@ import (
 // so concurrent tenants can execute monitored runs independently.
 func ExecuteMonitored(p model.Params, shapeName string, cfg mapreduce.Config,
 	sloFactor float64, ledger *qos.Ledger) (*mapreduce.Report, *qos.Monitor, error) {
+	return ExecuteMonitoredAs(p, "loadgen", shapeName, cfg, sloFactor, ledger)
+}
+
+// ExecuteMonitoredAs is ExecuteMonitored with the ledger tenant made
+// explicit, so the planning service can settle executed requests under
+// the calling tenant's SLO row rather than a shared synthetic one.
+func ExecuteMonitoredAs(p model.Params, tenant, shapeName string, cfg mapreduce.Config,
+	sloFactor float64, ledger *qos.Ledger) (*mapreduce.Report, *qos.Monitor, error) {
 	if sloFactor <= 0 {
 		sloFactor = 1.05
 	}
@@ -49,7 +57,7 @@ func ExecuteMonitored(p model.Params, shapeName string, cfg mapreduce.Config,
 	}
 	mon := qos.New(qos.Options{
 		Deadline: time.Duration(sloFactor * float64(bd.JCT)),
-		Tenant:   "loadgen",
+		Tenant:   tenant,
 		Job:      shapeName,
 		Ledger:   ledger,
 	})

@@ -79,6 +79,15 @@ type Spec struct {
 	// per shape (a fresh one is created when RunEvery > 0 and none is
 	// passed, so Result SLO accounting always works).
 	Ledger *qos.Ledger
+	// TargetURL switches the driver into remote-client mode: instead of
+	// planning in-process, every request is POSTed to a running
+	// astra-server at this base URL ("http://host:port"). Templates,
+	// Cache, and Solver are then server-side concerns and ignored here.
+	TargetURL string
+	// Tenants spreads remote requests across this many tenant identities
+	// ("tenant-0" .. "tenant-N-1") via the X-Astra-Tenant header (<= 0:
+	// 1). Local runs plan anonymously and ignore it.
+	Tenants int
 }
 
 // Result is the run's capacity profile.
@@ -89,10 +98,30 @@ type Result struct {
 	Elapsed     time.Duration `json:"elapsed_ns"`
 	PlansPerSec float64       `json:"plans_per_sec"`
 
-	// Per-plan latency quantiles.
+	// Per-plan end-to-end latency quantiles (queue wait + service time;
+	// in remote mode also transport).
 	P50 time.Duration `json:"p50_ns"`
 	P95 time.Duration `json:"p95_ns"`
 	P99 time.Duration `json:"p99_ns"`
+
+	// Queue wait vs service time, separated. Locally there is no accept
+	// queue, so queue quantiles are zero and service equals plan latency;
+	// remotely both come from the server's X-Astra-Queue-Ns /
+	// X-Astra-Service-Ns timing headers.
+	QueueP50   time.Duration `json:"queue_p50_ns"`
+	QueueP95   time.Duration `json:"queue_p95_ns"`
+	QueueP99   time.Duration `json:"queue_p99_ns"`
+	ServiceP50 time.Duration `json:"service_p50_ns"`
+	ServiceP95 time.Duration `json:"service_p95_ns"`
+	ServiceP99 time.Duration `json:"service_p99_ns"`
+
+	// Remote-mode outcome counters: 429 responses absorbed by the retry
+	// loop, requests abandoned on transport failure, and the server's
+	// response-cache verdicts as seen through X-Astra-Cache.
+	RateLimited     int `json:"rate_limited"`
+	TransportErrors int `json:"transport_errors"`
+	RespCacheHits   int `json:"respcache_hits"`
+	RespCacheMisses int `json:"respcache_misses"`
 
 	// Cache traffic over the run (deltas for caches the run created,
 	// cumulative totals for caches passed in).
@@ -196,6 +225,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	if spec.MaxPlans <= 0 && spec.Duration <= 0 {
 		return nil, fmt.Errorf("loadgen: need MaxPlans or Duration")
+	}
+	if spec.TargetURL != "" {
+		return runRemote(ctx, spec)
 	}
 	workers := spec.Concurrency
 	if workers <= 0 {
@@ -341,7 +373,10 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		res.P50 = lats[n/2]
 		res.P95 = lats[min(n-1, n*95/100)]
 		res.P99 = lats[min(n-1, n*99/100)]
+		// No accept queue in-process: service time is the whole latency.
+		res.ServiceP50, res.ServiceP95, res.ServiceP99 = res.P50, res.P95, res.P99
 	}
+	publishClientTiming(spec.Tel, res)
 	for si, s := range spec.Shapes {
 		var c int64
 		for w := range perWorkerShape {

@@ -1,0 +1,302 @@
+// Remote-client mode: the same deterministic shape sequence, driven over
+// HTTP against a running astra-server instead of an in-process planner.
+// The driver measures what a tenant of the planning service would see —
+// end-to-end latency split into queue wait and service time (from the
+// server's timing headers), 429s absorbed by the retry loop, response
+// cache verdicts — and keeps Result's shape identical to a local run so
+// LOADGEN.json consumers need not care which mode produced it.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"astra/internal/api"
+	"astra/internal/telemetry"
+)
+
+// maxRetryPause caps how long the client honors a 429's retry_after_ms
+// before re-attempting; a load driver exists to apply pressure, not to
+// sleep through a long refill window.
+const maxRetryPause = 200 * time.Millisecond
+
+// maxAttempts bounds the per-request 429 retry loop so a pathological
+// quota (rate far below the offered load) degrades into counted errors
+// instead of a livelock.
+const maxAttempts = 1000
+
+// wireRequest renders one shape as the service's wire form. The reverse
+// mapping is total because profile names and wire workload names are the
+// same strings.
+func wireRequest(s Shape, execute bool, sloFactor float64) api.PlanRequest {
+	req := api.PlanRequest{
+		Workload:    s.Job.Profile.Name,
+		NumObjects:  s.Job.NumObjects,
+		ObjectBytes: s.Job.ObjectSize,
+		Execute:     execute,
+	}
+	if execute && sloFactor > 0 {
+		req.SLOFactor = sloFactor
+	}
+	if s.Objective.Deadline > 0 {
+		req.Objective = api.ObjectiveSpec{Goal: "min_cost", Deadline: s.Objective.Deadline.String()}
+	} else {
+		req.Objective = api.ObjectiveSpec{Goal: "min_time", BudgetUSD: float64(s.Objective.Budget)}
+	}
+	return req
+}
+
+// sample is one completed remote request's client-side accounting.
+type sample struct {
+	total   time.Duration
+	queue   time.Duration
+	service time.Duration
+	shape   int
+	run     *api.RunOutcome
+}
+
+// runRemote replays the spec's mix against spec.TargetURL.
+func runRemote(ctx context.Context, spec Spec) (*Result, error) {
+	workers := spec.Concurrency
+	if workers <= 0 {
+		workers = 1
+	}
+	tenants := spec.Tenants
+	if tenants <= 0 {
+		tenants = 1
+	}
+	weights := make([]int, len(spec.Shapes))
+	total := 0
+	for i, s := range spec.Shapes {
+		w := s.Weight
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = w
+		total += w
+	}
+	maxPlans := spec.MaxPlans
+	if maxPlans <= 0 {
+		maxPlans = 1 << 30
+	}
+	var deadline time.Time
+	if spec.Duration > 0 {
+		deadline = time.Now().Add(spec.Duration)
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	base := spec.TargetURL
+
+	perWorker := make([][]sample, workers)
+	var next, planned, failed atomic.Int64
+	var rateLimited, transport, cacheHits, cacheMisses atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", w%tenants)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				if !deadline.IsZero() && !time.Now().Before(deadline) {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= maxPlans {
+					return
+				}
+				si := shapeFor(spec.Shapes, weights, total, spec.Seed, i)
+				execute := spec.RunEvery > 0 && i%spec.RunEvery == 0
+				req := wireRequest(spec.Shapes[si], execute, spec.SLOFactor)
+				s, retried, err := planRemote(ctx, client, base, tenant, &req)
+				rateLimited.Add(int64(retried))
+				if err != nil {
+					transport.Add(1)
+					failed.Add(1)
+					continue
+				}
+				switch s.cacheVerdict {
+				case "hit":
+					cacheHits.Add(1)
+				case "miss":
+					cacheMisses.Add(1)
+				}
+				planned.Add(1)
+				s.shape = si
+				perWorker[w] = append(perWorker[w], s.sample)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var samples []sample
+	for _, s := range perWorker {
+		samples = append(samples, s...)
+	}
+	res := &Result{
+		Plans:           int(planned.Load()),
+		Errors:          int(failed.Load()),
+		Concurrency:     workers,
+		Elapsed:         elapsed,
+		PerShape:        make(map[string]int, len(spec.Shapes)),
+		RateLimited:     int(rateLimited.Load()),
+		TransportErrors: int(transport.Load()),
+		RespCacheHits:   int(cacheHits.Load()),
+		RespCacheMisses: int(cacheMisses.Load()),
+	}
+	if elapsed > 0 {
+		res.PlansPerSec = float64(res.Plans) / elapsed.Seconds()
+	}
+	res.P50, res.P95, res.P99 = quantiles(samples, func(s sample) time.Duration { return s.total })
+	res.QueueP50, res.QueueP95, res.QueueP99 = quantiles(samples, func(s sample) time.Duration { return s.queue })
+	res.ServiceP50, res.ServiceP95, res.ServiceP99 = quantiles(samples, func(s sample) time.Duration { return s.service })
+	for _, s := range samples {
+		res.PerShape[spec.Shapes[s.shape].Name]++
+		if s.run != nil {
+			if res.SLOPerShape == nil {
+				res.SLOPerShape = make(map[string]ShapeSLO, len(spec.Shapes))
+			}
+			agg := res.SLOPerShape[spec.Shapes[s.shape].Name]
+			agg.Runs++
+			res.Runs++
+			if s.run.Attained {
+				agg.Attained++
+				res.DeadlineAttained++
+			} else {
+				agg.Breached++
+				res.DeadlineBreached++
+			}
+			res.SLOPerShape[spec.Shapes[s.shape].Name] = agg
+		}
+	}
+	for _, s := range spec.Shapes {
+		if _, ok := res.PerShape[s.Name]; !ok {
+			res.PerShape[s.Name] = 0
+		}
+	}
+	publishClientTiming(spec.Tel, res)
+	return res, nil
+}
+
+// quantiles sorts one extracted dimension and reads the usual three.
+func quantiles(samples []sample, dim func(sample) time.Duration) (p50, p95, p99 time.Duration) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	vals := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		vals[i] = dim(s)
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	n := len(vals)
+	return vals[n/2], vals[min(n-1, n*95/100)], vals[min(n-1, n*99/100)]
+}
+
+// publishClientTiming exports the driver's client-side view onto the
+// registry: p95 queue/service gauges plus remote outcome counters.
+func publishClientTiming(tel *telemetry.Registry, res *Result) {
+	if tel == nil {
+		return
+	}
+	tel.Gauge(telemetry.MLoadgenQueueWait).Set(res.QueueP95.Nanoseconds())
+	tel.Gauge(telemetry.MLoadgenServiceTime).Set(res.ServiceP95.Nanoseconds())
+	if res.RateLimited > 0 {
+		tel.Counter(telemetry.MLoadgenRateLimited).Add(int64(res.RateLimited))
+	}
+	if res.TransportErrors > 0 {
+		tel.Counter(telemetry.MLoadgenTransport).Add(int64(res.TransportErrors))
+	}
+}
+
+type remoteSample struct {
+	sample
+	cacheVerdict string
+}
+
+// planRemote POSTs one plan request, absorbing 429s by honoring (a
+// capped) Retry-After and re-attempting. It returns the sample, how many
+// 429s were absorbed, and an error only for transport failures or
+// terminal statuses.
+func planRemote(ctx context.Context, client *http.Client, base, tenant string, req *api.PlanRequest) (remoteSample, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return remoteSample{}, 0, err
+	}
+	retried := 0
+	t0 := time.Now()
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return remoteSample{}, retried, err
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/plan", bytes.NewReader(body))
+		if err != nil {
+			return remoteSample{}, retried, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set(api.TenantHeader, tenant)
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return remoteSample{}, retried, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			var env api.ErrorResponse
+			_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&env)
+			resp.Body.Close()
+			retried++
+			pause := time.Duration(env.RetryAfterMS) * time.Millisecond
+			if pause <= 0 || pause > maxRetryPause {
+				pause = maxRetryPause
+			}
+			select {
+			case <-time.After(pause):
+			case <-ctx.Done():
+				return remoteSample{}, retried, ctx.Err()
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			return remoteSample{}, retried, fmt.Errorf("loadgen: %s: %s", resp.Status, bytes.TrimSpace(b))
+		}
+		var planResp api.PlanResponse
+		err = json.NewDecoder(resp.Body).Decode(&planResp)
+		resp.Body.Close()
+		if err != nil {
+			return remoteSample{}, retried, err
+		}
+		s := remoteSample{
+			sample: sample{
+				total:   time.Since(t0),
+				queue:   headerNs(resp.Header.Get(api.QueueHeader)),
+				service: headerNs(resp.Header.Get(api.ServiceHeader)),
+				run:     planResp.Run,
+			},
+			cacheVerdict: resp.Header.Get(api.CacheHeader),
+		}
+		return s, retried, nil
+	}
+	return remoteSample{}, retried, fmt.Errorf("loadgen: gave up after %d rate-limited attempts", maxAttempts)
+}
+
+func headerNs(v string) time.Duration {
+	n, _ := strconv.ParseInt(v, 10, 64)
+	return time.Duration(n)
+}

@@ -1,0 +1,108 @@
+package loadgen_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"astra/internal/loadgen"
+	"astra/internal/model"
+	"astra/internal/optimizer"
+	"astra/internal/qos"
+	"astra/internal/server"
+	"astra/internal/telemetry"
+)
+
+// TestRemoteDriver is the client-mode integration gate: the driver
+// replays its mix against a live astra-server, absorbs 429s from a tight
+// quota, splits latency via the server's timing headers, and observes
+// the server-side response cache through X-Astra-Cache.
+func TestRemoteDriver(t *testing.T) {
+	tel := telemetry.New()
+	svc := server.NewService(server.ServiceConfig{
+		Templates: optimizer.NewTemplateCache(0),
+		Cache:     model.NewPredictionCache(),
+		Tel:       tel,
+		Ledger:    qos.NewLedger(),
+	})
+	srv := server.New(server.Config{
+		Service:   svc,
+		Telemetry: tel,
+		// A quota tight enough that the retry loop must absorb some 429s,
+		// but generous enough that the run still finishes promptly.
+		Quota: server.TenantQuota{Rate: 200, Burst: 5, MaxInFlight: 4, MaxQueue: 16},
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	clientTel := telemetry.New()
+	res, err := loadgen.Run(context.Background(), loadgen.Spec{
+		Shapes: []loadgen.Shape{
+			loadgen.DefaultMix()[0], // wordcount-1gb
+			loadgen.DefaultMix()[1], // wordcount-10gb
+		},
+		Concurrency: 4,
+		Tenants:     2,
+		MaxPlans:    40,
+		Seed:        7,
+		Tel:         clientTel,
+		TargetURL:   srv.URL(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransportErrors != 0 {
+		t.Fatalf("transport errors = %d, want 0", res.TransportErrors)
+	}
+	if res.Plans != 40 {
+		t.Fatalf("plans = %d (%d errors), want 40", res.Plans, res.Errors)
+	}
+	// Two distinct fingerprints: everything past the two cold misses is a
+	// server-side response-cache hit.
+	if res.RespCacheMisses != 2 || res.RespCacheHits != 38 {
+		t.Fatalf("respcache hits/misses = %d/%d, want 38/2", res.RespCacheHits, res.RespCacheMisses)
+	}
+	if res.ServiceP50 < 0 || res.QueueP50 < 0 {
+		t.Fatalf("negative timing: queue %v service %v", res.QueueP50, res.ServiceP50)
+	}
+	// The client published its view onto its own registry.
+	if clientTel.Gauge(telemetry.MLoadgenServiceTime).Value() < 0 {
+		t.Fatal("service-time gauge unpublished")
+	}
+	if got := res.PerShape["wordcount-1gb"] + res.PerShape["wordcount-10gb"]; got != 40 {
+		t.Fatalf("per-shape accounting = %v", res.PerShape)
+	}
+	// Server-side accounting agrees with the client's view.
+	if st := srv.RespCache().Stats(); st.Hits != 38 || st.Misses != 2 {
+		t.Fatalf("server respcache stats = %+v", st)
+	}
+}
+
+// TestLocalRunSplitsTiming: in-process runs report the queue/service
+// split too (no queue locally, so service equals total latency).
+func TestLocalRunSplitsTiming(t *testing.T) {
+	res, err := loadgen.Run(context.Background(), loadgen.Spec{
+		Shapes:      loadgen.DefaultMix()[:1],
+		Concurrency: 2,
+		MaxPlans:    8,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueueP95 != 0 {
+		t.Fatalf("local queue wait = %v, want 0", res.QueueP95)
+	}
+	if res.ServiceP50 != res.P50 || res.ServiceP99 != res.P99 {
+		t.Fatalf("local service quantiles %v/%v diverge from totals %v/%v",
+			res.ServiceP50, res.ServiceP99, res.P50, res.P99)
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+)
+
+// PrefixHandler returns the route table mounted under a path prefix
+// ("/obs" serves /obs/metrics, /obs/healthz, /obs/debug/pprof/*, ...),
+// for embedding next to an application's own routes. Two things make
+// the naive http.StripPrefix composition wrong on its own, and both are
+// handled here: ServeMux's canonicalizing redirects (/debug/pprof ->
+// /debug/pprof/) emit post-strip Locations that would escape the
+// prefix, so they are rewritten to keep it; and the wrapping writer
+// preserves http.Flusher, so the SSE endpoints keep streaming when
+// mounted under a prefix.
+func (s *Server) PrefixHandler(prefix string) http.Handler {
+	prefix = strings.TrimRight(prefix, "/")
+	if prefix == "" {
+		return s.mux
+	}
+	strip := http.StripPrefix(prefix, s.mux)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		strip.ServeHTTP(&prefixWriter{ResponseWriter: w, prefix: prefix}, r)
+	})
+}
+
+// prefixWriter re-roots absolute-path Location headers under the mount
+// prefix and forwards Flush so SSE streaming survives the wrap.
+type prefixWriter struct {
+	http.ResponseWriter
+	prefix string
+}
+
+func (w *prefixWriter) WriteHeader(code int) {
+	if loc := w.Header().Get("Location"); strings.HasPrefix(loc, "/") &&
+		!strings.HasPrefix(loc, w.prefix+"/") {
+		w.Header().Set("Location", w.prefix+loc)
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *prefixWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,94 @@
+package obs_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"astra/internal/obs"
+	"astra/internal/optimizer"
+)
+
+// TestPrefixHandler is the mount-under-a-path regression gate: every
+// plane endpoint must keep working when the handler is embedded at
+// /obs/ inside a larger mux, ServeMux's canonicalizing redirects must
+// not escape the prefix, and SSE replay must still stream (the wrapping
+// writer has to preserve http.Flusher).
+func TestPrefixHandler(t *testing.T) {
+	s := obs.NewServer(obs.Options{})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	observe := s.FrontierObserver()
+	observe(optimizer.FrontierUpdate{Phase: 1, Final: true})
+
+	mux := http.NewServeMux()
+	mux.Handle("/obs/", s.PrefixHandler("/obs"))
+	host := httptest.NewServer(mux)
+	t.Cleanup(host.Close)
+
+	// Do not follow redirects: the Location header itself is under test.
+	client := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := client.Get(host.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	body := func(resp *http.Response) string {
+		t.Helper()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				return sb.String()
+			}
+		}
+	}
+
+	if resp := get("/obs/healthz"); resp.StatusCode != 200 || !strings.Contains(body(resp), "ok") {
+		t.Fatalf("/obs/healthz: code %d", resp.StatusCode)
+	}
+	if resp := get("/obs/metrics"); resp.StatusCode != 200 ||
+		!strings.Contains(body(resp), "astra_obs_http_requests_total") {
+		t.Fatalf("/obs/metrics missing request counters (code %d)", resp.StatusCode)
+	}
+
+	// ServeMux canonicalizes /debug/pprof to /debug/pprof/; mounted under
+	// a prefix the redirect must come back inside the mount, not at root.
+	resp := get("/obs/debug/pprof")
+	if resp.StatusCode != http.StatusMovedPermanently {
+		t.Fatalf("/obs/debug/pprof: code %d, want 301", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/obs/debug/pprof/" {
+		t.Fatalf("redirect Location = %q, want /obs/debug/pprof/", loc)
+	}
+
+	// SSE replay through the prefix: the wrapped writer must still flush.
+	resp = get("/obs/frontier?follow=0")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/obs/frontier: code %d", resp.StatusCode)
+	}
+	if got := body(resp); !strings.Contains(got, `"phase":1`) || !strings.Contains(got, `"final":true`) {
+		t.Fatalf("frontier replay under prefix missing update:\n%s", got)
+	}
+
+	// Outside the mount nothing leaks through.
+	if resp := get("/healthz"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/healthz outside mount: code %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,464 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"astra/internal/api"
+	"astra/internal/obs"
+	"astra/internal/telemetry"
+)
+
+// Config wires one control-plane server.
+type Config struct {
+	// Service handles the typed requests (NewService for production;
+	// tests substitute stubs to script timing).
+	Service Service
+	// Telemetry receives astra_server_* counters and gauges. Left nil a
+	// private registry is created (Obs should then be left nil too, or
+	// /metrics will scrape a different registry than the server counts
+	// into).
+	Telemetry *telemetry.Registry
+	// Quota is the per-tenant admission policy. The zero value admits
+	// everything (unlimited rate, 1 in-flight, no queue) — set it.
+	Quota TenantQuota
+	// CacheTTL and CacheEntries bound the response cache (defaults 60s,
+	// 1024).
+	CacheTTL     time.Duration
+	CacheEntries int
+	// Obs, when non-nil, is mounted on the same mux: /metrics, /healthz,
+	// /qos, /events, /explain, /audit and /debug/pprof/* come for free.
+	// The server owns shutting it down.
+	Obs *obs.Server
+	// Now is the clock admission and the response cache run on (nil:
+	// time.Now). Tests inject a virtual clock for deterministic 429s.
+	Now func() time.Time
+}
+
+// Server is the control-plane HTTP front end. Construct with New, mount
+// via Handler or Start, and always Shutdown when done.
+type Server struct {
+	svc   Service
+	reg   *telemetry.Registry
+	adm   *Admission
+	cache *RespCache
+	obs   *obs.Server
+
+	mux       *http.ServeMux
+	srv       *http.Server
+	ln        net.Listener
+	serveDone chan struct{}
+
+	closing   chan struct{}
+	closeOnce sync.Once
+
+	// drainMu serializes the draining flag against in-flight accounting:
+	// handlers take the read side around (check, Add), Shutdown takes the
+	// write side to flip the flag, so inflight.Wait() can never race a
+	// late Add.
+	drainMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// New builds a server over svc.
+func New(cfg Config) *Server {
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	s := &Server{
+		svc:     cfg.Service,
+		reg:     reg,
+		obs:     cfg.Obs,
+		mux:     http.NewServeMux(),
+		closing: make(chan struct{}),
+	}
+	s.adm = NewAdmission(cfg.Quota, reg, s.closing, cfg.Now)
+	s.cache = NewRespCache(cfg.CacheEntries, cfg.CacheTTL, reg, cfg.Now)
+
+	s.handle("POST /v1/plan", "/v1/plan", s.handlePlan)
+	s.handle("POST /v1/plan/batch", "/v1/plan/batch", s.handleBatch)
+	s.handle("GET /v1/frontier", "/v1/frontier", s.handleFrontier)
+	s.handle("POST /v1/frontier", "/v1/frontier", s.handleFrontier)
+	s.handle("GET /v1/tenants/{id}/slo", "/v1/tenants/slo", s.handleTenantSLO)
+	if s.obs != nil {
+		// Everything outside /v1/ falls through to the observability
+		// plane: /metrics, /healthz, /qos, /events, /frontier (obs SSE),
+		// /explain, /audit, /debug/pprof/*.
+		s.mux.Handle("/", s.obs.Handler())
+	}
+	return s
+}
+
+// handle mounts one endpoint behind the per-endpoint request counter.
+func (s *Server) handle(pattern, label string, h http.HandlerFunc) {
+	counter := s.reg.Counter(telemetry.LabelSeries(telemetry.MServerRequests, "endpoint", label))
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		counter.Inc()
+		h(w, r)
+	})
+}
+
+// Handler exposes the route table for embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the registry the server counts into.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Admission exposes the admission controller (tests inspect queue depth).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// RespCache exposes the response cache (tests verify hit accounting).
+func (s *Server) RespCache() *RespCache { return s.cache }
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves
+// in a background goroutine until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	s.serveDone = make(chan struct{})
+	go func() {
+		defer close(s.serveDone)
+		_ = s.srv.Serve(ln) // http.ErrServerClosed on Shutdown
+	}()
+	return nil
+}
+
+// Addr reports the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL is the server's base URL ("" before Start).
+func (s *Server) URL() string {
+	if s.ln == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Shutdown drains the control plane gracefully, in order: (1) the drain
+// gate flips, so new requests get 503; (2) every in-flight plan — SSE
+// frontier streams included — runs to completion (bounded by ctx); (3)
+// the closing channel releases queued admission waiters; (4) the
+// observability plane shuts down, closing its SSE clients cleanly; (5)
+// the HTTP listener drains. Safe to call more than once, and without
+// Start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.closeOnce.Do(func() {
+		s.drainMu.Lock()
+		s.draining = true
+		s.drainMu.Unlock()
+
+		drained := make(chan struct{})
+		go func() {
+			s.inflight.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		close(s.closing)
+		if s.obs != nil {
+			if oerr := s.obs.Shutdown(ctx); err == nil {
+				err = oerr
+			}
+		}
+	})
+	if s.srv == nil {
+		return err
+	}
+	if serr := s.srv.Shutdown(ctx); serr != nil && err == nil {
+		err = serr
+	}
+	if s.serveDone != nil {
+		select {
+		case <-s.serveDone:
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+		}
+	}
+	return err
+}
+
+// enter registers one in-flight request; it reports false (and the
+// caller must 503) once draining has begun.
+func (s *Server) enter() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// writeError emits the JSON error envelope.
+func writeError(w http.ResponseWriter, code int, msg string, retryAfter time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	env := api.ErrorResponse{Error: msg}
+	if retryAfter > 0 {
+		env.RetryAfterMS = int64((retryAfter + time.Millisecond - 1) / time.Millisecond)
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(env)
+}
+
+// admit runs the gauntlet every /v1 request passes: the drain gate, the
+// tenant accounting counter, and admission control. It returns a nil
+// ticket after writing the response when the request was turned away.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, tenant string) *Ticket {
+	s.reg.Counter(telemetry.LabelSeries(telemetry.MServerTenantRequests, "tenant", tenant)).Inc()
+	ticket, rej, err := s.adm.Admit(r.Context(), tenant)
+	if rej != nil {
+		s.reg.Counter(telemetry.LabelSeries(telemetry.MServerRejects, "tenant", tenant, "reason", rej.Reason)).Inc()
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q over quota (%s)", tenant, rej.Reason), rej.RetryAfter)
+		return nil
+	}
+	if err != nil {
+		// Context cancelled (client gone — nothing to write) or draining.
+		if err == ErrDraining {
+			writeError(w, http.StatusServiceUnavailable, "server draining", 0)
+		}
+		return nil
+	}
+	return ticket
+}
+
+// finish stamps the out-of-band timing headers. Bodies stay
+// byte-identical across cache hits; timing rides in headers only.
+func finish(w http.ResponseWriter, queueWait, service time.Duration, cache string) {
+	w.Header().Set(api.QueueHeader, strconv.FormatInt(queueWait.Nanoseconds(), 10))
+	w.Header().Set(api.ServiceHeader, strconv.FormatInt(service.Nanoseconds(), 10))
+	if cache != "" {
+		w.Header().Set(api.CacheHeader, cache)
+	}
+}
+
+func writeJSONBytes(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		writeError(w, http.StatusServiceUnavailable, "server draining", 0)
+		return
+	}
+	defer s.inflight.Done()
+
+	req, err := api.DecodePlanRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	tenant := api.ResolveTenant(r.Header.Get(api.TenantHeader), req.Tenant)
+	req.Tenant = tenant
+	ticket := s.admit(w, r, tenant)
+	if ticket == nil {
+		return
+	}
+	defer ticket.Release()
+
+	// Executed requests have ledger side effects, so only pure planning
+	// consults (and fills) the response cache.
+	key := req.Fingerprint()
+	if !req.Execute {
+		if body := s.cache.Get(key); body != nil {
+			finish(w, ticket.QueueWait, 0, "hit")
+			writeJSONBytes(w, body)
+			return
+		}
+	}
+	t0 := time.Now()
+	resp, err := s.svc.Plan(r.Context(), req)
+	if err != nil {
+		writeError(w, api.ErrorCode(err), err.Error(), 0)
+		return
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	cacheState := "bypass"
+	if !req.Execute {
+		s.cache.Put(key, body)
+		cacheState = "miss"
+	}
+	finish(w, ticket.QueueWait, time.Since(t0), cacheState)
+	writeJSONBytes(w, body)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		writeError(w, http.StatusServiceUnavailable, "server draining", 0)
+		return
+	}
+	defer s.inflight.Done()
+
+	req, err := api.DecodePlanBatchRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	tenant := api.ResolveTenant(r.Header.Get(api.TenantHeader), req.Tenant)
+	req.Tenant = tenant
+	ticket := s.admit(w, r, tenant)
+	if ticket == nil {
+		return
+	}
+	defer ticket.Release()
+
+	t0 := time.Now()
+	resp, err := s.svc.PlanBatch(r.Context(), req)
+	if err != nil {
+		writeError(w, api.ErrorCode(err), err.Error(), 0)
+		return
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	finish(w, ticket.QueueWait, time.Since(t0), "bypass")
+	writeJSONBytes(w, body)
+}
+
+// handleFrontier serves both forms of the frontier endpoint. The default
+// is an SSE stream of anytime snapshots (id = 1-based update index, the
+// final frame marked final:true); ?stream=0 returns only the final
+// frontier as one JSON document whose bytes match the final SSE frame.
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		writeError(w, http.StatusServiceUnavailable, "server draining", 0)
+		return
+	}
+	defer s.inflight.Done()
+
+	var req *api.FrontierRequest
+	var err error
+	if r.Method == http.MethodPost {
+		req, err = api.DecodeFrontierRequest(r.Body)
+	} else {
+		req, err = api.FrontierRequestFromQuery(r.URL.Query())
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	tenant := api.ResolveTenant(r.Header.Get(api.TenantHeader), req.Tenant)
+	req.Tenant = tenant
+	ticket := s.admit(w, r, tenant)
+	if ticket == nil {
+		return
+	}
+	defer ticket.Release()
+
+	stream := true
+	if v := r.URL.Query().Get("stream"); v == "0" || v == "false" {
+		stream = false
+	}
+	if !stream {
+		key := req.Fingerprint()
+		if body := s.cache.Get(key); body != nil {
+			finish(w, ticket.QueueWait, 0, "hit")
+			writeJSONBytes(w, body)
+			return
+		}
+		t0 := time.Now()
+		resp, err := s.svc.Frontier(r.Context(), req, nil)
+		if err != nil {
+			writeError(w, api.ErrorCode(err), err.Error(), 0)
+			return
+		}
+		body, err := json.Marshal(resp.Final)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error(), 0)
+			return
+		}
+		s.cache.Put(key, body)
+		finish(w, ticket.QueueWait, time.Since(t0), "miss")
+		writeJSONBytes(w, body)
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set(api.QueueHeader, strconv.FormatInt(ticket.QueueWait.Nanoseconds(), 10))
+	flusher, _ := w.(http.Flusher)
+	seq := 0
+	_, err = s.svc.Frontier(r.Context(), req, func(u api.FrontierUpdate) {
+		b, merr := json.Marshal(u)
+		if merr != nil {
+			return
+		}
+		seq++
+		fmt.Fprintf(w, "id: %d\ndata: %s\n\n", seq, b)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	if err != nil && seq == 0 {
+		// Nothing streamed yet: the error taxonomy still applies.
+		writeError(w, api.ErrorCode(err), err.Error(), 0)
+		return
+	}
+	if err != nil {
+		// Mid-stream failure: surface as a terminal SSE comment.
+		fmt.Fprintf(w, ": error %s\n\n", err)
+	}
+}
+
+func (s *Server) handleTenantSLO(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		writeError(w, http.StatusServiceUnavailable, "server draining", 0)
+		return
+	}
+	defer s.inflight.Done()
+
+	tenant := r.PathValue("id")
+	if tenant == "" {
+		writeError(w, http.StatusBadRequest, "missing tenant id", 0)
+		return
+	}
+	ticket := s.admit(w, r, tenant)
+	if ticket == nil {
+		return
+	}
+	defer ticket.Release()
+	resp, err := s.svc.TenantSLO(r.Context(), &api.TenantSLORequest{Tenant: tenant})
+	if err != nil {
+		writeError(w, api.ErrorCode(err), err.Error(), 0)
+		return
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	writeJSONBytes(w, body)
+}

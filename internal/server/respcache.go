@@ -1,0 +1,138 @@
+// The TTL'd response cache: a bounded LRU of rendered response bodies
+// keyed by canonical request fingerprint. It sits above the DAG-template
+// and prediction caches — a hit serves the exact bytes of the first
+// response and never touches the search engine at all, which is what
+// makes a warm repeated tenant request ~free. Entries expire after a TTL
+// so long-lived servers re-plan eventually (a price-sheet or model
+// change redeploys the process, but defense in depth is cheap).
+package server
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"astra/internal/telemetry"
+)
+
+// RespCacheStats summarizes response-cache traffic.
+type RespCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Expired   int64
+	Evictions int64
+	Entries   int
+}
+
+type respEntry struct {
+	key     string
+	body    []byte
+	storedA time.Time
+}
+
+// RespCache is a bounded, TTL'd LRU of rendered responses. Safe for
+// concurrent use.
+type RespCache struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	max     int
+	now     func() time.Time
+	order   *list.List // front = most recent
+	entries map[string]*list.Element
+
+	hits, misses, expired, evictions *telemetry.Counter
+	resident                         *telemetry.Gauge
+}
+
+// NewRespCache builds a cache holding at most max entries for at most
+// ttl each (max <= 0: 1024; ttl <= 0: 60s). now defaults to time.Now.
+func NewRespCache(max int, ttl time.Duration, reg *telemetry.Registry, now func() time.Time) *RespCache {
+	if max <= 0 {
+		max = 1024
+	}
+	if ttl <= 0 {
+		ttl = time.Minute
+	}
+	if now == nil {
+		now = time.Now
+	}
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	return &RespCache{
+		ttl:       ttl,
+		max:       max,
+		now:       now,
+		order:     list.New(),
+		entries:   make(map[string]*list.Element),
+		hits:      reg.Counter(telemetry.MServerRespCacheHits),
+		misses:    reg.Counter(telemetry.MServerRespCacheMisses),
+		expired:   reg.Counter(telemetry.MServerRespCacheExpired),
+		evictions: reg.Counter(telemetry.MServerRespCacheEvictions),
+		resident:  reg.Gauge(telemetry.MServerRespCacheEntries),
+	}
+}
+
+// Get returns the cached body for key, or nil on miss. Expired entries
+// count as both an expiry and a miss (the caller re-plans and re-Puts).
+// The returned slice is shared and must not be mutated.
+func (c *RespCache) Get(key string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return nil
+	}
+	ent := el.Value.(*respEntry)
+	if c.now().Sub(ent.storedA) >= c.ttl {
+		c.removeLocked(el)
+		c.expired.Inc()
+		c.misses.Inc()
+		return nil
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return ent.body
+}
+
+// Put stores a rendered response, evicting the least-recently-used
+// entry past the bound.
+func (c *RespCache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*respEntry).body = body
+		el.Value.(*respEntry).storedA = c.now()
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&respEntry{key: key, body: body, storedA: c.now()})
+	c.entries[key] = el
+	if c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.removeLocked(oldest)
+		c.evictions.Inc()
+	}
+	c.resident.Set(int64(c.order.Len()))
+}
+
+// removeLocked drops one element. Caller holds mu.
+func (c *RespCache) removeLocked(el *list.Element) {
+	c.order.Remove(el)
+	delete(c.entries, el.Value.(*respEntry).key)
+	c.resident.Set(int64(c.order.Len()))
+}
+
+// Stats snapshots the counters.
+func (c *RespCache) Stats() RespCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return RespCacheStats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Expired:   c.expired.Value(),
+		Evictions: c.evictions.Value(),
+		Entries:   c.order.Len(),
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"astra/internal/telemetry"
+)
+
+func TestRespCacheHitMissAndTTL(t *testing.T) {
+	clk := newVclock()
+	c := NewRespCache(8, time.Minute, telemetry.New(), clk.now)
+
+	if got := c.Get("k"); got != nil {
+		t.Fatalf("cold Get = %q, want nil", got)
+	}
+	c.Put("k", []byte("body"))
+	if got := string(c.Get("k")); got != "body" {
+		t.Fatalf("warm Get = %q", got)
+	}
+
+	// One tick short of the TTL still hits; at the TTL the entry expires
+	// and the expiry is accounted separately from plain misses.
+	clk.advance(time.Minute - time.Nanosecond)
+	if c.Get("k") == nil {
+		t.Fatal("entry expired early")
+	}
+	clk.advance(time.Minute)
+	if c.Get("k") != nil {
+		t.Fatal("entry survived its TTL")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Expired != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 2 hits / 2 misses / 1 expired / 0 entries", st)
+	}
+}
+
+func TestRespCacheLRUEviction(t *testing.T) {
+	clk := newVclock()
+	c := NewRespCache(3, time.Hour, telemetry.New(), clk.now)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	// Touch k0 so k1 becomes the eviction victim.
+	if c.Get("k0") == nil {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.Put("k3", []byte{3})
+	if c.Get("k1") != nil {
+		t.Fatal("LRU victim k1 survived")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if c.Get(k) == nil {
+			t.Fatalf("%s evicted wrongly", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction / 3 resident", st)
+	}
+}
+
+func TestRespCachePutRefreshesTTL(t *testing.T) {
+	clk := newVclock()
+	c := NewRespCache(8, time.Minute, telemetry.New(), clk.now)
+	c.Put("k", []byte("v1"))
+	clk.advance(45 * time.Second)
+	c.Put("k", []byte("v2"))
+	clk.advance(45 * time.Second)
+	if got := string(c.Get("k")); got != "v2" {
+		t.Fatalf("refreshed entry = %q, want v2 still resident", got)
+	}
+}

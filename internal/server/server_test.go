@@ -1,0 +1,507 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"astra/internal/api"
+	"astra/internal/model"
+	"astra/internal/optimizer"
+	"astra/internal/qos"
+	"astra/internal/telemetry"
+)
+
+const planBody = `{"workload":"wordcount","num_objects":10,"object_bytes":1048576,"objective":{"goal":"min_time","budget_usd":1}}`
+
+// startReal starts a server over the production service with private
+// caches (tests must not warm the process-wide shared pair).
+func startReal(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New()
+	}
+	if cfg.Service == nil {
+		cfg.Service = NewService(ServiceConfig{
+			Templates: optimizer.NewTemplateCache(0),
+			Cache:     model.NewPredictionCache(),
+			Tel:       cfg.Telemetry,
+			Ledger:    qos.NewLedger(),
+		})
+	}
+	srv := New(cfg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv
+}
+
+func post(t *testing.T, url, tenant, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(api.TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// TestPlanEndToEnd: a valid plan request returns a config, predictions,
+// search stats and an explain report.
+func TestPlanEndToEnd(t *testing.T) {
+	srv := startReal(t, Config{})
+	resp, body := post(t, srv.URL()+"/v1/plan", "acme", planBody)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr api.PlanResponse
+	if err := json.Unmarshal([]byte(body), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Config.MapperMemMB <= 0 || pr.PredictedJCTSeconds <= 0 || pr.Explain == "" {
+		t.Fatalf("incomplete plan response: %+v", pr)
+	}
+	if resp.Header.Get(api.CacheHeader) != "miss" {
+		t.Fatalf("first request cache header = %q, want miss", resp.Header.Get(api.CacheHeader))
+	}
+}
+
+// TestResponseCacheServesWithoutSearch is the acceptance gate for the
+// response cache: a warm repeat returns byte-identical bytes, is marked
+// a hit, and provably never invokes the search engine
+// (astra_plan_solves_total is counter-verified flat).
+func TestResponseCacheServesWithoutSearch(t *testing.T) {
+	tel := telemetry.New()
+	srv := startReal(t, Config{Telemetry: tel})
+
+	resp1, body1 := post(t, srv.URL()+"/v1/plan", "acme", planBody)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("cold status %d: %s", resp1.StatusCode, body1)
+	}
+	solvesAfterCold := tel.Counter(telemetry.MPlanSolves).Value()
+	if solvesAfterCold == 0 {
+		t.Fatal("cold request did not count a solve — counter wiring broken")
+	}
+
+	// Different tenant on purpose: planning is tenant-independent, so the
+	// fingerprint (and therefore the cached body) is shared.
+	resp2, body2 := post(t, srv.URL()+"/v1/plan", "globex", planBody)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("warm status %d: %s", resp2.StatusCode, body2)
+	}
+	if body2 != body1 {
+		t.Fatalf("cached body diverged:\ncold %s\nwarm %s", body1, body2)
+	}
+	if got := resp2.Header.Get(api.CacheHeader); got != "hit" {
+		t.Fatalf("warm cache header = %q, want hit", got)
+	}
+	if got := tel.Counter(telemetry.MPlanSolves).Value(); got != solvesAfterCold {
+		t.Fatalf("warm request invoked the search engine: solves %d -> %d", solvesAfterCold, got)
+	}
+	if st := srv.RespCache().Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("respcache stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestErrorTaxonomy pins the status mapping: 400 for malformed requests,
+// 422 for infeasible objectives, one JSON envelope everywhere.
+func TestErrorTaxonomy(t *testing.T) {
+	srv := startReal(t, Config{})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unknown workload", `{"workload":"nope","num_objects":1,"object_bytes":1,"objective":{"goal":"min_time"}}`, 400},
+		{"unknown field", `{"workload":"wordcount","wat":1}`, 400},
+		{"no goal", `{"workload":"wordcount","num_objects":1,"object_bytes":1,"objective":{}}`, 400},
+		{"infeasible zero budget", `{"workload":"wordcount","num_objects":10,"object_bytes":1048576,"objective":{"goal":"min_time","budget_usd":0}}`, 422},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, srv.URL()+"/v1/plan", "acme", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, body)
+		}
+		var env api.ErrorResponse
+		if err := json.Unmarshal([]byte(body), &env); err != nil || env.Error == "" {
+			t.Errorf("%s: bad error envelope %q", tc.name, body)
+		}
+	}
+}
+
+// TestRateLimit429Deterministic drives the full HTTP stack on a virtual
+// clock: the third request must be the deterministic 429, with both the
+// rounded Retry-After header and the precise retry_after_ms.
+func TestRateLimit429Deterministic(t *testing.T) {
+	clk := newVclock()
+	srv := startReal(t, Config{
+		Quota: TenantQuota{Rate: 1, Burst: 2, MaxInFlight: 4},
+		Now:   clk.now,
+	})
+	for i := 0; i < 2; i++ {
+		resp, body := post(t, srv.URL()+"/v1/plan", "acme", planBody)
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := post(t, srv.URL()+"/v1/plan", "acme", planBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third request: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want 1", got)
+	}
+	var env api.ErrorResponse
+	if err := json.Unmarshal([]byte(body), &env); err != nil || env.RetryAfterMS != 1000 {
+		t.Fatalf("envelope %q, want retry_after_ms 1000", body)
+	}
+	// An unrelated tenant is admitted: buckets are independent.
+	if resp, body := post(t, srv.URL()+"/v1/plan", "globex", planBody); resp.StatusCode != 200 {
+		t.Fatalf("other tenant: status %d (%s)", resp.StatusCode, body)
+	}
+	// The refill is on the virtual clock, not the wall.
+	clk.advance(time.Second)
+	if resp, body := post(t, srv.URL()+"/v1/plan", "acme", planBody); resp.StatusCode != 200 {
+		t.Fatalf("post-refill: status %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// sseFrames reads an SSE stream to EOF and returns each frame's data
+// payload.
+func sseFrames(t *testing.T, rd io.Reader) []string {
+	t.Helper()
+	var frames []string
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			frames = append(frames, data)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("sse read: %v", err)
+	}
+	return frames
+}
+
+// TestFrontierStreamMatchesFinal is the streaming acceptance gate: the
+// SSE form delivers at least 3 anytime snapshots, the last is final, and
+// its bytes equal the ?stream=0 response for the same request.
+func TestFrontierStreamMatchesFinal(t *testing.T) {
+	srv := startReal(t, Config{})
+	q := "workload=wordcount&objects=10&object_bytes=1048576&size=8"
+
+	resp, err := http.Get(srv.URL() + "/v1/frontier?" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	frames := sseFrames(t, resp.Body)
+	if len(frames) < 3 {
+		t.Fatalf("streamed %d snapshots, want >= 3", len(frames))
+	}
+	var last api.FrontierUpdate
+	if err := json.Unmarshal([]byte(frames[len(frames)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if !last.Final || len(last.Points) == 0 {
+		t.Fatalf("last frame not a final frontier: %s", frames[len(frames)-1])
+	}
+
+	nresp, body := func() (*http.Response, string) {
+		r, err := http.Get(srv.URL() + "/v1/frontier?" + q + "&stream=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		return r, strings.TrimRight(string(b), "\n")
+	}()
+	if nresp.StatusCode != 200 {
+		t.Fatalf("stream=0 status %d: %s", nresp.StatusCode, body)
+	}
+	if body != frames[len(frames)-1] {
+		t.Fatalf("final SSE frame != non-streaming body:\nsse  %s\njson %s",
+			frames[len(frames)-1], body)
+	}
+}
+
+// TestBatchMixedValidation: invalid slots carry their own code in place,
+// valid slots plan, and indexes stay aligned.
+func TestBatchMixedValidation(t *testing.T) {
+	srv := startReal(t, Config{})
+	body := `{"requests":[
+		{"workload":"wordcount","num_objects":10,"object_bytes":1048576,"objective":{"goal":"min_time","budget_usd":1}},
+		{"workload":"nope","num_objects":1,"object_bytes":1,"objective":{"goal":"min_time"}},
+		{"workload":"sort","num_objects":10,"object_bytes":1048576,"objective":{"goal":"min_cost","deadline":"10m"}}
+	]}`
+	resp, got := post(t, srv.URL()+"/v1/plan/batch", "acme", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	var br api.PlanBatchResponse
+	if err := json.Unmarshal([]byte(got), &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(br.Results))
+	}
+	if br.Results[0].Plan == nil || br.Results[0].Error != "" {
+		t.Fatalf("slot 0: %+v", br.Results[0])
+	}
+	if br.Results[1].Plan != nil || br.Results[1].Code != 400 {
+		t.Fatalf("slot 1: %+v", br.Results[1])
+	}
+	if br.Results[2].Plan == nil {
+		t.Fatalf("slot 2: %+v", br.Results[2])
+	}
+}
+
+// TestExecuteSettlesTenantSLO: execute=true runs the plan under a QoS
+// monitor and the outcome lands in the caller's SLO row.
+func TestExecuteSettlesTenantSLO(t *testing.T) {
+	srv := startReal(t, Config{})
+	body := `{"workload":"wordcount","num_objects":10,"object_bytes":1048576,"objective":{"goal":"min_time","budget_usd":1},"execute":true}`
+	resp, got := post(t, srv.URL()+"/v1/plan", "acme", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if h := resp.Header.Get(api.CacheHeader); h != "bypass" {
+		t.Fatalf("executed request cache header = %q, want bypass", h)
+	}
+	var pr api.PlanResponse
+	if err := json.Unmarshal([]byte(got), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Run == nil || pr.Run.MeasuredJCTSeconds <= 0 {
+		t.Fatalf("run outcome missing: %s", got)
+	}
+
+	sresp, sbody := func() (*http.Response, string) {
+		r, err := http.Get(srv.URL() + "/v1/tenants/acme/slo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		return r, string(b)
+	}()
+	if sresp.StatusCode != 200 {
+		t.Fatalf("slo status %d: %s", sresp.StatusCode, sbody)
+	}
+	var slo api.TenantSLOResponse
+	if err := json.Unmarshal([]byte(sbody), &slo); err != nil {
+		t.Fatal(err)
+	}
+	if slo.Tenant != "acme" || slo.Runs != 1 || len(slo.Entries) != 1 {
+		t.Fatalf("slo = %s", sbody)
+	}
+	if slo.Entries[0].Job != "wordcount" {
+		t.Fatalf("ledger job = %q, want wordcount", slo.Entries[0].Job)
+	}
+	// Another tenant sees an empty slice, not acme's rows.
+	r2, b2 := func() (*http.Response, string) {
+		r, err := http.Get(srv.URL() + "/v1/tenants/globex/slo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		return r, string(b)
+	}()
+	var other api.TenantSLOResponse
+	if err := json.Unmarshal([]byte(b2), &other); err != nil || r2.StatusCode != 200 {
+		t.Fatalf("globex slo: %d %s", r2.StatusCode, b2)
+	}
+	if other.Runs != 0 || len(other.Entries) != 0 {
+		t.Fatalf("tenant isolation broken: %s", b2)
+	}
+}
+
+// stubService scripts request timing so the drain test controls exactly
+// when an in-flight request completes.
+type stubService struct {
+	started chan struct{} // closed when the first Plan enters
+	release chan struct{} // Plan blocks until this closes
+	once    sync.Once
+}
+
+func (s *stubService) Plan(ctx context.Context, req *api.PlanRequest) (*api.PlanResponse, error) {
+	s.once.Do(func() { close(s.started) })
+	select {
+	case <-s.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &api.PlanResponse{Solver: "stub"}, nil
+}
+
+func (s *stubService) PlanBatch(context.Context, *api.PlanBatchRequest) (*api.PlanBatchResponse, error) {
+	return &api.PlanBatchResponse{}, nil
+}
+
+func (s *stubService) Frontier(context.Context, *api.FrontierRequest, func(api.FrontierUpdate)) (*api.FrontierResponse, error) {
+	return &api.FrontierResponse{}, nil
+}
+
+func (s *stubService) TenantSLO(context.Context, *api.TenantSLORequest) (*api.TenantSLOResponse, error) {
+	return &api.TenantSLOResponse{}, nil
+}
+
+// TestGracefulShutdownDrains is the drain gate: Shutdown lets the
+// in-flight request finish (200, not a reset), rejects new work with
+// 503 while draining, and only then returns.
+func TestGracefulShutdownDrains(t *testing.T) {
+	stub := &stubService{started: make(chan struct{}), release: make(chan struct{})}
+	srv := New(Config{Service: stub, Quota: TenantQuota{MaxInFlight: 4}})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	inflight := make(chan struct {
+		code int
+		body string
+	}, 1)
+	go func() {
+		resp, err := http.Post(srv.URL()+"/v1/plan", "application/json", strings.NewReader(planBody))
+		if err != nil {
+			inflight <- struct {
+				code int
+				body string
+			}{0, err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		inflight <- struct {
+			code int
+			body string
+		}{resp.StatusCode, string(b)}
+	}()
+	<-stub.started
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	// Once draining, new requests are refused up front with 503.
+	deadline := time.After(5 * time.Second)
+	for {
+		resp, err := http.Post(srv.URL()+"/v1/plan", "application/json", strings.NewReader(planBody))
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusServiceUnavailable {
+				break
+			}
+			t.Fatalf("request during drain: status %d, want 503", code)
+		}
+		select {
+		case <-deadline:
+			t.Fatal("drain gate never rejected new work")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned before the in-flight request finished: %v", err)
+	default:
+	}
+
+	close(stub.release)
+	got := <-inflight
+	if got.code != 200 || !strings.Contains(got.body, "stub") {
+		t.Fatalf("in-flight request: %d %q, want a completed 200", got.code, got.body)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestConcurrentTenantsHammer is the -race gate: >= 4 tenants drive a
+// mixed endpoint workload through one server concurrently.
+func TestConcurrentTenantsHammer(t *testing.T) {
+	srv := startReal(t, Config{
+		Quota: TenantQuota{Rate: 1000, Burst: 1000, MaxInFlight: 2, MaxQueue: 64},
+	})
+	const tenants, perTenant = 4, 6
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", tn)
+			for i := 0; i < perTenant; i++ {
+				switch i % 3 {
+				case 0:
+					resp, body := post(t, srv.URL()+"/v1/plan", tenant, planBody)
+					if resp.StatusCode != 200 {
+						t.Errorf("%s plan %d: %d %s", tenant, i, resp.StatusCode, body)
+					}
+				case 1:
+					r, err := http.Get(srv.URL() + "/v1/frontier?workload=wordcount&objects=10&object_bytes=1048576&size=4&stream=0&tenant=" + tenant)
+					if err != nil {
+						t.Errorf("%s frontier: %v", tenant, err)
+						continue
+					}
+					io.Copy(io.Discard, r.Body)
+					r.Body.Close()
+					if r.StatusCode != 200 {
+						t.Errorf("%s frontier %d: %d", tenant, i, r.StatusCode)
+					}
+				default:
+					r, err := http.Get(srv.URL() + "/v1/tenants/" + tenant + "/slo")
+					if err != nil {
+						t.Errorf("%s slo: %v", tenant, err)
+						continue
+					}
+					io.Copy(io.Discard, r.Body)
+					r.Body.Close()
+					if r.StatusCode != 200 {
+						t.Errorf("%s slo %d: %d", tenant, i, r.StatusCode)
+					}
+				}
+			}
+		}(tn)
+	}
+	wg.Wait()
+	// Every tenant's requests were accounted under its own label.
+	tel := srv.Registry()
+	for tn := 0; tn < tenants; tn++ {
+		name := telemetry.LabelSeries(telemetry.MServerTenantRequests, "tenant", fmt.Sprintf("tenant-%d", tn))
+		if got := tel.Counter(name).Value(); got != perTenant {
+			t.Errorf("tenant-%d accounted %d requests, want %d", tn, got, perTenant)
+		}
+	}
+}

@@ -143,4 +143,28 @@ const (
 	MQoSSLORuns           = "astra_qos_slo_runs_total"
 	MQoSSLOAttained       = "astra_qos_slo_attained_total"
 	MQoSSLOBreached       = "astra_qos_slo_breached_total"
+
+	// Planning-as-a-service control plane (internal/server). Request
+	// counters are labeled series (LabelSeries(MServerRequests,
+	// "endpoint", ...), LabelSeries(MServerTenantRequests, "tenant", ...),
+	// rejects by tenant+reason); the respcache family counts the TTL'd
+	// response cache that sits above the template/prediction caches.
+	MServerRequests           = "astra_server_requests_total"
+	MServerTenantRequests     = "astra_server_tenant_requests_total"
+	MServerRejects            = "astra_server_admission_rejects_total"
+	MServerQueueDepth         = "astra_server_queue_depth"
+	MServerInFlight           = "astra_server_in_flight"
+	MServerRespCacheHits      = "astra_server_respcache_hits_total"
+	MServerRespCacheMisses    = "astra_server_respcache_misses_total"
+	MServerRespCacheExpired   = "astra_server_respcache_expired_total"
+	MServerRespCacheEvictions = "astra_server_respcache_evictions_total"
+	MServerRespCacheEntries   = "astra_server_respcache_entries"
+
+	// Load driver client-side accounting: queue wait vs service time as
+	// reported by the server's timing headers (nanosecond gauges hold the
+	// latest p95), plus remote-mode outcome counters.
+	MLoadgenQueueWait   = "astra_loadgen_queue_wait_ns"
+	MLoadgenServiceTime = "astra_loadgen_service_time_ns"
+	MLoadgenRateLimited = "astra_loadgen_rate_limited_total"
+	MLoadgenTransport   = "astra_loadgen_transport_errors_total"
 )
